@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the Jaccard-median pipeline — the per-node work
+//! of Algorithm 2 (the paper's Figure 4 reports this as a per-node time
+//! distribution; these benches isolate it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use soi_graph::{gen, ProbGraph};
+use soi_jaccard::median::{jaccard_median_with, MedianConfig};
+use soi_sampling::CascadeSampler;
+use std::hint::black_box;
+
+/// Realistic inputs: actual sampled cascades, not synthetic sets.
+fn cascade_collection(ell: usize, p: f64, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pg = ProbGraph::fixed(gen::gnm(2_000, 10_000, &mut rng), p).unwrap();
+    CascadeSampler::sample_many(&pg, 0, ell, seed)
+}
+
+fn bench_median_by_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jaccard_median_samples");
+    for &ell in &[100usize, 256, 1000] {
+        let samples = cascade_collection(ell, 0.15, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &samples, |b, s| {
+            b.iter(|| jaccard_median_with(black_box(s), &MedianConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_median_by_regime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jaccard_median_regime");
+    for &(p, label) in &[(0.05, "small_cascades"), (0.3, "large_cascades")] {
+        let samples = cascade_collection(256, p, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &samples, |b, s| {
+            b.iter(|| jaccard_median_with(black_box(s), &MedianConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_vs_polish(c: &mut Criterion) {
+    let samples = cascade_collection(256, 0.15, 3);
+    let mut group = c.benchmark_group("median_ablation");
+    group.bench_function("sweep_only", |b| {
+        let cfg = MedianConfig {
+            local_search_rounds: 0,
+            ..MedianConfig::default()
+        };
+        b.iter(|| jaccard_median_with(black_box(&samples), &cfg))
+    });
+    group.bench_function("sweep_plus_local_search", |b| {
+        b.iter(|| jaccard_median_with(black_box(&samples), &MedianConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_median_by_samples, bench_median_by_regime, bench_sweep_vs_polish
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Extension experiment (beyond the paper's suite); see `soi-bench` docs.
+
+fn main() {
+    let args = soi_bench::Args::parse();
+    let stdout = std::io::stdout();
+    soi_bench::extensions::figure_lt(&args, stdout.lock()).expect("write to stdout");
+}

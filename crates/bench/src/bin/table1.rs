@@ -1,0 +1,7 @@
+//! Reproduces Table1 of the paper. See `soi-bench` crate docs for flags.
+
+fn main() {
+    let args = soi_bench::Args::parse();
+    let stdout = std::io::stdout();
+    soi_bench::experiments::table1(&args, stdout.lock()).expect("write to stdout");
+}

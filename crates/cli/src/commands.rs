@@ -1,0 +1,561 @@
+//! Subcommand implementations. Everything writes to a supplied
+//! `Write` so the tests drive commands end-to-end in memory.
+
+use rand::{rngs::SmallRng, SeedableRng};
+use soi_core::{typical_cascade, TypicalCascadeConfig};
+use soi_graph::{gen, io as gio, stats, DiGraph, NodeId, ProbGraph};
+use soi_index::{CascadeIndex, IndexConfig};
+use soi_influence::{
+    degree_discount_seeds, high_degree_seeds, infmax_ris, infmax_std, infmax_std_mc, infmax_tc,
+    pagerank_seeds, random_seeds, GreedyMode, McGreedyConfig,
+};
+use soi_jaccard::median::MedianConfig;
+use soi_problog::{
+    learn_goyal, learn_goyal_jaccard, learn_saito, to_prob_graph, Action, ActionLog, SaitoConfig,
+};
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: soi <command> [options]
+
+commands:
+  generate   --model ba|gnm|ws|powerlaw --nodes N [--m K] [--edges M]
+             [--prob wc|fixed:P|tri] [--seed S] [--undirected] --out FILE
+  stats      GRAPH
+  sphere     GRAPH --source V [--samples N] [--seed S]
+  spheres    GRAPH [--samples N] [--seed S] [--threads T] --out FILE
+  infmax     GRAPH --k K [--method tc|greedy|mc|ris|degree|degree-discount|
+             pagerank|random] [--samples N] [--seed S]
+  reliability GRAPH --source V [--target W] [--eta P] [--samples N] [--seed S]
+  learn      GRAPH LOG [--method saito|goyal|goyal-jaccard] [--lag L]
+             [--min-prob P] --out FILE
+
+graph files: TSV edge lists (`u<TAB>v<TAB>p`, `# nodes: N` header);
+log files: `user<TAB>item<TAB>time` lines.";
+
+/// A minimal `--flag value` option bag with positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], switch_names: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    switches.push(name.to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.insert(name.to_string(), v.clone());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts {
+            positional,
+            flags,
+            switches,
+        })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(name)?.ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+/// Routes `args` to a subcommand, writing human-readable output to `out`.
+pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest, out),
+        "stats" => cmd_stats(rest, out),
+        "sphere" => cmd_sphere(rest, out),
+        "spheres" => cmd_spheres(rest, out),
+        "infmax" => cmd_infmax(rest, out),
+        "reliability" => cmd_reliability(rest, out),
+        "learn" => cmd_learn(rest, out),
+        other => Err(format!("unknown command {other:?}")),
+    }
+    .map_err(|e| format!("{cmd}: {e}"))
+}
+
+fn load_prob_graph(path: &str) -> Result<ProbGraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    match gio::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())? {
+        gio::ParsedGraph::Probabilistic(pg) => Ok(pg),
+        gio::ParsedGraph::Plain(_) => Err(format!(
+            "{path}: plain edge list — probabilities required (use a 3-column file)"
+        )),
+    }
+}
+
+fn load_any_graph(path: &str) -> Result<DiGraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    match gio::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())? {
+        gio::ParsedGraph::Probabilistic(pg) => Ok(pg.graph().clone()),
+        gio::ParsedGraph::Plain(g) => Ok(g),
+    }
+}
+
+fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &["undirected"])?;
+    let model: String = opts.require("model")?;
+    let nodes: usize = opts.require("nodes")?;
+    let seed: u64 = opts.get("seed")?.unwrap_or(42);
+    let undirected = opts.has("undirected");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let topo = match model.as_str() {
+        "ba" => {
+            let m: usize = opts.get("m")?.unwrap_or(3);
+            gen::barabasi_albert(nodes, m, !undirected, &mut rng)
+        }
+        "gnm" => {
+            let edges: usize = opts.get("edges")?.unwrap_or(nodes * 4);
+            gen::gnm(nodes, edges, &mut rng)
+        }
+        "ws" => {
+            let k: usize = opts.get("m")?.unwrap_or(4);
+            gen::watts_strogatz(nodes, k, 0.1, &mut rng)
+        }
+        "powerlaw" => {
+            let maxd: usize = opts.get("m")?.unwrap_or(nodes / 10);
+            gen::powerlaw_configuration(nodes, 2.0, maxd.max(2), &mut rng)
+        }
+        other => return Err(format!("unknown model {other:?} (ba|gnm|ws|powerlaw)")),
+    };
+    let prob: String = opts.get("prob")?.unwrap_or_else(|| "wc".to_string());
+    let pg = if prob == "wc" {
+        ProbGraph::weighted_cascade(topo)
+    } else if prob == "tri" {
+        ProbGraph::trivalency(topo, &mut rng)
+    } else if let Some(p) = prob.strip_prefix("fixed:") {
+        let p: f64 = p.parse().map_err(|e| format!("--prob fixed:P: {e}"))?;
+        ProbGraph::fixed(topo, p).map_err(|e| e.to_string())?
+    } else {
+        return Err(format!("unknown --prob {prob:?} (wc|fixed:P|tri)"));
+    };
+    let path: String = opts.require("out")?;
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    gio::write_prob_graph(&pg, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "wrote {} nodes, {} arcs ({model}, {prob}) to {path}",
+        pg.num_nodes(),
+        pg.num_edges()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_any_graph(opts.positional(0, "graph file")?)?;
+    let d = stats::degree_stats(&g);
+    let wcc = stats::largest_wcc_size(&g);
+    writeln!(out, "nodes\t{}", g.num_nodes()).ok();
+    writeln!(out, "arcs\t{}", g.num_edges()).ok();
+    writeln!(out, "mean_degree\t{:.2}", d.mean).ok();
+    writeln!(out, "max_out_degree\t{}", d.max_out).ok();
+    writeln!(out, "max_in_degree\t{}", d.max_in).ok();
+    writeln!(out, "excess_ratio\t{:.2}", d.excess_ratio).ok();
+    writeln!(out, "largest_wcc\t{wcc}").ok();
+    Ok(())
+}
+
+fn cmd_sphere<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
+    let source: NodeId = opts.require("source")?;
+    if source as usize >= pg.num_nodes() {
+        return Err(format!("--source {source} out of range"));
+    }
+    let samples: usize = opts.get("samples")?.unwrap_or(256);
+    let seed: u64 = opts.get("seed")?.unwrap_or(42);
+    let tc = typical_cascade(
+        &pg,
+        source,
+        &TypicalCascadeConfig {
+            median_samples: samples,
+            cost_samples: samples,
+            seed,
+            ..TypicalCascadeConfig::default()
+        },
+    );
+    writeln!(out, "sphere_size\t{}", tc.size()).ok();
+    writeln!(out, "expected_cost\t{:.4}", tc.expected_cost).ok();
+    writeln!(
+        out,
+        "members\t{}",
+        tc.median
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+    .ok();
+    Ok(())
+}
+
+fn cmd_spheres<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
+    let samples: usize = opts.get("samples")?.unwrap_or(256);
+    let seed: u64 = opts.get("seed")?.unwrap_or(42);
+    let threads: usize = opts.get("threads")?.unwrap_or(0);
+    let index = CascadeIndex::build(
+        &pg,
+        IndexConfig {
+            num_worlds: samples,
+            seed,
+            ..IndexConfig::default()
+        },
+    );
+    let spheres = soi_core::all_typical_cascades(&index, &MedianConfig::default(), threads);
+    let path: String = opts.require("out")?;
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "node\tsize\ttraining_cost\tmembers").map_err(|e| e.to_string())?;
+    for s in &spheres {
+        writeln!(
+            w,
+            "{}\t{}\t{:.4}\t{}",
+            s.node,
+            s.median.len(),
+            s.training_cost,
+            s.median
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "wrote {} spheres to {path}", spheres.len()).ok();
+    Ok(())
+}
+
+fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
+    let k: usize = opts.require("k")?;
+    let samples: usize = opts.get("samples")?.unwrap_or(256);
+    let seed: u64 = opts.get("seed")?.unwrap_or(42);
+    let method: String = opts.get("method")?.unwrap_or_else(|| "tc".to_string());
+
+    let needs_index = matches!(method.as_str(), "tc" | "greedy");
+    let index = needs_index.then(|| {
+        CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: samples,
+                seed,
+                ..IndexConfig::default()
+            },
+        )
+    });
+    let seeds: Vec<NodeId> = match method.as_str() {
+        "tc" => {
+            let index = index.as_ref().expect("built");
+            let spheres = soi_core::all_typical_cascades(index, &MedianConfig::default(), 0);
+            let cascades: Vec<Vec<NodeId>> = spheres.into_iter().map(|s| s.median).collect();
+            infmax_tc(&cascades, k, 0).seeds
+        }
+        "greedy" => infmax_std(index.as_ref().expect("built"), k, GreedyMode::Celf).seeds,
+        "mc" => {
+            infmax_std_mc(
+                &pg,
+                k,
+                &McGreedyConfig {
+                    samples,
+                    seed,
+                    ..McGreedyConfig::default()
+                },
+            )
+            .seeds
+        }
+        "ris" => infmax_ris(&pg, k, (20 * pg.num_nodes()).max(1000), seed).seeds,
+        "degree" => high_degree_seeds(pg.graph(), k),
+        "degree-discount" => degree_discount_seeds(pg.graph(), k, 0.1),
+        "pagerank" => pagerank_seeds(pg.graph(), k),
+        "random" => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            random_seeds(pg.graph(), k, &mut rng)
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    let sigma = soi_sampling::estimate_spread(&pg, &seeds, samples.max(1000), seed ^ 0xE7A1);
+    writeln!(
+        out,
+        "seeds\t{}",
+        seeds
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+    .ok();
+    writeln!(out, "expected_spread\t{sigma:.2}").ok();
+    Ok(())
+}
+
+fn cmd_reliability<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
+    let source: NodeId = opts.require("source")?;
+    let samples: usize = opts.get("samples")?.unwrap_or(10_000);
+    let seed: u64 = opts.get("seed")?.unwrap_or(42);
+    if let Some(target) = opts.get::<NodeId>("target")? {
+        let rel = soi_sampling::reliability::two_terminal(&pg, source, target, samples, seed);
+        writeln!(out, "rel({source}, {target})\t{rel:.4}").ok();
+    } else {
+        let eta: f64 = opts.get("eta")?.unwrap_or(0.5);
+        let set = soi_sampling::reliability::reliability_search(&pg, &[source], eta, samples, seed);
+        writeln!(out, "eta\t{eta}").ok();
+        writeln!(
+            out,
+            "reachable\t{}",
+            set.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+fn parse_log(path: &str, num_users: usize) -> Result<ActionLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut actions = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(format!("{path}:{}: expected `user item time`", lineno + 1));
+        }
+        let parse = |s: &str, what: &str| -> Result<u32, String> {
+            s.parse()
+                .map_err(|e| format!("{path}:{}: bad {what}: {e}", lineno + 1))
+        };
+        actions.push(Action {
+            user: parse(fields[0], "user")?,
+            item: parse(fields[1], "item")?,
+            time: parse(fields[2], "time")?,
+        });
+    }
+    ActionLog::new(num_users, actions).map_err(|e| e.to_string())
+}
+
+fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let graph = load_any_graph(opts.positional(0, "graph file")?)?;
+    let log = parse_log(opts.positional(1, "log file")?, graph.num_nodes())?;
+    let method: String = opts.get("method")?.unwrap_or_else(|| "saito".to_string());
+    let lag: Option<u32> = opts.get("lag")?;
+    let min_prob: f64 = opts.get("min-prob")?.unwrap_or(1e-4);
+    let probs = match method.as_str() {
+        "saito" => learn_saito(&graph, &log, &SaitoConfig::default()),
+        "goyal" => learn_goyal(&graph, &log, lag),
+        "goyal-jaccard" => learn_goyal_jaccard(&graph, &log, lag),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    let pg = to_prob_graph(&graph, &probs, min_prob).map_err(|e| e.to_string())?;
+    let path: String = opts.require("out")?;
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    gio::write_prob_graph(&pg, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "learned {} arcs (of {} topology arcs) with {method}; wrote {path}",
+        pg.num_edges(),
+        graph.num_edges()
+    )
+    .ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("soi-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_stats_then_sphere() {
+        let path = tmp("g1.tsv");
+        let msg = run(&[
+            "generate", "--model", "ba", "--nodes", "100", "--m", "2", "--prob", "fixed:0.3",
+            "--seed", "7", "--out", &path,
+        ])
+        .unwrap();
+        assert!(msg.contains("100 nodes"));
+
+        let stats = run(&["stats", &path]).unwrap();
+        assert!(stats.contains("nodes\t100"));
+        assert!(stats.contains("largest_wcc"));
+
+        let sphere = run(&["sphere", &path, "--source", "0", "--samples", "64"]).unwrap();
+        assert!(sphere.contains("sphere_size"));
+        assert!(sphere.contains("expected_cost"));
+    }
+
+    #[test]
+    fn infmax_methods_run() {
+        let path = tmp("g2.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "60", "--edges", "240", "--prob", "wc",
+            "--out", &path,
+        ])
+        .unwrap();
+        for method in ["tc", "greedy", "mc", "ris", "degree", "degree-discount", "pagerank", "random"] {
+            let out = run(&[
+                "infmax", &path, "--k", "3", "--method", method, "--samples", "64",
+            ])
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert!(out.contains("expected_spread"), "{method}: {out}");
+            let seeds_line = out.lines().next().unwrap();
+            assert_eq!(seeds_line.split('\t').nth(1).unwrap().split(',').count(), 3);
+        }
+    }
+
+    #[test]
+    fn reliability_queries() {
+        let path = tmp("g3.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "30", "--edges", "120",
+            "--prob", "fixed:0.5", "--out", &path,
+        ])
+        .unwrap();
+        let two = run(&[
+            "reliability", &path, "--source", "0", "--target", "1", "--samples", "2000",
+        ])
+        .unwrap();
+        assert!(two.starts_with("rel(0, 1)"));
+        let search = run(&["reliability", &path, "--source", "0", "--eta", "0.9"]).unwrap();
+        assert!(search.contains("reachable\t"));
+    }
+
+    #[test]
+    fn learn_roundtrip() {
+        // Write a graph and a matching log, learn, load the result.
+        let gpath = tmp("g4.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "20", "--edges", "60",
+            "--prob", "fixed:0.6", "--out", &gpath,
+        ])
+        .unwrap();
+        // Synthesize a log from the generated graph.
+        let pg = load_prob_graph(&gpath).unwrap();
+        let log = soi_problog::generate_log(
+            &pg,
+            &soi_problog::generate::LogGenConfig {
+                num_items: 300,
+                seeds_per_item: 1,
+                seed: 5,
+            },
+        );
+        let lpath = tmp("log4.tsv");
+        let mut text = String::new();
+        for item in 0..log.num_items() as u32 {
+            for a in log.episode(item) {
+                text.push_str(&format!("{}\t{}\t{}\n", a.user, a.item, a.time));
+            }
+        }
+        std::fs::write(&lpath, text).unwrap();
+
+        let opath = tmp("learned4.tsv");
+        for method in ["saito", "goyal", "goyal-jaccard"] {
+            let msg = run(&[
+                "learn", &gpath, &lpath, "--method", method, "--lag", "1", "--out", &opath,
+            ])
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert!(msg.contains("learned"), "{method}");
+            let learned = load_prob_graph(&opath).unwrap();
+            assert!(learned.num_edges() > 0, "{method} learned nothing");
+        }
+    }
+
+    #[test]
+    fn spheres_bulk_output() {
+        let gpath = tmp("g5.tsv");
+        run(&[
+            "generate", "--model", "ba", "--nodes", "50", "--prob", "wc", "--out", &gpath,
+        ])
+        .unwrap();
+        let opath = tmp("spheres5.tsv");
+        let msg = run(&["spheres", &gpath, "--samples", "32", "--out", &opath]).unwrap();
+        assert!(msg.contains("wrote 50 spheres"));
+        let content = std::fs::read_to_string(&opath).unwrap();
+        assert_eq!(content.lines().count(), 51);
+        assert!(content.starts_with("node\tsize"));
+    }
+
+    #[test]
+    fn error_paths_are_clean() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["sphere", "/nonexistent/file", "--source", "0"]).is_err());
+        assert!(run(&["generate", "--model", "nope", "--nodes", "5", "--out", "/tmp/x"]).is_err());
+        // Out-of-range source.
+        let gpath = tmp("g6.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "10", "--edges", "20",
+            "--prob", "wc", "--out", &gpath,
+        ])
+        .unwrap();
+        assert!(run(&["sphere", &gpath, "--source", "99"]).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `soi` — the command-line face of the spheres-of-influence toolkit.
+//!
+//! ```text
+//! soi generate --model ba --nodes 1000 --prob wc --out net.tsv
+//! soi stats net.tsv
+//! soi sphere net.tsv --source 42
+//! soi spheres net.tsv --out spheres.tsv
+//! soi infmax net.tsv --k 20 --method tc
+//! soi reliability net.tsv --source 0 --target 7
+//! soi learn graph.tsv log.tsv --method saito --out learned.tsv
+//! ```
+//!
+//! Graph files are the workspace's TSV edge-list format
+//! (`source<TAB>target<TAB>probability`, `# nodes: N` header); log files
+//! are `user<TAB>item<TAB>time` lines.
+
+mod commands;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args, &mut std::io::stdout().lock()) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

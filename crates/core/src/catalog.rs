@@ -1,0 +1,197 @@
+//! A queryable catalog of all spheres of influence.
+//!
+//! §8 of the paper argues the value of *precomputing* the spheres: once
+//! stored, many campaign variants are answered directly without touching
+//! the graph again. [`SphereCatalog`] is that artifact — all typical
+//! cascades plus an inverted index — with the queries the paper sketches:
+//! ranking influencers by reach or reliability, finding who covers a
+//! target segment, and feeding any subset straight into the max-cover
+//! machinery.
+
+use crate::engine::NodeTypicalCascade;
+use soi_graph::NodeId;
+use std::collections::HashMap;
+
+/// All spheres of influence of a network, indexed both ways.
+pub struct SphereCatalog {
+    spheres: Vec<NodeTypicalCascade>,
+    /// `covered_by[v]` = nodes whose sphere contains `v`.
+    covered_by: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl SphereCatalog {
+    /// Builds a catalog from the output of
+    /// [`crate::all_typical_cascades`]. Expects one entry per node in
+    /// node order (as that function returns).
+    pub fn new(spheres: Vec<NodeTypicalCascade>) -> Self {
+        let mut covered_by: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for s in &spheres {
+            for &covered in &s.median {
+                covered_by.entry(covered).or_default().push(s.node);
+            }
+        }
+        SphereCatalog {
+            spheres,
+            covered_by,
+        }
+    }
+
+    /// Number of cataloged nodes.
+    pub fn len(&self) -> usize {
+        self.spheres.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spheres.is_empty()
+    }
+
+    /// The sphere record of node `v`, if cataloged.
+    pub fn sphere(&self, v: NodeId) -> Option<&NodeTypicalCascade> {
+        self.spheres.get(v as usize).filter(|s| s.node == v)
+    }
+
+    /// All sphere sets in node order — the input shape `infmax_tc` takes.
+    pub fn cascade_sets(&self) -> Vec<Vec<NodeId>> {
+        self.spheres.iter().map(|s| s.median.clone()).collect()
+    }
+
+    /// Nodes ranked by sphere size (descending; ties toward smaller id).
+    /// The paper's "large spheres are reliable influencers" shortlist.
+    pub fn top_by_reach(&self, k: usize) -> Vec<&NodeTypicalCascade> {
+        let mut ranked: Vec<&NodeTypicalCascade> = self.spheres.iter().collect();
+        ranked.sort_by(|a, b| b.median.len().cmp(&a.median.len()).then(a.node.cmp(&b.node)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Nodes with sphere size ≥ `min_size`, ranked by stability (lowest
+    /// training cost first) — "reliable influencers" in the paper's sense.
+    pub fn most_reliable(&self, min_size: usize, k: usize) -> Vec<&NodeTypicalCascade> {
+        let mut ranked: Vec<&NodeTypicalCascade> = self
+            .spheres
+            .iter()
+            .filter(|s| s.median.len() >= min_size)
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.training_cost
+                .total_cmp(&b.training_cost)
+                .then(a.node.cmp(&b.node))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The nodes whose typical cascade covers `target` — candidate seeds
+    /// for reaching one specific user/segment member.
+    pub fn influencers_of(&self, target: NodeId) -> &[NodeId] {
+        self.covered_by
+            .get(&target)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// How many of `targets` are covered by at least one sphere of
+    /// `seeds` — a coverage check for a proposed campaign.
+    pub fn coverage_of(&self, seeds: &[NodeId], targets: &[NodeId]) -> usize {
+        let mut covered = std::collections::HashSet::new();
+        for &s in seeds {
+            if let Some(sphere) = self.sphere(s) {
+                covered.extend(sphere.median.iter().copied());
+            }
+        }
+        targets.iter().filter(|t| covered.contains(t)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(node: NodeId, median: Vec<NodeId>, cost: f64) -> NodeTypicalCascade {
+        NodeTypicalCascade {
+            node,
+            median,
+            training_cost: cost,
+        }
+    }
+
+    fn toy_catalog() -> SphereCatalog {
+        SphereCatalog::new(vec![
+            record(0, vec![0, 1, 2], 0.3),
+            record(1, vec![1], 0.0),
+            record(2, vec![2, 3], 0.1),
+            record(3, vec![0, 2, 3], 0.5),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_sets() {
+        let c = toy_catalog();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.sphere(2).unwrap().median, vec![2, 3]);
+        assert!(c.sphere(9).is_none());
+        assert_eq!(c.cascade_sets().len(), 4);
+    }
+
+    #[test]
+    fn reach_ranking() {
+        let c = toy_catalog();
+        let top = c.top_by_reach(2);
+        // Sizes: node 0 -> 3, node 3 -> 3 (tie, smaller id first).
+        assert_eq!(top[0].node, 0);
+        assert_eq!(top[1].node, 3);
+    }
+
+    #[test]
+    fn reliability_ranking_filters_by_size() {
+        let c = toy_catalog();
+        let reliable = c.most_reliable(2, 10);
+        // min_size 2 keeps nodes 0 (0.3), 2 (0.1), 3 (0.5); by cost: 2, 0, 3.
+        let ids: Vec<NodeId> = reliable.iter().map(|s| s.node).collect();
+        assert_eq!(ids, vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn inverted_index() {
+        let c = toy_catalog();
+        assert_eq!(c.influencers_of(2), &[0, 2, 3]);
+        assert_eq!(c.influencers_of(1), &[0, 1]);
+        assert!(c.influencers_of(42).is_empty());
+    }
+
+    #[test]
+    fn coverage_check() {
+        let c = toy_catalog();
+        assert_eq!(c.coverage_of(&[0], &[1, 2, 3]), 2);
+        assert_eq!(c.coverage_of(&[0, 2], &[1, 2, 3]), 3);
+        assert_eq!(c.coverage_of(&[], &[1]), 0);
+        assert_eq!(c.coverage_of(&[1], &[]), 0);
+    }
+
+    #[test]
+    fn end_to_end_from_engine() {
+        use soi_graph::{gen, ProbGraph};
+        use soi_index::{CascadeIndex, IndexConfig};
+        let pg = ProbGraph::fixed(gen::star(10), 0.9).unwrap();
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 64,
+                seed: 1,
+                ..IndexConfig::default()
+            },
+        );
+        let catalog = SphereCatalog::new(crate::all_typical_cascades(
+            &index,
+            &Default::default(),
+            1,
+        ));
+        // The hub has by far the largest sphere.
+        assert_eq!(catalog.top_by_reach(1)[0].node, 0);
+        // Every leaf is covered by the hub's sphere.
+        for leaf in 1..10u32 {
+            assert!(catalog.influencers_of(leaf).contains(&0));
+        }
+    }
+}

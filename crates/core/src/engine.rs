@@ -1,0 +1,330 @@
+//! The typical-cascade solver (§3–§4, Algorithm 2).
+
+use soi_graph::{NodeId, ProbGraph};
+use soi_index::CascadeIndex;
+use soi_jaccard::median::{jaccard_median_with, MedianConfig};
+use soi_sampling::CascadeSampler;
+use soi_util::rng::derive_seed;
+
+/// Configuration for typical-cascade computation.
+#[derive(Clone, Copy, Debug)]
+pub struct TypicalCascadeConfig {
+    /// Cascade samples ℓ used to compute the median (the paper uses 1000).
+    pub median_samples: usize,
+    /// Fresh, independent samples used to estimate the median's expected
+    /// cost (stability). 0 skips the estimate (cost is reported from the
+    /// training pool instead).
+    pub cost_samples: usize,
+    /// Jaccard-median tuning.
+    pub median: MedianConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TypicalCascadeConfig {
+    fn default() -> Self {
+        TypicalCascadeConfig {
+            median_samples: 256,
+            cost_samples: 256,
+            median: MedianConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl TypicalCascadeConfig {
+    /// Sizes the sample pools from Theorem 2's bound: `ℓ = log(1/α)/α²`
+    /// samples give a `(1 + O(α))`-approximate median whenever the optimal
+    /// cost exceeds `α`.
+    ///
+    /// ```
+    /// use soi_core::TypicalCascadeConfig;
+    /// let config = TypicalCascadeConfig::for_accuracy(0.1, 7);
+    /// assert!(config.median_samples >= 230); // ln(10)/0.01
+    /// ```
+    pub fn for_accuracy(alpha: f64, seed: u64) -> Self {
+        let samples = soi_jaccard::theory::samples_for_alpha(alpha);
+        TypicalCascadeConfig {
+            median_samples: samples,
+            cost_samples: samples,
+            median: MedianConfig::default(),
+            seed,
+        }
+    }
+
+    /// Like [`TypicalCascadeConfig::for_accuracy`], but with the union
+    /// bound over all `n` vertices (§4), for batch pipelines that need
+    /// the guarantee to hold simultaneously for every node.
+    pub fn for_accuracy_all_nodes(alpha: f64, num_nodes: usize, seed: u64) -> Self {
+        let samples = soi_jaccard::theory::samples_for_all_nodes(num_nodes, alpha);
+        TypicalCascadeConfig {
+            median_samples: samples,
+            cost_samples: samples,
+            median: MedianConfig::default(),
+            seed,
+        }
+    }
+}
+
+/// A typical cascade (sphere of influence) with its quality measures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypicalCascade {
+    /// The median set `C̃*`, canonical (sorted, deduplicated). Contains the
+    /// source whenever the source appears in the median — for non-trivial
+    /// sources it always does (the source is in every sampled cascade).
+    pub median: Vec<NodeId>,
+    /// Empirical cost on the training pool (`ρ̂` on the samples used to fit
+    /// the median; optimistic).
+    pub training_cost: f64,
+    /// Expected cost on a fresh pool — the paper's stability measure
+    /// `ρ(C̃*)` estimate. Equals `training_cost` when `cost_samples == 0`.
+    pub expected_cost: f64,
+}
+
+impl TypicalCascade {
+    /// Size of the sphere of influence.
+    pub fn size(&self) -> usize {
+        self.median.len()
+    }
+}
+
+/// Computes the typical cascade of a single source by direct sampling
+/// (no index). The per-query cost is `O(ℓ · cascade work)`; batch callers
+/// should build a [`CascadeIndex`] and use [`all_typical_cascades`].
+pub fn typical_cascade(
+    pg: &ProbGraph,
+    source: NodeId,
+    config: &TypicalCascadeConfig,
+) -> TypicalCascade {
+    typical_cascade_of_set(pg, std::slice::from_ref(&source), config)
+}
+
+/// Computes the typical cascade of a *seed set* (all seeds active at time
+/// zero) — §5 extends the single-source definition this way, and the
+/// stability analysis of Figure 8 evaluates it.
+pub fn typical_cascade_of_set(
+    pg: &ProbGraph,
+    seeds: &[NodeId],
+    config: &TypicalCascadeConfig,
+) -> TypicalCascade {
+    assert!(config.median_samples > 0, "need at least one sample");
+    let train_seed = derive_seed(config.seed, 0x7261696e); // "rain"
+    let samples = sample_set_cascades(pg, seeds, config.median_samples, train_seed);
+    let fit = jaccard_median_with(&samples, &config.median);
+    let expected_cost = if config.cost_samples == 0 {
+        fit.cost
+    } else {
+        let eval_seed = derive_seed(config.seed, 0x6576616c); // "eval"
+        crate::stability::expected_cost_of_seed_set(
+            pg,
+            seeds,
+            &fit.median,
+            config.cost_samples,
+            eval_seed,
+        )
+    };
+    TypicalCascade {
+        median: fit.median,
+        training_cost: fit.cost,
+        expected_cost,
+    }
+}
+
+pub(crate) fn sample_set_cascades(
+    pg: &ProbGraph,
+    seeds: &[NodeId],
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<NodeId>> {
+    let mut sampler = CascadeSampler::new(pg.num_nodes());
+    let mut out = Vec::new();
+    (0..count)
+        .map(|i| {
+            let mut rng = soi_sampling::world::world_rng(seed, i);
+            sampler.sample_multi(pg, seeds, &mut rng, &mut out);
+            let mut set = out.clone();
+            set.sort_unstable();
+            set
+        })
+        .collect()
+}
+
+/// The typical cascade of one node as produced by the batch pipeline.
+#[derive(Clone, Debug)]
+pub struct NodeTypicalCascade {
+    /// The node.
+    pub node: NodeId,
+    /// Its typical cascade (canonical sorted set).
+    pub median: Vec<NodeId>,
+    /// Empirical cost on the index's sample pool.
+    pub training_cost: f64,
+}
+
+/// Algorithm 2: typical cascades for **every** node of the indexed graph,
+/// re-using the ℓ sampled worlds stored in `index`. Fans out across
+/// `threads` workers (0 = all cores). Results are in node order and
+/// deterministic regardless of thread count.
+///
+/// The expected-cost (stability) estimate on fresh samples is *not*
+/// computed here — it costs another ℓ cascades per node; callers that need
+/// it (Figure 4/5 experiments) invoke
+/// [`crate::stability::expected_cost`] on the nodes of interest.
+pub fn all_typical_cascades(
+    index: &CascadeIndex,
+    median: &MedianConfig,
+    threads: usize,
+) -> Vec<NodeTypicalCascade> {
+    let n = index.num_nodes();
+    let threads = {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        (if threads == 0 { hw } else { threads }).clamp(1, n.max(1))
+    };
+    let mut results: Vec<Option<NodeTypicalCascade>> = (0..n).map(|_| None).collect();
+    let solve = |v: NodeId| {
+        let samples = index.cascades_of(v);
+        let fit = jaccard_median_with(&samples, median);
+        NodeTypicalCascade {
+            node: v,
+            median: fit.median,
+            training_cost: fit.cost,
+        }
+    };
+    if threads <= 1 || n == 0 {
+        for (v, slot) in results.iter_mut().enumerate() {
+            *slot = Some(solve(v as NodeId));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk_slots) in results.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                        *slot = Some(solve((t * chunk + j) as NodeId));
+                    }
+                });
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_graph::{gen, GraphBuilder};
+    use soi_index::IndexConfig;
+
+    fn small_config() -> TypicalCascadeConfig {
+        TypicalCascadeConfig {
+            median_samples: 200,
+            cost_samples: 200,
+            ..TypicalCascadeConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_graph_typical_cascade_is_reachability() {
+        let pg = ProbGraph::fixed(gen::path(5), 1.0).unwrap();
+        let tc = typical_cascade(&pg, 1, &small_config());
+        assert_eq!(tc.median, vec![1, 2, 3, 4]);
+        assert_eq!(tc.training_cost, 0.0);
+        assert_eq!(tc.expected_cost, 0.0);
+    }
+
+    #[test]
+    fn isolated_node_sphere_is_itself() {
+        let pg = ProbGraph::fixed(gen::path(3), 1e-12).unwrap();
+        let tc = typical_cascade(&pg, 0, &small_config());
+        assert_eq!(tc.median, vec![0]);
+        assert!(tc.expected_cost < 0.01);
+    }
+
+    #[test]
+    fn high_probability_star_includes_leaves() {
+        // Star with p = 0.95: every leaf is in ~95% of cascades, so the
+        // median is (almost surely, at ℓ = 200) the full star.
+        let mut b = GraphBuilder::new(6);
+        for leaf in 1..6 {
+            b.add_weighted_edge(0, leaf, 0.95);
+        }
+        let pg = b.build_prob().unwrap();
+        let tc = typical_cascade(&pg, 0, &small_config());
+        assert_eq!(tc.median, vec![0, 1, 2, 3, 4, 5]);
+        assert!(tc.expected_cost < 0.2, "cost {}", tc.expected_cost);
+    }
+
+    #[test]
+    fn low_probability_star_excludes_leaves() {
+        let mut b = GraphBuilder::new(6);
+        for leaf in 1..6 {
+            b.add_weighted_edge(0, leaf, 0.05);
+        }
+        let pg = b.build_prob().unwrap();
+        let tc = typical_cascade(&pg, 0, &small_config());
+        assert_eq!(tc.median, vec![0], "rare leaves stay out of the sphere");
+    }
+
+    #[test]
+    fn seed_set_cascade_unions_sources() {
+        let mut b = GraphBuilder::new(6);
+        b.add_weighted_edge(0, 1, 1.0);
+        b.add_weighted_edge(2, 3, 1.0);
+        let pg = b.build_prob().unwrap();
+        let tc = typical_cascade_of_set(&pg, &[0, 2], &small_config());
+        assert_eq!(tc.median, vec![0, 1, 2, 3]);
+        assert_eq!(tc.expected_cost, 0.0);
+    }
+
+    #[test]
+    fn expected_cost_close_to_training_cost_with_enough_samples() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let pg = ProbGraph::fixed(gen::gnm(40, 200, &mut rng), 0.25).unwrap();
+        let tc = typical_cascade(&pg, 0, &small_config());
+        assert!(
+            (tc.training_cost - tc.expected_cost).abs() < 0.1,
+            "train {} vs eval {}",
+            tc.training_cost,
+            tc.expected_cost
+        );
+    }
+
+    #[test]
+    fn batch_matches_index_medians_and_parallel_is_deterministic() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let pg = ProbGraph::fixed(gen::gnm(50, 250, &mut rng), 0.3).unwrap();
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 32,
+                seed: 6,
+                ..IndexConfig::default()
+            },
+        );
+        let serial = all_typical_cascades(&index, &MedianConfig::default(), 1);
+        let parallel = all_typical_cascades(&index, &MedianConfig::default(), 4);
+        assert_eq!(serial.len(), 50);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.median, b.median);
+            assert_eq!(a.training_cost, b.training_cost);
+        }
+        // Each node's batch median equals a direct median of its indexed
+        // cascades.
+        for v in [0u32, 17, 42] {
+            let direct = jaccard_median_with(&index.cascades_of(v), &MedianConfig::default());
+            assert_eq!(serial[v as usize].median, direct.median);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_across_calls() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let pg = ProbGraph::fixed(gen::gnm(30, 120, &mut rng), 0.3).unwrap();
+        let a = typical_cascade(&pg, 3, &small_config());
+        let b = typical_cascade(&pg, 3, &small_config());
+        assert_eq!(a, b);
+    }
+}

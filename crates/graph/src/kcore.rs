@@ -1,0 +1,315 @@
+//! k-core decomposition, deterministic and probabilistic.
+//!
+//! Reference [6] of the paper (Bonchi, Gullo, Kaltenbrunner & Volkovich,
+//! KDD 2014) studies core decomposition of *uncertain* graphs: the
+//! `(k, η)`-core is the largest subgraph in which every node has at least
+//! `k` neighbors *with probability at least η*. We provide:
+//!
+//! * [`core_numbers`] — the classic peeling algorithm on a deterministic
+//!   graph (treating arcs as undirected links, the convention of the core
+//!   literature);
+//! * [`eta_degrees`] — Monte-Carlo per-node η-degrees of a probabilistic
+//!   graph (the largest `d` such that `Pr[degree ≥ d] ≥ η`);
+//! * [`eta_core_numbers`] — peeling on η-degrees, the MC analogue of the
+//!   `(k, η)`-core.
+//!
+//! Core numbers are a standard seed-selection signal ("influential users
+//! sit in deep cores"), complementing the baselines in `soi-influence`.
+
+use crate::{DiGraph, NodeId, ProbGraph};
+use rand::{Rng, RngExt};
+
+/// Undirected degree view: out-neighbors plus in-neighbors, deduplicated.
+fn undirected_adjacency(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let rev = g.reverse();
+    (0..g.num_nodes() as NodeId)
+        .map(|v| {
+            let mut adj: Vec<NodeId> = g
+                .out_neighbors(v)
+                .iter()
+                .chain(rev.out_neighbors(v))
+                .copied()
+                .filter(|&w| w != v)
+                .collect();
+            adj.sort_unstable();
+            adj.dedup();
+            adj
+        })
+        .collect()
+}
+
+/// Core number of every node (undirected view): the largest `k` such that
+/// the node belongs to a subgraph where every member has ≥ `k` members as
+/// neighbors. Linear-time peeling (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &DiGraph) -> Vec<u32> {
+    let adj = undirected_adjacency(g);
+    peel(&adj)
+}
+
+fn peel(adj: &[Vec<NodeId>]) -> Vec<u32> {
+    let n = adj.len();
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket queue over degrees.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v as NodeId);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_k = 0usize;
+    let mut processed = 0usize;
+    let mut cursor = 0usize;
+    while processed < n {
+        // Find the lowest non-empty bucket at or below the cursor.
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        if cursor > max_deg {
+            break;
+        }
+        let v = buckets[cursor].pop().unwrap();
+        if removed[v as usize] {
+            continue;
+        }
+        if degree[v as usize] > cursor {
+            // Stale entry; re-file.
+            buckets[degree[v as usize]].push(v);
+            continue;
+        }
+        current_k = current_k.max(degree[v as usize]);
+        core[v as usize] = current_k as u32;
+        removed[v as usize] = true;
+        processed += 1;
+        for &w in &adj[v as usize] {
+            if !removed[w as usize] && degree[w as usize] > degree[v as usize] {
+                degree[w as usize] -= 1;
+                buckets[degree[w as usize]].push(w);
+                // Lower buckets may now be non-empty again.
+                cursor = cursor.min(degree[w as usize]);
+            }
+        }
+    }
+    core
+}
+
+/// Monte-Carlo η-degrees of a probabilistic graph: for each node, the
+/// largest `d` with `Pr[undirected degree ≥ d] ≥ eta`, estimated over
+/// `samples` possible worlds.
+pub fn eta_degrees<R: Rng>(pg: &ProbGraph, eta: f64, samples: usize, rng: &mut R) -> Vec<u32> {
+    assert!((0.0..=1.0).contains(&eta), "eta is a probability");
+    assert!(samples > 0);
+    let n = pg.num_nodes();
+    // degree_counts[v][d] = number of worlds where v had degree exactly d.
+    // Degrees are bounded by the deterministic adjacency size.
+    let adj = undirected_adjacency(pg.graph());
+    let mut counts: Vec<Vec<u32>> = adj.iter().map(|a| vec![0u32; a.len() + 1]).collect();
+    // Precompute, per node, its undirected neighbors with the CSR edge
+    // ids of both arc directions — arcs are sampled independently (the
+    // IC worlds' semantics) and a neighbor counts if *either* direction
+    // survives.
+    let g = pg.graph();
+    // Neighbor with the CSR edge id of each arc direction, if present.
+    type NbrArcs = Vec<(NodeId, Option<usize>, Option<usize>)>;
+    let nbr_arcs: Vec<NbrArcs> = (0..n as NodeId)
+        .map(|v| {
+            adj[v as usize]
+                .iter()
+                .map(|&w| {
+                    let fwd = g
+                        .out_neighbors(v)
+                        .binary_search(&w)
+                        .ok()
+                        .map(|i| g.edge_range(v).start + i);
+                    let bwd = g
+                        .out_neighbors(w)
+                        .binary_search(&v)
+                        .ok()
+                        .map(|i| g.edge_range(w).start + i);
+                    (w, fwd, bwd)
+                })
+                .collect()
+        })
+        .collect();
+    let mut alive = vec![false; pg.num_edges()];
+    for _ in 0..samples {
+        for (e, a) in alive.iter_mut().enumerate() {
+            *a = rng.random::<f64>() < pg.edge_prob(e);
+        }
+        for v in 0..n {
+            let d = nbr_arcs[v]
+                .iter()
+                .filter(|&&(_, fwd, bwd)| {
+                    fwd.is_some_and(|e| alive[e]) || bwd.is_some_and(|e| alive[e])
+                })
+                .count();
+            counts[v][d] += 1;
+        }
+    }
+    let need = (eta * samples as f64).ceil() as u32;
+    counts
+        .iter()
+        .map(|c| {
+            // Survival function: largest d with #worlds(degree >= d) >= need.
+            let mut acc = 0u32;
+            let mut best = 0u32;
+            for d in (0..c.len()).rev() {
+                acc += c[d];
+                if acc >= need.max(1) {
+                    best = d as u32;
+                    break;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// η-core numbers: peeling over Monte-Carlo η-degrees. A practical MC
+/// analogue of the `(k, η)`-cores of reference [6]; deterministic in the
+/// RNG state.
+pub fn eta_core_numbers<R: Rng>(
+    pg: &ProbGraph,
+    eta: f64,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    // Peel the deterministic adjacency but cap each node's degree signal
+    // at its η-degree: a node leaves the k-core once its η-degree bound
+    // falls below k.
+    let eta_deg = eta_degrees(pg, eta, samples, rng);
+    let adj = undirected_adjacency(pg.graph());
+    // Simple iterative peeling with the capped degree.
+    let n = adj.len();
+    let mut alive = vec![true; n];
+    let mut alive_neighbors: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut core = vec![0u32; n];
+    for k in 0.. {
+        // Remove everything whose capped degree < k until stable.
+        let mut changed = true;
+        let mut any_alive = false;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if !alive[v] {
+                    continue;
+                }
+                let capped = alive_neighbors[v].min(eta_deg[v] as usize);
+                if capped < k {
+                    alive[v] = false;
+                    core[v] = (k as u32).saturating_sub(1);
+                    changed = true;
+                    for &w in &adj[v] {
+                        if alive[w as usize] {
+                            alive_neighbors[w as usize] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        for &a in &alive {
+            any_alive |= a;
+        }
+        if !any_alive {
+            break;
+        }
+        if k > n {
+            break;
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn core_numbers_of_known_shapes() {
+        // Complete graph on 5 nodes: everyone is in the 4-core.
+        assert_eq!(core_numbers(&gen::complete(5)), vec![4; 5]);
+        // A path: endpoints and middles all peel at 1.
+        assert_eq!(core_numbers(&gen::path(4)), vec![1; 4]);
+        // A star: all in the 1-core (hub included — once leaves go, the
+        // hub's degree is 0, but its core number was set at peel level 1).
+        assert_eq!(core_numbers(&gen::star(5)), vec![1; 5]);
+        // Isolated nodes are 0-core.
+        assert_eq!(core_numbers(&DiGraph::empty(3)), vec![0; 3]);
+    }
+
+    #[test]
+    fn core_numbers_triangle_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3: triangle is 2-core, tail 1-core.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let c = core_numbers(&g);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 1);
+    }
+
+    #[test]
+    fn core_invariant_holds_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let g = gen::gnm(80, 320, &mut rng);
+        let core = core_numbers(&g);
+        let adj = undirected_adjacency(&g);
+        // Every node's core number k: it must have >= k neighbors with
+        // core number >= k (the defining property).
+        for v in 0..80usize {
+            let k = core[v];
+            let strong = adj[v].iter().filter(|&&w| core[w as usize] >= k).count();
+            assert!(
+                strong as u32 >= k,
+                "node {v}: core {k} but only {strong} strong neighbors"
+            );
+        }
+    }
+
+    #[test]
+    fn eta_degrees_certain_graph_equal_true_degrees() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let g = gen::complete(6);
+        let pg = ProbGraph::fixed(g, 1.0).unwrap();
+        let d = eta_degrees(&pg, 0.9, 50, &mut rng);
+        assert_eq!(d, vec![5; 6]);
+    }
+
+    #[test]
+    fn eta_degrees_shrink_with_eta() {
+        use rand::SeedableRng;
+        let mut rng1 = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng2 = rand::rngs::SmallRng::seed_from_u64(5);
+        let pg = ProbGraph::fixed(gen::complete(10), 0.5).unwrap();
+        let lenient = eta_degrees(&pg, 0.2, 400, &mut rng1);
+        let strict = eta_degrees(&pg, 0.9, 400, &mut rng2);
+        for v in 0..10 {
+            assert!(strict[v] <= lenient[v], "node {v}");
+        }
+        // With p = 0.5 over 9 potential links, the median degree is ~4-5... but
+        // links are bidirectional arcs sampled independently: survival of
+        // either arc keeps the neighbor, so E[deg] = 9 * 0.75.
+        assert!(lenient[0] >= 5, "{}", lenient[0]);
+    }
+
+    #[test]
+    fn eta_cores_peel_consistently() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let pg = ProbGraph::fixed(gen::gnm(50, 250, &mut rng), 0.7).unwrap();
+        let mut rng2 = rand::rngs::SmallRng::seed_from_u64(7);
+        let cores = eta_core_numbers(&pg, 0.5, 200, &mut rng2);
+        let det = core_numbers(pg.graph());
+        for v in 0..50 {
+            assert!(
+                cores[v] <= det[v],
+                "node {v}: eta-core {} exceeds deterministic core {}",
+                cores[v],
+                det[v]
+            );
+        }
+    }
+}

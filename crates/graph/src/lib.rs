@@ -1,0 +1,102 @@
+//! # soi-graph
+//!
+//! Graph substrate for the *Spheres of Influence* workspace:
+//!
+//! * [`DiGraph`] — compressed-sparse-row directed graphs with `u32` node ids,
+//!   built via [`GraphBuilder`];
+//! * [`ProbGraph`] — the paper's probabilistic graph `G = (V, E, p)` with an
+//!   independent existence probability per arc (§2.1), including the
+//!   *weighted cascade*, *fixed* and *trivalency* assignment models (§6.2);
+//! * [`scc`] — iterative Tarjan strongly-connected components and the
+//!   condensation DAG used by the cascade index (§4);
+//! * [`transitive`] — transitive closure and transitive reduction of DAGs
+//!   (Aho–Garey–Ullman), applied to condensations in Algorithm 1;
+//! * [`reach`] — reachability with reusable scratch space (cascades in a
+//!   possible world are exactly reachability sets, §2.2);
+//! * [`gen`] — synthetic graph generators standing in for the paper's
+//!   benchmark networks;
+//! * [`io`] — plain-text edge-list serialization.
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod pagerank;
+pub mod io;
+pub mod kcore;
+pub mod prob;
+pub mod reach;
+pub mod stats;
+pub mod scc;
+pub mod transitive;
+
+pub use builder::GraphBuilder;
+pub use csr::DiGraph;
+pub use prob::ProbGraph;
+pub use reach::Reachability;
+pub use scc::{Condensation, SccResult};
+
+/// Node identifier. Graphs in this workspace are bounded to `u32::MAX`
+/// nodes, which halves index memory versus `usize` on 64-bit targets.
+pub type NodeId = u32;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+    /// An edge probability is outside `(0, 1]` or not finite.
+    InvalidProbability {
+        /// Edge position in input order.
+        edge_index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The probability vector length differs from the edge count.
+    ProbabilityArityMismatch {
+        /// Number of edges in the graph.
+        edges: usize,
+        /// Number of probabilities supplied.
+        probs: usize,
+    },
+    /// A parse error in edge-list input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure (message form; `std::io::Error` is not
+    /// `PartialEq`).
+    Io(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidProbability { edge_index, value } => {
+                write!(f, "edge #{edge_index}: probability {value} not in (0, 1]")
+            }
+            GraphError::ProbabilityArityMismatch { edges, probs } => {
+                write!(f, "{edges} edges but {probs} probabilities")
+            }
+            GraphError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

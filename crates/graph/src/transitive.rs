@@ -1,0 +1,212 @@
+//! Transitive closure and transitive reduction of DAGs.
+//!
+//! Algorithm 1 of the paper stores, for each sampled possible world, the
+//! transitive *reduction* of its SCC condensation: the unique minimal DAG
+//! with the same reachability (Aho, Garey & Ullman, SIAM J. Comput. 1972).
+//! We compute descendant sets bottom-up in topological order as bitset rows
+//! (the closure), then drop every arc `(u, v)` for which some other direct
+//! successor of `u` already reaches `v`.
+
+use crate::{DiGraph, NodeId};
+use soi_util::BitSet;
+
+/// A topological order of a DAG (Kahn's algorithm).
+///
+/// Returns `None` if the graph has a cycle — callers in this workspace pass
+/// condensations, which are DAGs by construction, but the check is cheap
+/// and turns corruption into an error instead of nonsense.
+pub fn topological_order(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut in_deg = g.in_degrees();
+    let mut queue: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| in_deg[v as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &w in g.out_neighbors(v) {
+            in_deg[w as usize] -= 1;
+            if in_deg[w as usize] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// The transitive closure of a DAG as one bitset row per node.
+///
+/// `closure[v]` contains every node reachable from `v` by a path of length
+/// ≥ 1 (`v` itself only if it lies on a cycle, which a DAG forbids — so
+/// never). Memory is `O(n² / 64)`; intended for condensation DAGs, whose
+/// size is far below the original graph's.
+pub fn transitive_closure(g: &DiGraph) -> Option<Vec<BitSet>> {
+    let n = g.num_nodes();
+    let order = topological_order(g)?;
+    let mut closure: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    // Process in reverse topological order so successors are final.
+    for &v in order.iter().rev() {
+        // Collect into a scratch row first to avoid aliasing `closure[v]`
+        // with `closure[w]`.
+        let mut row = BitSet::new(n);
+        for &w in g.out_neighbors(v) {
+            row.insert(w as usize);
+            row.union_with(&closure[w as usize]);
+        }
+        closure[v as usize] = row;
+    }
+    Some(closure)
+}
+
+/// The transitive reduction of a DAG.
+///
+/// Keeps arc `(u, v)` iff no other direct successor `w` of `u` reaches `v`.
+/// For DAGs this produces the unique minimum-arc graph with identical
+/// reachability. Returns `None` on cyclic input.
+pub fn transitive_reduction(g: &DiGraph) -> Option<DiGraph> {
+    let closure = transitive_closure(g)?;
+    let mut kept: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in g.nodes() {
+        let succs = g.out_neighbors(u);
+        for &v in succs {
+            let redundant = succs
+                .iter()
+                .any(|&w| w != v && closure[w as usize].contains(v as usize));
+            if !redundant {
+                kept.push((u, v));
+            }
+        }
+    }
+    Some(DiGraph::from_edges(g.num_nodes(), &kept).expect("nodes unchanged"))
+}
+
+/// Number of reachable nodes from each node (closure row popcounts),
+/// excluding the node itself.
+pub fn descendant_counts(g: &DiGraph) -> Option<Vec<usize>> {
+    let closure = transitive_closure(g)?;
+    Some(closure.iter().map(|row| row.len()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond_with_shortcut() -> DiGraph {
+        // 0->1->3, 0->2->3, plus redundant shortcut 0->3.
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_arcs() {
+        let g = diamond_with_shortcut();
+        let order = topological_order(&g).unwrap();
+        let pos = |x: NodeId| order.iter().position(|&y| y == x).unwrap();
+        for (u, v) in g.edges() {
+            assert!(pos(u) < pos(v));
+        }
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        assert!(topological_order(&g).is_none());
+        assert!(transitive_closure(&g).is_none());
+        assert!(transitive_reduction(&g).is_none());
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = transitive_closure(&g).unwrap();
+        assert_eq!(c[0].to_vec_u32(), vec![1, 2, 3]);
+        assert_eq!(c[1].to_vec_u32(), vec![2, 3]);
+        assert_eq!(c[3].to_vec_u32(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn reduction_removes_shortcut() {
+        let g = diamond_with_shortcut();
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.num_edges(), 4);
+        assert!(!r.has_edge(0, 3), "shortcut arc removed");
+        assert!(r.has_edge(0, 1) && r.has_edge(0, 2) && r.has_edge(1, 3) && r.has_edge(2, 3));
+    }
+
+    #[test]
+    fn reduction_of_already_minimal_graph_is_identity() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(transitive_reduction(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn reduction_long_redundancy() {
+        // 0->1->2->3 with shortcuts 0->2, 0->3, 1->3: all shortcuts die.
+        let g =
+            DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2), (0, 3), (1, 3)]).unwrap();
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.num_edges(), 3);
+    }
+
+    #[test]
+    fn descendant_counts_work() {
+        let g = diamond_with_shortcut();
+        let counts = descendant_counts(&g).unwrap();
+        assert_eq!(counts, vec![3, 1, 1, 0]);
+    }
+
+    /// Builds a random DAG by orienting random pairs from low to high id.
+    fn random_dag(n: usize, arcs: &[(u8, u8)]) -> DiGraph {
+        let edges: Vec<(NodeId, NodeId)> = arcs
+            .iter()
+            .map(|&(a, b)| {
+                let (a, b) = (a as usize % n, b as usize % n);
+                (a.min(b) as NodeId, a.max(b) as NodeId)
+            })
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let mut dedup = edges;
+        dedup.sort_unstable();
+        dedup.dedup();
+        DiGraph::from_edges(n, &dedup).unwrap()
+    }
+
+    proptest! {
+        /// Transitive reduction preserves the closure exactly and never has
+        /// more arcs than the input.
+        #[test]
+        fn reduction_preserves_reachability(arcs in prop::collection::vec((0u8..20, 0u8..20), 0..60)) {
+            let n = 20;
+            let g = random_dag(n, &arcs);
+            let r = transitive_reduction(&g).unwrap();
+            prop_assert!(r.num_edges() <= g.num_edges());
+            let cg = transitive_closure(&g).unwrap();
+            let cr = transitive_closure(&r).unwrap();
+            for v in 0..n {
+                prop_assert_eq!(cg[v].to_vec_u32(), cr[v].to_vec_u32());
+            }
+        }
+
+        /// The reduction is minimal: removing any arc changes reachability.
+        #[test]
+        fn reduction_is_minimal(arcs in prop::collection::vec((0u8..12, 0u8..12), 0..30)) {
+            let n = 12;
+            let g = random_dag(n, &arcs);
+            let r = transitive_reduction(&g).unwrap();
+            let arcs: Vec<_> = r.edges().collect();
+            for skip in 0..arcs.len() {
+                let rest: Vec<_> = arcs.iter().enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &e)| e)
+                    .collect();
+                let sub = DiGraph::from_edges(n, &rest).unwrap();
+                let (u, v) = arcs[skip];
+                let c = transitive_closure(&sub).unwrap();
+                prop_assert!(
+                    !c[u as usize].contains(v as usize),
+                    "arc {}->{} was redundant in the reduction", u, v
+                );
+            }
+        }
+    }
+}

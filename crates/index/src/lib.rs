@@ -1,0 +1,555 @@
+//! # soi-index
+//!
+//! The cascade index of §4 (Algorithm 1 of the paper).
+//!
+//! To compute typical cascades for *every* node, the paper samples ℓ
+//! possible worlds once and stores each world compactly:
+//!
+//! 1. the **condensation** of the world's SCCs — all vertices of one SCC
+//!    share a reachability set, so cascades only need component-level DFS;
+//! 2. after a **transitive reduction** of the condensation — reachability
+//!    is preserved with the minimum number of DAG arcs;
+//! 3. a **node × world matrix** `I[v, i]` giving the component of `v` in
+//!    world `i`.
+//!
+//! The cascade of `v` in world `i` is then: DFS from `I[v, i]` over the
+//! reduced condensation, union of the member lists of reached components —
+//! time linear in the output plus the condensation arcs traversed.
+//!
+//! Worlds are derived deterministically from `(seed, world-id)`, so a
+//! build is reproducible bit-for-bit regardless of thread count.
+
+pub mod io;
+
+use soi_graph::{scc::Condensation, transitive, DiGraph, NodeId, ProbGraph, Reachability};
+use soi_sampling::world::world_rng;
+use soi_sampling::WorldSampler;
+
+/// Build-time options for [`CascadeIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Number of possible worlds ℓ to sample (the paper uses 1000).
+    pub num_worlds: usize,
+    /// Master seed; world `i` uses the sub-seed `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Apply transitive reduction to each condensation (§4). Reduces arc
+    /// storage and query traversal cost at some build-time expense.
+    pub transitive_reduction: bool,
+    /// Worker threads for the build (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            num_worlds: 256,
+            seed: 0,
+            transitive_reduction: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One sampled world, stored as its (reduced) condensation plus component
+/// member lists. The per-node component assignment lives in the index's
+/// shared matrix.
+#[derive(Clone, Debug)]
+pub struct WorldIndex {
+    /// Condensation DAG over component ids (transitively reduced when the
+    /// config asked for it).
+    pub dag: DiGraph,
+    member_offsets: Vec<usize>,
+    members: Vec<NodeId>,
+}
+
+impl WorldIndex {
+    /// Reassembles a world from its stored parts (used by [`io`]).
+    pub(crate) fn from_parts(
+        dag: DiGraph,
+        member_offsets: Vec<usize>,
+        members: Vec<NodeId>,
+    ) -> Self {
+        WorldIndex {
+            dag,
+            member_offsets,
+            members,
+        }
+    }
+
+    /// Raw member-offset accessor (used by [`io`]): the CSR offset of
+    /// component `c`'s member slice; `c` may equal `num_comps` (the end
+    /// sentinel).
+    pub fn member_offset(&self, c: usize) -> usize {
+        self.member_offsets[c]
+    }
+
+    /// Number of SCCs in this world.
+    pub fn num_comps(&self) -> usize {
+        self.dag.num_nodes()
+    }
+
+    /// The original nodes in component `c`.
+    pub fn members_of(&self, c: u32) -> &[NodeId] {
+        &self.members[self.member_offsets[c as usize]..self.member_offsets[c as usize + 1]]
+    }
+
+    /// Size of component `c`.
+    pub fn comp_size(&self, c: u32) -> usize {
+        self.member_offsets[c as usize + 1] - self.member_offsets[c as usize]
+    }
+}
+
+/// The cascade index: ℓ condensed worlds plus the `node × world`
+/// component matrix (Algorithm 1).
+pub struct CascadeIndex {
+    num_nodes: usize,
+    worlds: Vec<WorldIndex>,
+    /// Node-major layout: `comp_matrix[v * ℓ + i]` is `I[v, i]`. Node-major
+    /// because queries iterate all worlds of one node.
+    comp_matrix: Vec<u32>,
+    max_comps: usize,
+    config: IndexConfig,
+}
+
+impl CascadeIndex {
+    /// Builds the index over `config.num_worlds` sampled worlds
+    /// (Algorithm 1). Deterministic in `config.seed`.
+    ///
+    /// ```
+    /// use soi_graph::{gen, ProbGraph};
+    /// use soi_index::{CascadeIndex, IndexConfig};
+    /// let pg = ProbGraph::fixed(gen::path(4), 1.0).unwrap();
+    /// let index = CascadeIndex::build(&pg, IndexConfig {
+    ///     num_worlds: 4, seed: 1, ..IndexConfig::default()
+    /// });
+    /// // Deterministic graph: every sampled cascade of node 1 is {1,2,3}.
+    /// assert!(index.cascades_of(1).iter().all(|c| c == &vec![1, 2, 3]));
+    /// ```
+    pub fn build(pg: &ProbGraph, config: IndexConfig) -> Self {
+        assert!(config.num_worlds > 0, "need at least one world");
+        let n = pg.num_nodes();
+        let ell = config.num_worlds;
+        let threads = effective_threads(config.threads, ell);
+
+        // Each world is independent; distribute world ids across workers.
+        let mut slots: Vec<Option<(WorldIndex, Vec<u32>)>> = (0..ell).map(|_| None).collect();
+        if threads <= 1 {
+            let mut sampler = WorldSampler::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(build_world(pg, &config, i, &mut sampler));
+            }
+        } else {
+            // Contiguous world-id chunks per worker: plain `&mut` slices,
+            // no synchronization needed. World `i` depends only on
+            // `(seed, i)`, so the partition does not affect the result.
+            let chunk = ell.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let config = &config;
+                    scope.spawn(move || {
+                        let mut sampler = WorldSampler::new();
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            let i = t * chunk + j;
+                            *slot = Some(build_world(pg, config, i, &mut sampler));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut worlds = Vec::with_capacity(ell);
+        let mut comp_matrix = vec![0u32; n * ell];
+        let mut max_comps = 0usize;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (w, comp_of) = slot.expect("world built");
+            max_comps = max_comps.max(w.num_comps());
+            for v in 0..n {
+                comp_matrix[v * ell + i] = comp_of[v];
+            }
+            worlds.push(w);
+        }
+
+        CascadeIndex {
+            num_nodes: n,
+            worlds,
+            comp_matrix,
+            max_comps,
+            config,
+        }
+    }
+
+    /// Reassembles an index from stored parts (used by [`io`]); inputs
+    /// are assumed already validated.
+    pub(crate) fn from_parts(
+        num_nodes: usize,
+        worlds: Vec<WorldIndex>,
+        comp_matrix: Vec<u32>,
+        max_comps: usize,
+        config: IndexConfig,
+    ) -> Self {
+        CascadeIndex {
+            num_nodes,
+            worlds,
+            comp_matrix,
+            max_comps,
+            config,
+        }
+    }
+
+    /// Builds an index from externally supplied live-edge worlds — any
+    /// propagation model with a live-edge equivalence (e.g. the Linear
+    /// Threshold sampler in `soi-sampling::lt`) plugs into the same
+    /// typical-cascade pipeline this way. `config.num_worlds` and
+    /// `config.seed` are recorded but ignored for sampling; worlds are
+    /// taken verbatim, in order.
+    pub fn build_from_worlds<'w>(
+        num_nodes: usize,
+        worlds: impl Iterator<Item = &'w DiGraph>,
+        config: IndexConfig,
+    ) -> Self {
+        let built: Vec<(WorldIndex, Vec<u32>)> = worlds
+            .map(|world| {
+                assert_eq!(world.num_nodes(), num_nodes, "world node-count mismatch");
+                condense_world(world, config.transitive_reduction)
+            })
+            .collect();
+        assert!(!built.is_empty(), "need at least one world");
+        let ell = built.len();
+        let mut worlds_out = Vec::with_capacity(ell);
+        let mut comp_matrix = vec![0u32; num_nodes * ell];
+        let mut max_comps = 0usize;
+        for (i, (w, comp_of)) in built.into_iter().enumerate() {
+            max_comps = max_comps.max(w.num_comps());
+            for v in 0..num_nodes {
+                comp_matrix[v * ell + i] = comp_of[v];
+            }
+            worlds_out.push(w);
+        }
+        CascadeIndex {
+            num_nodes,
+            worlds: worlds_out,
+            comp_matrix,
+            max_comps,
+            config,
+        }
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of indexed worlds ℓ.
+    pub fn num_worlds(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The stored world structures.
+    pub fn world(&self, i: usize) -> &WorldIndex {
+        &self.worlds[i]
+    }
+
+    /// `I[v, i]`: the component of node `v` in world `i`.
+    #[inline]
+    pub fn comp_of(&self, v: NodeId, i: usize) -> u32 {
+        self.comp_matrix[v as usize * self.worlds.len() + i]
+    }
+
+    /// Creates reusable query scratch sized for this index.
+    pub fn query(&self) -> IndexQuery {
+        IndexQuery {
+            reach: Reachability::new(self.max_comps),
+            comps: Vec::new(),
+        }
+    }
+
+    /// The cascade of `v` in world `i`, written to `out` (unsorted,
+    /// no duplicates). `out` is cleared first.
+    pub fn cascade(&self, v: NodeId, i: usize, q: &mut IndexQuery, out: &mut Vec<NodeId>) {
+        self.multi_cascade(std::slice::from_ref(&v), i, q, out)
+    }
+
+    /// The cascade of a seed set in world `i` (union of per-seed
+    /// cascades), written to `out` (unsorted, no duplicates).
+    pub fn multi_cascade(
+        &self,
+        seeds: &[NodeId],
+        i: usize,
+        q: &mut IndexQuery,
+        out: &mut Vec<NodeId>,
+    ) {
+        let w = &self.worlds[i];
+        q.comps.clear();
+        let seed_comps: Vec<u32> = seeds.iter().map(|&s| self.comp_of(s, i)).collect();
+        q.reach.multi_source(&w.dag, &seed_comps, &mut q.comps);
+        out.clear();
+        for &c in &q.comps {
+            out.extend_from_slice(w.members_of(c));
+        }
+    }
+
+    /// Cascade size of `v` in world `i` without materializing node ids.
+    pub fn cascade_size(&self, v: NodeId, i: usize, q: &mut IndexQuery) -> usize {
+        let w = &self.worlds[i];
+        q.reach
+            .multi_source(&w.dag, &[self.comp_of(v, i)], &mut q.comps);
+        q.comps.iter().map(|&c| w.comp_size(c)).sum()
+    }
+
+    /// All ℓ cascades of `v` as canonical sorted sets — the input shape
+    /// the Jaccard-median machinery expects (Algorithm 2's inner loop).
+    pub fn cascades_of(&self, v: NodeId) -> Vec<Vec<NodeId>> {
+        let mut q = self.query();
+        let mut out = Vec::new();
+        (0..self.num_worlds())
+            .map(|i| {
+                self.cascade(v, i, &mut q, &mut out);
+                let mut set = out.clone();
+                set.sort_unstable();
+                set
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes (matrix + world structures):
+    /// the quantity §4 argues the condensation representation keeps small.
+    pub fn memory_bytes(&self) -> usize {
+        let matrix = self.comp_matrix.len() * std::mem::size_of::<u32>();
+        let worlds: usize = self
+            .worlds
+            .iter()
+            .map(|w| {
+                w.dag.num_edges() * std::mem::size_of::<NodeId>()
+                    + (w.dag.num_nodes() + 1) * std::mem::size_of::<usize>()
+                    + w.members.len() * std::mem::size_of::<NodeId>()
+                    + w.member_offsets.len() * std::mem::size_of::<usize>()
+            })
+            .sum();
+        matrix + worlds
+    }
+
+    /// Mean number of SCCs per world (diagnostics for EXPERIMENTS.md).
+    pub fn mean_comps(&self) -> f64 {
+        self.worlds.iter().map(|w| w.num_comps() as f64).sum::<f64>() / self.worlds.len() as f64
+    }
+
+    /// Mean number of condensation arcs per world.
+    pub fn mean_dag_edges(&self) -> f64 {
+        self.worlds.iter().map(|w| w.dag.num_edges() as f64).sum::<f64>()
+            / self.worlds.len() as f64
+    }
+}
+
+/// Reusable per-thread query scratch for [`CascadeIndex`].
+pub struct IndexQuery {
+    reach: Reachability,
+    comps: Vec<u32>,
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let t = if requested == 0 { hw } else { requested };
+    t.min(work_items).max(1)
+}
+
+fn build_world(
+    pg: &ProbGraph,
+    config: &IndexConfig,
+    i: usize,
+    sampler: &mut WorldSampler,
+) -> (WorldIndex, Vec<u32>) {
+    let mut rng = world_rng(config.seed, i);
+    let world = sampler.sample(pg, &mut rng);
+    condense_world(&world, config.transitive_reduction)
+}
+
+fn condense_world(world: &DiGraph, reduce: bool) -> (WorldIndex, Vec<u32>) {
+    let cond = Condensation::new(world);
+    let dag = if reduce {
+        transitive::transitive_reduction(&cond.dag).expect("condensation is a DAG")
+    } else {
+        cond.dag
+    };
+    (
+        WorldIndex {
+            dag,
+            member_offsets: cond.member_offsets,
+            members: cond.members,
+        },
+        cond.comp_of,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_graph::gen;
+
+    fn test_graph(seed: u64) -> ProbGraph {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        ProbGraph::fixed(gen::gnm(60, 300, &mut rng), 0.3).unwrap()
+    }
+
+    #[test]
+    fn index_cascades_match_direct_reachability() {
+        let pg = test_graph(1);
+        let config = IndexConfig {
+            num_worlds: 12,
+            seed: 77,
+            transitive_reduction: true,
+            threads: 1,
+        };
+        let index = CascadeIndex::build(&pg, config);
+        let mut q = index.query();
+        let mut out = Vec::new();
+        let mut sampler = WorldSampler::new();
+        let mut reach = Reachability::new(pg.num_nodes());
+        let mut direct = Vec::new();
+        for i in 0..12 {
+            // Re-derive the exact world the index sampled.
+            let world = sampler.sample(&pg, &mut world_rng(77, i));
+            for v in 0..pg.num_nodes() as NodeId {
+                index.cascade(v, i, &mut q, &mut out);
+                out.sort_unstable();
+                reach.reachable_from(&world, v, &mut direct);
+                direct.sort_unstable();
+                assert_eq!(out, direct, "world {i}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let pg = test_graph(2);
+        let mk = |threads| {
+            CascadeIndex::build(
+                &pg,
+                IndexConfig {
+                    num_worlds: 8,
+                    seed: 5,
+                    transitive_reduction: true,
+                    threads,
+                },
+            )
+        };
+        let serial = mk(1);
+        let parallel = mk(4);
+        assert_eq!(serial.num_worlds(), parallel.num_worlds());
+        for v in 0..pg.num_nodes() as NodeId {
+            assert_eq!(serial.cascades_of(v), parallel.cascades_of(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn reduction_does_not_change_cascades() {
+        let pg = test_graph(3);
+        let mk = |reduce| {
+            CascadeIndex::build(
+                &pg,
+                IndexConfig {
+                    num_worlds: 6,
+                    seed: 9,
+                    transitive_reduction: reduce,
+                    threads: 1,
+                },
+            )
+        };
+        let reduced = mk(true);
+        let full = mk(false);
+        for v in (0..pg.num_nodes() as NodeId).step_by(7) {
+            assert_eq!(reduced.cascades_of(v), full.cascades_of(v));
+        }
+        // The reduction should not add arcs.
+        let re: f64 = reduced.mean_dag_edges();
+        let fe: f64 = full.mean_dag_edges();
+        assert!(re <= fe + 1e-9, "{re} > {fe}");
+    }
+
+    #[test]
+    fn cascade_size_matches_materialization() {
+        let pg = test_graph(4);
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 5,
+                seed: 3,
+                ..IndexConfig::default()
+            },
+        );
+        let mut q = index.query();
+        let mut out = Vec::new();
+        for i in 0..5 {
+            for v in (0..60).step_by(11) {
+                index.cascade(v, i, &mut q, &mut out);
+                let len = out.len();
+                assert_eq!(index.cascade_size(v, i, &mut q), len);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cascade_is_union_of_singles() {
+        let pg = test_graph(5);
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 4,
+                seed: 8,
+                ..IndexConfig::default()
+            },
+        );
+        let mut q = index.query();
+        let (mut a, mut b, mut ab) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..4 {
+            index.cascade(10, i, &mut q, &mut a);
+            index.cascade(20, i, &mut q, &mut b);
+            index.multi_cascade(&[10, 20], i, &mut q, &mut ab);
+            let mut union: Vec<NodeId> = a.iter().chain(b.iter()).copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            ab.sort_unstable();
+            assert_eq!(ab, union, "world {i}");
+        }
+    }
+
+    #[test]
+    fn cascades_contain_their_source_and_sizes_bounded() {
+        let pg = test_graph(6);
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 10,
+                seed: 2,
+                ..IndexConfig::default()
+            },
+        );
+        for v in (0..60).step_by(13) {
+            for c in index.cascades_of(v as NodeId) {
+                assert!(c.contains(&(v as NodeId)));
+                assert!(c.len() <= 60);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnostics_are_positive() {
+        let pg = test_graph(7);
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 3,
+                seed: 1,
+                ..IndexConfig::default()
+            },
+        );
+        assert!(index.memory_bytes() > 0);
+        assert!(index.mean_comps() >= 1.0);
+        assert!(index.mean_comps() <= 60.0);
+    }
+}

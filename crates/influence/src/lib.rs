@@ -1,0 +1,35 @@
+//! # soi-influence
+//!
+//! Influence maximization, both the paper's baseline and its contribution:
+//!
+//! * [`spread`] — an index-backed Monte-Carlo spread oracle with the
+//!   covered-state bookkeeping greedy algorithms need;
+//! * [`greedy`] — `InfMax_std`: the theoretically optimal `(1 − 1/e)`
+//!   greedy of Kempe et al. over sampled worlds, in a *plain* variant
+//!   (full marginal-gain rankings per iteration, required by the Figure 7
+//!   saturation study) and a *CELF* lazy variant (Leskovec et al. /
+//!   Goyal et al.'s optimization, what the paper runs for Figure 6);
+//! * [`tc_cover`] — `InfMax_TC` (Algorithm 3): greedy max-cover over the
+//!   typical cascades of all nodes, plus the weighted-value and budgeted
+//!   extensions sketched in §8;
+//! * [`ris`] — a reverse-reachable-sketch comparator (Borgs et al. /
+//!   TIM-flavoured), the modern baseline referenced in §7;
+//! * [`saturation`] — the marginal-gain-ratio analysis (`MG₁₀/MG₁`) behind
+//!   Figure 7.
+
+pub mod baselines;
+pub mod greedy;
+pub mod ris;
+pub mod saturation;
+pub mod spread;
+pub mod tc_cover;
+
+pub use baselines::{
+    core_seeds, degree_discount_seeds, high_degree_seeds, pagerank_seeds, random_seeds,
+};
+pub use greedy::{
+    infmax_celfpp, infmax_std, infmax_std_mc, GreedyMode, GreedyResult, McGreedyConfig,
+};
+pub use ris::infmax_ris;
+pub use spread::SpreadOracle;
+pub use tc_cover::{infmax_tc, infmax_tc_budgeted, infmax_tc_weighted, TcResult};

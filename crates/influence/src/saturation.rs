@@ -1,0 +1,105 @@
+//! The saturation analysis of §6.4 (Figure 7).
+//!
+//! At greedy iteration `j`, let `MG_i^j` be the `i`-th largest marginal
+//! gain over the remaining candidates. The ratio `MG₁₀^j / MG₁^j` measures
+//! how distinguishable the chosen seed is from its runners-up: near 0 the
+//! winner is clearly better; near 1 the algorithm is effectively picking
+//! at random among equivalent candidates ("the point of saturation").
+//!
+//! Both greedy variants (`InfMax_std` plain mode and `InfMax_TC` with
+//! `capture_top`) record per-iteration gain rankings; this module turns
+//! them into ratio series.
+
+/// The `MG_rank / MG_1` ratio for one iteration's descending gain ranking.
+/// Returns `None` when the ranking is too short or the top gain is 0.
+pub fn gain_ratio(ranking: &[f64], rank: usize) -> Option<f64> {
+    assert!(rank >= 1, "rank is 1-based");
+    let top = *ranking.first()?;
+    let other = *ranking.get(rank - 1)?;
+    if top <= 0.0 {
+        return None;
+    }
+    Some((other / top).clamp(0.0, 1.0))
+}
+
+/// Ratio series over a run's recorded rankings: one
+/// `MG_rank^j / MG_1^j` per iteration `j` (skipping degenerate
+/// iterations). The Figure 7 series is `ratio_series(rankings, 10)`.
+pub fn ratio_series(rankings: &[Vec<f64>], rank: usize) -> Vec<f64> {
+    rankings
+        .iter()
+        .filter_map(|r| gain_ratio(r, rank))
+        .collect()
+}
+
+/// The first iteration (0-based) whose ratio reaches `threshold`, if any —
+/// a scalar "saturation point" summary.
+pub fn saturation_point(rankings: &[Vec<f64>], rank: usize, threshold: f64) -> Option<usize> {
+    rankings
+        .iter()
+        .enumerate()
+        .find(|(_, r)| gain_ratio(r, rank).is_some_and(|x| x >= threshold))
+        .map(|(j, _)| j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        assert_eq!(gain_ratio(&[10.0, 8.0, 5.0], 3), Some(0.5));
+        assert_eq!(gain_ratio(&[10.0, 8.0], 2), Some(0.8));
+        assert_eq!(gain_ratio(&[10.0], 2), None, "ranking too short");
+        assert_eq!(gain_ratio(&[0.0, 0.0], 2), None, "zero top gain");
+        assert_eq!(gain_ratio(&[], 1), None);
+    }
+
+    #[test]
+    fn series_skips_degenerate_iterations() {
+        let rankings = vec![
+            vec![10.0, 5.0],
+            vec![0.0, 0.0],
+            vec![4.0, 4.0],
+        ];
+        assert_eq!(ratio_series(&rankings, 2), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn saturation_point_detection() {
+        let rankings = vec![
+            vec![10.0, 2.0],
+            vec![10.0, 6.0],
+            vec![10.0, 9.5],
+            vec![10.0, 9.9],
+        ];
+        assert_eq!(saturation_point(&rankings, 2, 0.9), Some(2));
+        assert_eq!(saturation_point(&rankings, 2, 0.999), None);
+    }
+
+    #[test]
+    fn end_to_end_ratios_rise_with_iterations() {
+        // On a graph of many near-identical nodes the standard greedy
+        // saturates: ratios should be high from early on.
+        use soi_graph::{gen, ProbGraph};
+        use soi_index::{CascadeIndex, IndexConfig};
+        let pg = ProbGraph::fixed(gen::cycle(40), 0.2).unwrap();
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds: 64,
+                seed: 1,
+                ..IndexConfig::default()
+            },
+        );
+        let run = crate::infmax_std(
+            &index,
+            8,
+            crate::GreedyMode::Plain { capture_top: 10 },
+        );
+        let ratios = ratio_series(&run.gain_rankings, 10);
+        assert_eq!(ratios.len(), 8);
+        // A symmetric cycle has indistinguishable candidates: ratios ≈ 1.
+        assert!(ratios.iter().all(|&r| r > 0.5), "{ratios:?}");
+    }
+}

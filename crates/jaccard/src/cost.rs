@@ -1,0 +1,289 @@
+//! Empirical expected cost `ρ̂(C)` of a candidate median.
+//!
+//! §3 of the paper: since the true cost `ρ(C) = E[d_J(R_s(G), C)]` is
+//! `#P`-hard (Theorem 1), it is estimated as the mean Jaccard distance of
+//! `C` to ℓ sampled cascades. The [`IncrementalCost`] evaluator supports
+//! the median sweep: it maintains `|C ∩ S_i|` per sample under single-
+//! element insertions/removals of `C`, so evaluating a whole family of
+//! nested candidates costs `O(Σ|S_i| + n·ℓ)` instead of
+//! `O(n · Σ|S_i|)`.
+
+use crate::distance::jaccard_distance;
+use std::collections::HashMap;
+
+/// Mean Jaccard distance from `candidate` to every set in `samples`
+/// (the unbiased estimator `ρ̂` of the paper). Returns 0 for no samples.
+pub fn empirical_cost(candidate: &[u32], samples: &[Vec<u32>]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = samples
+        .iter()
+        .map(|s| jaccard_distance(candidate, s))
+        .sum();
+    total / samples.len() as f64
+}
+
+/// Incremental cost evaluator over a fixed collection of sample sets.
+///
+/// Maintains the candidate `C` implicitly through per-sample intersection
+/// counters; `insert`/`remove` cost `O(#samples containing the element)`
+/// (via an inverted index) and [`IncrementalCost::cost`] is `O(ℓ)`.
+pub struct IncrementalCost {
+    /// For each element, the indices of samples containing it.
+    inverted: HashMap<u32, Vec<u32>>,
+    /// `|S_i|` for each sample.
+    sizes: Vec<u32>,
+    /// `|C ∩ S_i|` for each sample.
+    inter: Vec<u32>,
+    /// `|C|`.
+    candidate_len: usize,
+    /// Membership of the current candidate.
+    in_candidate: std::collections::HashSet<u32>,
+}
+
+impl IncrementalCost {
+    /// Builds the evaluator with `C = ∅`.
+    pub fn new(samples: &[Vec<u32>]) -> Self {
+        let mut inverted: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "sample not canonical");
+            for &e in s {
+                inverted.entry(e).or_default().push(i as u32);
+            }
+        }
+        IncrementalCost {
+            inverted,
+            sizes: samples.iter().map(|s| s.len() as u32).collect(),
+            inter: vec![0; samples.len()],
+            candidate_len: 0,
+            in_candidate: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Current candidate size.
+    pub fn candidate_len(&self) -> usize {
+        self.candidate_len
+    }
+
+    /// How many samples contain `element`.
+    pub fn frequency(&self, element: u32) -> usize {
+        self.inverted.get(&element).map_or(0, |v| v.len())
+    }
+
+    /// All distinct elements appearing in any sample.
+    pub fn universe(&self) -> impl Iterator<Item = u32> + '_ {
+        self.inverted.keys().copied()
+    }
+
+    /// Adds `element` to the candidate. No-op if already present.
+    pub fn insert(&mut self, element: u32) {
+        if !self.in_candidate.insert(element) {
+            return;
+        }
+        self.candidate_len += 1;
+        if let Some(ids) = self.inverted.get(&element) {
+            for &i in ids {
+                self.inter[i as usize] += 1;
+            }
+        }
+    }
+
+    /// Removes `element` from the candidate. No-op if absent.
+    pub fn remove(&mut self, element: u32) {
+        if !self.in_candidate.remove(&element) {
+            return;
+        }
+        self.candidate_len -= 1;
+        if let Some(ids) = self.inverted.get(&element) {
+            for &i in ids {
+                self.inter[i as usize] -= 1;
+            }
+        }
+    }
+
+    /// The empirical cost `ρ̂(C)` of the current candidate.
+    pub fn cost(&self) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        let k = self.candidate_len as f64;
+        let mut total = 0.0;
+        for (i, &sz) in self.sizes.iter().enumerate() {
+            let inter = self.inter[i] as f64;
+            let union = k + sz as f64 - inter;
+            total += if union == 0.0 { 0.0 } else { 1.0 - inter / union };
+        }
+        total / self.sizes.len() as f64
+    }
+
+    /// Cost change if `element` were toggled (inserted when absent,
+    /// removed when present), without mutating the candidate: returns
+    /// `cost_after - cost_before`.
+    pub fn toggle_delta(&self, element: u32) -> f64 {
+        let ell = self.sizes.len() as f64;
+        if ell == 0.0 {
+            return 0.0;
+        }
+        let present = self.in_candidate.contains(&element);
+        let k = self.candidate_len as f64;
+        let k_after = if present { k - 1.0 } else { k + 1.0 };
+        // Samples containing the element get their intersection changed;
+        // *all* samples see the union change through |C|.
+        let empty: Vec<u32> = Vec::new();
+        let containing = self.inverted.get(&element).unwrap_or(&empty);
+        let mut is_member = vec![false; 0];
+        // Mark containment lazily only when needed for the loop below.
+        is_member.resize(self.sizes.len(), false);
+        for &i in containing {
+            is_member[i as usize] = true;
+        }
+        let mut delta = 0.0;
+        for (i, &sz) in self.sizes.iter().enumerate() {
+            let inter = self.inter[i] as f64;
+            let union = k + sz as f64 - inter;
+            let before = if union == 0.0 { 0.0 } else { 1.0 - inter / union };
+            let inter_after = if is_member[i] {
+                if present {
+                    inter - 1.0
+                } else {
+                    inter + 1.0
+                }
+            } else {
+                inter
+            };
+            let union_after = k_after + sz as f64 - inter_after;
+            let after = if union_after == 0.0 {
+                0.0
+            } else {
+                1.0 - inter_after / union_after
+            };
+            delta += after - before;
+        }
+        delta / ell
+    }
+
+    /// The current candidate as a canonical sorted vector.
+    pub fn candidate(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.in_candidate.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empirical_cost_basics() {
+        let samples = vec![vec![1, 2], vec![2, 3]];
+        // d({2}, {1,2}) = 0.5; d({2}, {2,3}) = 0.5.
+        assert!((empirical_cost(&[2], &samples) - 0.5).abs() < 1e-12);
+        assert_eq!(empirical_cost(&[], &[]), 0.0);
+        assert_eq!(empirical_cost(&[1, 2], &samples[..1]), 0.0);
+    }
+
+    #[test]
+    fn incremental_tracks_direct() {
+        let samples = vec![vec![1, 2, 3], vec![2, 3, 4], vec![3]];
+        let mut inc = IncrementalCost::new(&samples);
+        assert!((inc.cost() - empirical_cost(&[], &samples)).abs() < 1e-12);
+        for (insert, e) in [(true, 3u32), (true, 2), (true, 9), (false, 2), (false, 9)] {
+            if insert {
+                inc.insert(e);
+            } else {
+                inc.remove(e);
+            }
+            let direct = empirical_cost(&inc.candidate(), &samples);
+            assert!(
+                (inc.cost() - direct).abs() < 1e-12,
+                "after {:?}{}: {} vs {}",
+                insert,
+                e,
+                inc.cost(),
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn double_insert_remove_are_noops() {
+        let samples = vec![vec![1, 2]];
+        let mut inc = IncrementalCost::new(&samples);
+        inc.insert(1);
+        inc.insert(1);
+        assert_eq!(inc.candidate_len(), 1);
+        inc.remove(1);
+        inc.remove(1);
+        assert_eq!(inc.candidate_len(), 0);
+        inc.remove(42);
+        assert_eq!(inc.cost(), 1.0, "d(∅, {{1,2}}) = 1");
+    }
+
+    #[test]
+    fn toggle_delta_matches_actual_toggle() {
+        let samples = vec![vec![1, 2, 3], vec![2, 4], vec![5]];
+        let mut inc = IncrementalCost::new(&samples);
+        inc.insert(2);
+        inc.insert(5);
+        for e in [1u32, 2, 5, 7] {
+            let predicted = inc.toggle_delta(e);
+            let before = inc.cost();
+            let present = inc.candidate().contains(&e);
+            if present {
+                inc.remove(e);
+            } else {
+                inc.insert(e);
+            }
+            let actual = inc.cost() - before;
+            assert!(
+                (predicted - actual).abs() < 1e-12,
+                "element {e}: predicted {predicted}, actual {actual}"
+            );
+            // Restore.
+            if present {
+                inc.insert(e);
+            } else {
+                inc.remove(e);
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_and_universe() {
+        let samples = vec![vec![1, 2], vec![2], vec![2, 3]];
+        let inc = IncrementalCost::new(&samples);
+        assert_eq!(inc.frequency(2), 3);
+        assert_eq!(inc.frequency(1), 1);
+        assert_eq!(inc.frequency(99), 0);
+        let mut u: Vec<u32> = inc.universe().collect();
+        u.sort_unstable();
+        assert_eq!(u, vec![1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_equals_direct_on_random_walks(
+            samples in prop::collection::vec(
+                prop::collection::btree_set(0u32..30, 0..10)
+                    .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+                1..8
+            ),
+            ops in prop::collection::vec((any::<bool>(), 0u32..35), 0..40),
+        ) {
+            let mut inc = IncrementalCost::new(&samples);
+            for (insert, e) in ops {
+                if insert { inc.insert(e) } else { inc.remove(e) }
+                let direct = empirical_cost(&inc.candidate(), &samples);
+                prop_assert!((inc.cost() - direct).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Jaccard distance over canonical sorted sets.
+//!
+//! `d_J(A, B) = 1 - |A ∩ B| / |A ∪ B|` (§2.2). We adopt the standard
+//! convention `d_J(∅, ∅) = 0` (two identical sets are at distance zero).
+//! Jaccard distance is a metric; a property test below exercises the
+//! triangle inequality, which the paper's Theorem 1/2 proofs lean on.
+
+/// `|A ∩ B|` for sorted, deduplicated slices, by linear merge.
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a not canonical");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b not canonical");
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `|A ∪ B|` for sorted, deduplicated slices.
+pub fn union_size(a: &[u32], b: &[u32]) -> usize {
+    a.len() + b.len() - intersection_size(a, b)
+}
+
+/// Jaccard distance between two canonical sets; `0.0` for two empty sets.
+pub fn jaccard_distance(a: &[u32], b: &[u32]) -> f64 {
+    let union = union_size(a, b);
+    if union == 0 {
+        return 0.0;
+    }
+    let inter = a.len() + b.len() - union;
+    1.0 - inter as f64 / union as f64
+}
+
+/// Jaccard *similarity* (`1 - distance`); `1.0` for two empty sets.
+pub fn jaccard_similarity(a: &[u32], b: &[u32]) -> f64 {
+    1.0 - jaccard_distance(a, b)
+}
+
+/// Sorts and deduplicates a node list into the canonical set form.
+pub fn canonicalize(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance(&[1], &[]), 1.0);
+        assert_eq!(jaccard_distance(&[1, 2], &[1, 2]), 0.0);
+        assert_eq!(jaccard_distance(&[1, 2], &[3, 4]), 1.0);
+        assert!((jaccard_distance(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_counts() {
+        assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), 2);
+        assert_eq!(union_size(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), 7);
+        assert_eq!(intersection_size(&[], &[1, 2]), 0);
+        assert_eq!(union_size(&[], &[]), 0);
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        assert_eq!(canonicalize(vec![5, 1, 5, 3, 1]), vec![1, 3, 5]);
+        assert_eq!(canonicalize(vec![]), Vec::<u32>::new());
+    }
+
+    fn set_strategy() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::btree_set(0u32..50, 0..20).prop_map(|s| s.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric_and_bounded(a in set_strategy(), b in set_strategy()) {
+            let d = jaccard_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert_eq!(d, jaccard_distance(&b, &a));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in set_strategy(), b in set_strategy()) {
+            let d = jaccard_distance(&a, &b);
+            prop_assert_eq!(d == 0.0, a == b);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in set_strategy(),
+            b in set_strategy(),
+            c in set_strategy(),
+        ) {
+            let ab = jaccard_distance(&a, &b);
+            let bc = jaccard_distance(&b, &c);
+            let ac = jaccard_distance(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-12, "d(a,c)={ac} > {ab}+{bc}");
+        }
+
+        #[test]
+        fn sizes_consistent(a in set_strategy(), b in set_strategy()) {
+            let i = intersection_size(&a, &b);
+            let u = union_size(&a, &b);
+            prop_assert_eq!(i + u, a.len() + b.len());
+            prop_assert!(i <= a.len().min(b.len()));
+            prop_assert!(u >= a.len().max(b.len()));
+        }
+    }
+}

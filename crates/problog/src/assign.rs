@@ -1,0 +1,75 @@
+//! Artificial probability-assignment models (§6.2).
+//!
+//! Thin, discoverable wrappers over the constructors in
+//! [`soi_graph::ProbGraph`], so callers working with the learning pipeline
+//! find both paths (learnt / assigned) in one crate, plus a uniform-random
+//! assignment used as ground truth by the dataset registry.
+
+use rand::{Rng, RngExt};
+use soi_graph::{DiGraph, GraphError, ProbGraph};
+
+/// Weighted cascade: `p(u, v) = 1 / inDeg(v)` (suffix `-W` in the paper).
+pub fn weighted_cascade(graph: DiGraph) -> ProbGraph {
+    ProbGraph::weighted_cascade(graph)
+}
+
+/// Fixed probability `p` on every arc (suffix `-F`; the paper uses 0.1).
+pub fn fixed(graph: DiGraph, p: f64) -> Result<ProbGraph, GraphError> {
+    ProbGraph::fixed(graph, p)
+}
+
+/// Trivalency: each arc uniformly from `{0.1, 0.01, 0.001}`.
+pub fn trivalency<R: Rng>(graph: DiGraph, rng: &mut R) -> ProbGraph {
+    ProbGraph::trivalency(graph, rng)
+}
+
+/// Independent uniform probabilities in `[lo, hi]` — the ground-truth
+/// model the dataset registry plants before generating logs, so learners
+/// face heterogeneous arc strengths.
+pub fn uniform_random<R: Rng>(
+    graph: DiGraph,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> Result<ProbGraph, GraphError> {
+    assert!(lo > 0.0 && hi <= 1.0 && lo <= hi, "need 0 < lo <= hi <= 1");
+    let probs = (0..graph.num_edges())
+        .map(|_| lo + (hi - lo) * rng.random::<f64>())
+        .collect();
+    ProbGraph::new(graph, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use soi_graph::gen;
+
+    #[test]
+    fn uniform_random_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pg = uniform_random(gen::complete(10), 0.05, 0.4, &mut rng).unwrap();
+        assert!(pg.probs().iter().all(|&p| (0.05..=0.4).contains(&p)));
+        // Heterogeneous: not all equal.
+        let first = pg.probs()[0];
+        assert!(pg.probs().iter().any(|&p| (p - first).abs() > 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo <= hi <= 1")]
+    fn uniform_random_validates_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = uniform_random(gen::path(3), 0.5, 0.2, &mut rng);
+    }
+
+    #[test]
+    fn wrappers_delegate() {
+        let pg = weighted_cascade(gen::star(4));
+        assert_eq!(pg.edge_prob_between(0, 1), Some(1.0));
+        let pg = fixed(gen::star(4), 0.1).unwrap();
+        assert!(pg.probs().iter().all(|&p| p == 0.1));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pg = trivalency(gen::star(4), &mut rng);
+        assert!(pg.probs().iter().all(|&p| [0.1, 0.01, 0.001].contains(&p)));
+    }
+}

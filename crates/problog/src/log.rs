@@ -1,0 +1,186 @@
+//! The action-log data model.
+//!
+//! The learnable datasets of §6.1 pair a social graph with a log of user
+//! activity: who acted on which item, and when (votes on Digg stories,
+//! movie ratings on Flixster, URL reshares on Twitter). An [`ActionLog`]
+//! stores `(user, item, time)` triples grouped into per-item *episodes* —
+//! the unit both learners consume.
+
+use soi_graph::NodeId;
+
+/// One log entry: `user` acted on `item` at discrete `time`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// The acting user (a node of the social graph).
+    pub user: NodeId,
+    /// The item (story, movie, URL) acted upon.
+    pub item: u32,
+    /// Discrete timestamp; within an item, time orders the cascade.
+    pub time: u32,
+}
+
+/// Errors constructing an [`ActionLog`].
+#[derive(Debug, PartialEq)]
+pub enum LogError {
+    /// An action references a user `>= num_users`.
+    UserOutOfRange {
+        /// The offending user id.
+        user: NodeId,
+        /// The log's user count.
+        num_users: usize,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::UserOutOfRange { user, num_users } => {
+                write!(f, "user {user} out of range ({num_users} users)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// An immutable action log, grouped by item.
+///
+/// Each `(user, item)` pair is kept once, at its earliest time — a user
+/// "activates" on an item at most once in the IC model.
+#[derive(Clone, Debug)]
+pub struct ActionLog {
+    num_users: usize,
+    /// Sorted by `(item, time, user)`.
+    actions: Vec<Action>,
+    /// `item_offsets[i]..item_offsets[i+1]` slices `actions` for item `i`.
+    item_offsets: Vec<usize>,
+}
+
+impl ActionLog {
+    /// Builds a log from raw actions. Duplicate `(user, item)` pairs
+    /// collapse to the earliest occurrence; items are `0..=max_item`.
+    pub fn new(num_users: usize, mut actions: Vec<Action>) -> Result<Self, LogError> {
+        for a in &actions {
+            if a.user as usize >= num_users {
+                return Err(LogError::UserOutOfRange {
+                    user: a.user,
+                    num_users,
+                });
+            }
+        }
+        // Earliest (item, user) wins.
+        actions.sort_by_key(|a| (a.item, a.user, a.time));
+        actions.dedup_by_key(|a| (a.item, a.user));
+        actions.sort_by_key(|a| (a.item, a.time, a.user));
+
+        let num_items = actions.iter().map(|a| a.item as usize + 1).max().unwrap_or(0);
+        let mut item_offsets = vec![0usize; num_items + 1];
+        for a in &actions {
+            item_offsets[a.item as usize + 1] += 1;
+        }
+        for i in 0..num_items {
+            item_offsets[i + 1] += item_offsets[i];
+        }
+        Ok(ActionLog {
+            num_users,
+            actions,
+            item_offsets,
+        })
+    }
+
+    /// Number of users this log covers.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items (`max item id + 1`).
+    pub fn num_items(&self) -> usize {
+        self.item_offsets.len() - 1
+    }
+
+    /// Total number of (deduplicated) actions.
+    pub fn num_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The episode of `item`: its actions sorted by `(time, user)`.
+    pub fn episode(&self, item: u32) -> &[Action] {
+        &self.actions[self.item_offsets[item as usize]..self.item_offsets[item as usize + 1]]
+    }
+
+    /// Iterates over all non-empty episodes as `(item, actions)`.
+    pub fn episodes(&self) -> impl Iterator<Item = (u32, &[Action])> {
+        (0..self.num_items() as u32)
+            .map(|i| (i, self.episode(i)))
+            .filter(|(_, e)| !e.is_empty())
+    }
+
+    /// Number of items each user acted on — `A_u` in Goyal et al.'s
+    /// estimator.
+    pub fn actions_per_user(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_users];
+        for a in &self.actions {
+            counts[a.user as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(user: NodeId, item: u32, time: u32) -> Action {
+        Action { user, item, time }
+    }
+
+    #[test]
+    fn grouping_and_ordering() {
+        let log = ActionLog::new(
+            5,
+            vec![act(2, 1, 5), act(0, 0, 0), act(1, 1, 2), act(3, 0, 1)],
+        )
+        .unwrap();
+        assert_eq!(log.num_items(), 2);
+        assert_eq!(log.num_actions(), 4);
+        assert_eq!(log.episode(0), &[act(0, 0, 0), act(3, 0, 1)]);
+        assert_eq!(log.episode(1), &[act(1, 1, 2), act(2, 1, 5)]);
+    }
+
+    #[test]
+    fn duplicate_user_item_keeps_earliest() {
+        let log = ActionLog::new(3, vec![act(1, 0, 7), act(1, 0, 2), act(1, 0, 9)]).unwrap();
+        assert_eq!(log.num_actions(), 1);
+        assert_eq!(log.episode(0), &[act(1, 0, 2)]);
+    }
+
+    #[test]
+    fn out_of_range_user_rejected() {
+        assert!(matches!(
+            ActionLog::new(2, vec![act(2, 0, 0)]),
+            Err(LogError::UserOutOfRange {
+                user: 2,
+                num_users: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_and_sparse_items() {
+        let log = ActionLog::new(3, vec![act(0, 5, 0)]).unwrap();
+        assert_eq!(log.num_items(), 6);
+        assert!(log.episode(2).is_empty());
+        let eps: Vec<u32> = log.episodes().map(|(i, _)| i).collect();
+        assert_eq!(eps, vec![5], "only non-empty episodes iterated");
+    }
+
+    #[test]
+    fn actions_per_user_counts() {
+        let log = ActionLog::new(
+            4,
+            vec![act(0, 0, 0), act(0, 1, 0), act(2, 0, 1), act(0, 0, 5)],
+        )
+        .unwrap();
+        assert_eq!(log.actions_per_user(), vec![2, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! STRIP-style streaming learning of influence probabilities.
+//!
+//! Kutzkov et al. (KDD 2013; reference [26] of the paper) learn the
+//! frequentist (Goyal et al.) probabilities in the big-data regime: a
+//! continuous stream of `(user, item, time)` actions where per-arc exact
+//! counters may not fit in memory. This module implements the same
+//! estimator with bounded memory:
+//!
+//! * exact per-user action counters (`O(|V|)` — always affordable);
+//! * propagation-pair counts `A_{u→v}` in a count-min sketch
+//!   (`O(1/ε · ln 1/δ)` — independent of arc count).
+//!
+//! The sketch never undercounts, so learned probabilities are biased at
+//! most *upward* by `ε · N`; the tests quantify the bias against the
+//! exact learner.
+//!
+//! Actions must arrive grouped by item with non-decreasing time within
+//! each item (the natural order of a propagation feed); a bounded window
+//! of recent actions per item provides the "did `u` act before `v`"
+//! joins without remembering whole episodes.
+
+use crate::log::Action;
+use soi_graph::DiGraph;
+use soi_util::cms::{arc_key, CountMinSketch};
+use std::collections::VecDeque;
+
+/// Configuration of the streaming learner.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Count-min error fraction ε (overcount ≤ ε·stream-length w.h.p.).
+    pub epsilon: f64,
+    /// Count-min failure probability δ.
+    pub delta: f64,
+    /// Only actions within this time lag count as propagation (the
+    /// Goyal et al. window; also bounds the per-item memory).
+    pub max_lag: u32,
+    /// Sketch seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            epsilon: 1e-4,
+            delta: 0.01,
+            max_lag: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One-pass streaming learner state.
+pub struct StreamingLearner {
+    config: StreamConfig,
+    actions_per_user: Vec<u64>,
+    pair_counts: CountMinSketch,
+    /// Sliding window of recent actions of the *current* item.
+    window: VecDeque<Action>,
+    current_item: Option<u32>,
+    items_seen: u64,
+}
+
+impl StreamingLearner {
+    /// Creates a learner for a graph of `num_users` users.
+    pub fn new(num_users: usize, config: StreamConfig) -> Self {
+        StreamingLearner {
+            config,
+            actions_per_user: vec![0; num_users],
+            pair_counts: CountMinSketch::with_error(config.epsilon, config.delta, config.seed),
+            window: VecDeque::new(),
+            current_item: None,
+            items_seen: 0,
+        }
+    }
+
+    /// Feeds one action. Actions must be grouped by item; within an item,
+    /// times must be non-decreasing (panics otherwise — a corrupted feed
+    /// should fail loudly, not learn garbage).
+    pub fn observe(&mut self, action: Action) {
+        if self.current_item != Some(action.item) {
+            self.window.clear();
+            self.current_item = Some(action.item);
+            self.items_seen += 1;
+        } else if let Some(last) = self.window.back() {
+            assert!(
+                last.time <= action.time,
+                "stream out of order within item {}: {} then {}",
+                action.item,
+                last.time,
+                action.time
+            );
+        }
+        self.actions_per_user[action.user as usize] += 1;
+        // Expire actions beyond the lag window.
+        while let Some(front) = self.window.front() {
+            if front.time + self.config.max_lag < action.time {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Credit every strictly-earlier windowed action.
+        for earlier in &self.window {
+            if earlier.time < action.time {
+                self.pair_counts
+                    .add(arc_key(earlier.user, action.user), 1);
+            }
+        }
+        self.window.push_back(action);
+    }
+
+    /// Number of distinct items seen so far.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// Sketch memory in bytes (the point of the streaming variant).
+    pub fn sketch_bytes(&self) -> usize {
+        self.pair_counts.memory_bytes()
+    }
+
+    /// Extracts probabilities for the arcs of `graph`, aligned with its
+    /// CSR edge order: `p(u, v) = Â_{u→v} / A_u`, capped at 1.
+    pub fn probabilities(&self, graph: &DiGraph) -> Vec<f64> {
+        let mut probs = Vec::with_capacity(graph.num_edges());
+        for u in graph.nodes() {
+            for &v in graph.out_neighbors(u) {
+                let denom = self.actions_per_user[u as usize];
+                if denom == 0 {
+                    probs.push(0.0);
+                    continue;
+                }
+                let num = self.pair_counts.estimate(arc_key(u, v));
+                probs.push((num as f64 / denom as f64).min(1.0));
+            }
+        }
+        probs
+    }
+}
+
+/// Convenience: stream an entire [`crate::ActionLog`] through the learner.
+pub fn learn_streaming(
+    graph: &DiGraph,
+    log: &crate::ActionLog,
+    config: StreamConfig,
+) -> Vec<f64> {
+    let mut learner = StreamingLearner::new(graph.num_nodes(), config);
+    for (_, episode) in log.episodes() {
+        for &a in episode {
+            learner.observe(a);
+        }
+    }
+    learner.probabilities(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_log, LogGenConfig};
+    use crate::goyal::learn_goyal;
+    use crate::log::ActionLog;
+    use soi_graph::{gen, ProbGraph};
+
+    fn act(user: u32, item: u32, time: u32) -> Action {
+        Action { user, item, time }
+    }
+
+    #[test]
+    fn matches_exact_learner_on_tiny_stream() {
+        let g = gen::path(2);
+        let log = ActionLog::new(
+            2,
+            vec![
+                act(0, 0, 0),
+                act(1, 0, 1),
+                act(0, 1, 0),
+                act(0, 2, 0),
+                act(1, 2, 1),
+                act(0, 3, 0),
+            ],
+        )
+        .unwrap();
+        let exact = learn_goyal(&g, &log, Some(1));
+        let stream = learn_streaming(&g, &log, StreamConfig::default());
+        assert_eq!(exact, vec![0.5]);
+        assert_eq!(stream, vec![0.5], "wide sketch is exact");
+    }
+
+    #[test]
+    fn lag_window_expires_old_actions() {
+        let g = gen::path(2);
+        let log = ActionLog::new(2, vec![act(0, 0, 0), act(1, 0, 10)]).unwrap();
+        let stream = learn_streaming(
+            &g,
+            &log,
+            StreamConfig {
+                max_lag: 2,
+                ..StreamConfig::default()
+            },
+        );
+        assert_eq!(stream, vec![0.0], "stale action must not get credit");
+    }
+
+    #[test]
+    #[should_panic(expected = "stream out of order")]
+    fn rejects_time_travel_within_item() {
+        let g = gen::path(2);
+        let mut learner = StreamingLearner::new(g.num_nodes(), StreamConfig::default());
+        learner.observe(act(0, 0, 5));
+        learner.observe(act(1, 0, 2));
+    }
+
+    #[test]
+    fn tracks_exact_learner_on_simulated_streams() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let truth = ProbGraph::fixed(gen::gnm(60, 300, &mut rng), 0.4).unwrap();
+        let log = generate_log(
+            &truth,
+            &LogGenConfig {
+                num_items: 800,
+                seeds_per_item: 2,
+                seed: 10,
+            },
+        );
+        let exact = learn_goyal(truth.graph(), &log, Some(1));
+        let stream = learn_streaming(truth.graph(), &log, StreamConfig::default());
+        // CMS never undercounts: streamed probabilities dominate exact
+        // ones, and with ε = 1e-4 the overshoot is tiny.
+        let mut max_over = 0.0f64;
+        for (s, e) in stream.iter().zip(&exact) {
+            assert!(*s >= *e - 1e-12, "undercount: {s} < {e}");
+            max_over = max_over.max(s - e);
+        }
+        assert!(max_over < 0.05, "overcount too large: {max_over}");
+    }
+
+    #[test]
+    fn sketch_memory_is_bounded_and_reported() {
+        let learner = StreamingLearner::new(1000, StreamConfig::default());
+        let bytes = learner.sketch_bytes();
+        assert!(bytes > 0);
+        // ε = 1e-4 → width ≈ 27183, depth ⌈ln(100)⌉ = 5 → ~1.1 MB.
+        assert!(bytes < 2 << 20, "sketch unexpectedly large: {bytes}");
+    }
+
+    #[test]
+    fn items_seen_counts_groups() {
+        let g = gen::path(3);
+        let log = ActionLog::new(
+            3,
+            vec![act(0, 0, 0), act(1, 0, 1), act(2, 5, 0)],
+        )
+        .unwrap();
+        let mut learner = StreamingLearner::new(g.num_nodes(), StreamConfig::default());
+        for (_, ep) in log.episodes() {
+            for &a in ep {
+                learner.observe(a);
+            }
+        }
+        assert_eq!(learner.items_seen(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Monte-Carlo estimation of the expected spread `σ(S)`.
+//!
+//! The expected spread — the objective of influence maximization (§1) — is
+//! `#P`-hard to compute exactly, so Kempe et al. estimate it by averaging
+//! cascade sizes over sampled worlds. `soi-influence` has a faster,
+//! index-backed estimator for greedy loops; this standalone one is the
+//! reference implementation every other estimator is tested against.
+
+use crate::CascadeSampler;
+use soi_graph::{NodeId, ProbGraph};
+
+/// Estimates `σ(seeds)` as the mean cascade size over `samples` independent
+/// cascades. Deterministic in `seed`.
+///
+/// ```
+/// use soi_graph::{gen, ProbGraph};
+/// use soi_sampling::estimate_spread;
+/// // Path 0 -> 1 -> 2 with p = 0.5: σ({0}) = 1 + 1/2 + 1/4.
+/// let pg = ProbGraph::fixed(gen::path(3), 0.5).unwrap();
+/// let sigma = estimate_spread(&pg, &[0], 20_000, 42);
+/// assert!((sigma - 1.75).abs() < 0.05);
+/// ```
+pub fn estimate_spread(pg: &ProbGraph, seeds: &[NodeId], samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut sampler = CascadeSampler::new(pg.num_nodes());
+    let mut out = Vec::new();
+    let mut total = 0usize;
+    for i in 0..samples {
+        let mut rng = crate::world::world_rng(seed, i as u64 as usize);
+        sampler.sample_multi(pg, seeds, &mut rng, &mut out);
+        total += out.len();
+    }
+    total as f64 / samples as f64
+}
+
+/// Exact expected spread by exhaustive world enumeration — `O(2^E)`, only
+/// for graphs with very few edges; anchors the estimator tests.
+pub fn exact_spread_bruteforce(pg: &ProbGraph, seeds: &[NodeId]) -> f64 {
+    let m = pg.num_edges();
+    assert!(m <= 20, "brute force limited to 20 edges");
+    let g = pg.graph();
+    let mut total = 0.0;
+    let mut reach = soi_graph::Reachability::new(pg.num_nodes());
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << m) {
+        // Build the world for this mask.
+        let mut edges = Vec::new();
+        let mut prob = 1.0;
+        let mut e = 0usize;
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                if mask & (1 << e) != 0 {
+                    edges.push((u, v));
+                    prob *= pg.edge_prob(e);
+                } else {
+                    prob *= 1.0 - pg.edge_prob(e);
+                }
+                e += 1;
+            }
+        }
+        let world = soi_graph::DiGraph::from_edges(pg.num_nodes(), &edges).unwrap();
+        reach.multi_source(&world, seeds, &mut out);
+        total += prob * out.len() as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn path_spread_closed_form() {
+        // Path 0->1->2->3 with p = 0.5: σ({0}) = 1 + 1/2 + 1/4 + 1/8.
+        let pg = ProbGraph::fixed(gen::path(4), 0.5).unwrap();
+        let est = estimate_spread(&pg, &[0], 60_000, 42);
+        assert!((est - 1.875).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn estimator_matches_bruteforce() {
+        let mut b = GraphBuilder::new(5);
+        b.add_weighted_edge(0, 1, 0.3);
+        b.add_weighted_edge(0, 2, 0.7);
+        b.add_weighted_edge(1, 3, 0.5);
+        b.add_weighted_edge(2, 3, 0.2);
+        b.add_weighted_edge(3, 4, 0.9);
+        let pg = b.build_prob().unwrap();
+        let exact = exact_spread_bruteforce(&pg, &[0]);
+        let est = estimate_spread(&pg, &[0], 100_000, 7);
+        assert!((est - exact).abs() < 0.02, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn spread_is_monotone_in_seeds() {
+        let pg = ProbGraph::fixed(
+            gen::gnm(30, 90, &mut {
+                use rand::SeedableRng;
+                rand::rngs::SmallRng::seed_from_u64(1)
+            }),
+            0.2,
+        )
+        .unwrap();
+        let s1 = estimate_spread(&pg, &[0], 2_000, 5);
+        let s2 = estimate_spread(&pg, &[0, 1], 2_000, 5);
+        let s3 = estimate_spread(&pg, &[0, 1, 2], 2_000, 5);
+        assert!(s2 >= s1 - 1e-9, "{s2} < {s1}");
+        assert!(s3 >= s2 - 1e-9, "{s3} < {s2}");
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_nothing() {
+        let pg = ProbGraph::fixed(gen::complete(5), 0.5).unwrap();
+        assert_eq!(estimate_spread(&pg, &[], 100, 1), 0.0);
+    }
+
+    #[test]
+    fn seeds_count_themselves() {
+        let pg = ProbGraph::fixed(gen::path(3), 1e-9).unwrap();
+        let s = estimate_spread(&pg, &[0, 2], 500, 2);
+        assert!((s - 2.0).abs() < 0.05, "isolated seeds still count: {s}");
+    }
+}

@@ -1,0 +1,263 @@
+//! A fixed-capacity bitset over `u64` blocks.
+//!
+//! The algorithmic crates use bitsets as visited markers, reachability sets
+//! and transitive-closure rows. We keep our own implementation rather than
+//! pulling an extra dependency: the operations needed are few and the layout
+//! (a boxed `[u64]`) is exactly what the cache wants.
+
+/// A fixed-capacity set of `usize` indices in `[0, capacity)`.
+///
+/// All operations panic if an index is out of capacity, matching slice
+/// semantics — callers size the set once from the graph's node count.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+const BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(BITS)],
+            capacity,
+        }
+    }
+
+    /// Number of indices this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`, returning `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let (b, m) = (i / BITS, 1u64 << (i % BITS));
+        let fresh = self.blocks[b] & m == 0;
+        self.blocks[b] |= m;
+        fresh
+    }
+
+    /// Removes `i`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let (b, m) = (i / BITS, 1u64 << (i % BITS));
+        let present = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.blocks[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes every element, keeping capacity.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// `self ∪= other`. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`. Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without materializing the union.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        let common = self.blocks.len().min(other.blocks.len());
+        let mut n = 0usize;
+        for i in 0..common {
+            n += (self.blocks[i] | other.blocks[i]).count_ones() as usize;
+        }
+        for b in &self.blocks[common..] {
+            n += b.count_ones() as usize;
+        }
+        for b in &other.blocks[common..] {
+            n += b.count_ones() as usize;
+        }
+        n
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the elements as `u32` ids (the node-id width used across the
+    /// workspace), in increasing order.
+    pub fn to_vec_u32(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to fit the largest element (capacity = max + 1).
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits; see [`BitSet::iter`].
+pub struct Ones<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.block_idx * BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports not-fresh");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn contains_out_of_capacity_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn iteration_order_and_clear() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 63, 64, 65, 127, 128, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 127, 128, 199]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64].into_iter().collect();
+        let b: BitSet = [2usize, 3, 4, 64].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(a.union_len(&b), 5);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.len(), 3);
+        assert!(i.contains(2) && i.contains(3) && i.contains(64));
+    }
+
+    #[test]
+    fn union_len_handles_unequal_capacities() {
+        let a: BitSet = [1usize, 200].into_iter().collect();
+        let b: BitSet = [1usize, 2].into_iter().collect();
+        assert_eq!(a.union_len(&b), 3);
+        assert_eq!(b.union_len(&a), 3);
+        assert_eq!(a.intersection_len(&b), 1);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let s = BitSet::new(0);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn to_vec_u32_roundtrip() {
+        let s: BitSet = [3usize, 77, 100].into_iter().collect();
+        assert_eq!(s.to_vec_u32(), vec![3u32, 77, 100]);
+    }
+}

@@ -1,0 +1,148 @@
+//! A count-min sketch: sublinear-memory frequency counting.
+//!
+//! Backs the STRIP-style streaming influence-probability learner
+//! (`soi-problog::streaming`; Kutzkov et al., KDD 2013 — reference [26]
+//! of the paper): counting `(u, v)` propagation events over a stream of
+//! actions whose key space (all arcs) may not fit in memory.
+//!
+//! Standard guarantees: with width `w = ⌈e/ε⌉` and depth `d = ⌈ln(1/δ)⌉`,
+//! the estimate overcounts by at most `ε · N` (stream length `N`) with
+//! probability `1 − δ`, and never undercounts.
+
+use crate::rng::mix64;
+
+/// A count-min sketch over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    counters: Vec<u64>, // depth × width, row-major
+    row_seeds: Vec<u64>,
+    items: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 1 && depth >= 1, "dimensions must be positive");
+        CountMinSketch {
+            width,
+            counters: vec![0; width * depth],
+            row_seeds: (0..depth as u64).map(|i| mix64(seed ^ mix64(i))).collect(),
+            items: 0,
+        }
+    }
+
+    /// Creates a sketch sized for error `ε·N` with failure probability
+    /// `δ` (standard parameterization).
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, key: u64) -> usize {
+        let h = mix64(key ^ self.row_seeds[row]);
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for row in 0..self.row_seeds.len() {
+            let c = self.cell(row, key);
+            self.counters[c] = self.counters[c].saturating_add(count);
+        }
+        self.items += count;
+    }
+
+    /// Point estimate of `key`'s count: never an undercount.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.row_seeds.len())
+            .map(|row| self.counters[self.cell(row, key)])
+            .min()
+            .expect("depth >= 1")
+    }
+
+    /// Total stream length observed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Packs an arc `(u, v)` into the sketch's `u64` key space.
+#[inline]
+pub fn arc_key(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cms = CountMinSketch::new(64, 4, 1);
+        for key in 0..500u64 {
+            cms.add(key, key % 7 + 1);
+        }
+        for key in 0..500u64 {
+            assert!(cms.estimate(key) >= key % 7 + 1, "undercount at {key}");
+        }
+        assert_eq!(cms.estimate(10_000), cms.estimate(10_000)); // deterministic
+    }
+
+    #[test]
+    fn exact_when_oversized() {
+        // Few keys, wide sketch: estimates are exact w.h.p.
+        let mut cms = CountMinSketch::new(1024, 5, 2);
+        for (key, count) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            cms.add(key, count);
+        }
+        assert_eq!(cms.estimate(1), 10);
+        assert_eq!(cms.estimate(2), 20);
+        assert_eq!(cms.estimate(3), 30);
+        assert_eq!(cms.estimate(99), 0);
+    }
+
+    #[test]
+    fn error_bound_holds_statistically() {
+        let eps = 0.01;
+        let mut cms = CountMinSketch::with_error(eps, 0.01, 3);
+        let n_keys = 5_000u64;
+        for key in 0..n_keys {
+            cms.add(key, 1);
+        }
+        let bound = (eps * cms.items() as f64).ceil() as u64;
+        let mut violations = 0;
+        for key in 0..n_keys {
+            if cms.estimate(key) > 1 + bound {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= (n_keys / 100).max(1),
+            "{violations} estimates exceeded the ε-bound"
+        );
+    }
+
+    #[test]
+    fn arc_keys_are_injective() {
+        assert_ne!(arc_key(1, 2), arc_key(2, 1));
+        assert_eq!(arc_key(1, 2), arc_key(1, 2));
+        assert_ne!(arc_key(0, 1), arc_key(1, 0));
+        assert_ne!(arc_key(u32::MAX, 0), arc_key(0, u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dimensions() {
+        CountMinSketch::new(0, 1, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # soi-util
+//!
+//! Shared, dependency-free utilities for the *Spheres of Influence*
+//! workspace: a compact fixed-capacity bitset, streaming/summary statistics,
+//! histogram and empirical-CDF helpers, wall-clock timers, a small TSV
+//! emitter used by every experiment binary, and deterministic seed
+//! derivation for reproducible experiments.
+//!
+//! Nothing in this crate knows about graphs or cascades; it exists so the
+//! algorithmic crates stay focused and allocation-conscious.
+
+pub mod bitset;
+pub mod cms;
+pub mod rng;
+pub mod stats;
+pub mod timer;
+pub mod tsv;
+
+pub use bitset::BitSet;
+pub use stats::{RunningStats, Summary};
+pub use timer::Timer;

@@ -1,0 +1,93 @@
+//! Wall-clock timing helpers for the experiment harness (Figure 4 reports
+//! per-node computation-time distributions).
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in fractional milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restarts the stopwatch and returns the previous elapsed duration.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Times a closure, returning `(result, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// Formats a duration compactly for human-readable experiment logs
+/// (`"412ns"`, `"3.2µs"`, `"15.0ms"`, `"2.34s"`).
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_positive_duration() {
+        let (v, d) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = t.lap();
+        assert!(first >= Duration::from_millis(2));
+        assert!(t.elapsed() < first, "lap restarted the clock");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(412)), "412ns");
+        assert_eq!(format_duration(Duration::from_micros(3200)), "3.2ms");
+        assert_eq!(format_duration(Duration::from_millis(15)), "15.0ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,119 @@
+//! Tab-separated-value emission for experiment outputs.
+//!
+//! Every experiment binary prints a TSV table to stdout (easy to pipe into
+//! plotting tools) and a human summary to stderr. Values containing tabs or
+//! newlines are rejected at write time rather than silently corrupting the
+//! table.
+
+use std::fmt::Display;
+use std::io::{self, Write};
+
+/// Writes a TSV table with a fixed column schema.
+pub struct TsvWriter<W: Write> {
+    out: W,
+    columns: usize,
+}
+
+impl<W: Write> TsvWriter<W> {
+    /// Creates a writer and emits the header row.
+    pub fn new(mut out: W, header: &[&str]) -> io::Result<Self> {
+        assert!(!header.is_empty(), "TSV needs at least one column");
+        write_row_raw(&mut out, header.iter().map(|s| s.to_string()))?;
+        Ok(TsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one data row; panics if the arity differs from the header.
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> io::Result<()> {
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.columns
+        );
+        write_row_raw(&mut self.out, cells.iter().map(|c| c.to_string()))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn write_row_raw<W: Write>(out: &mut W, cells: impl Iterator<Item = String>) -> io::Result<()> {
+    let mut first = true;
+    for cell in cells {
+        assert!(
+            !cell.contains('\t') && !cell.contains('\n'),
+            "TSV cell contains separator: {cell:?}"
+        );
+        if !first {
+            out.write_all(b"\t")?;
+        }
+        out.write_all(cell.as_bytes())?;
+        first = false;
+    }
+    out.write_all(b"\n")
+}
+
+/// Formats an `f64` with enough digits for plotting without noise
+/// (6 significant decimals, trailing zeros trimmed).
+pub fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        return format!("{}", x as i64);
+    }
+    let s = format!("{x:.6}");
+    let s = s.trim_end_matches('0');
+    s.trim_end_matches('.').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TsvWriter::new(&mut buf, &["k", "spread"]).unwrap();
+            w.row(&["1", "10.5"]).unwrap();
+            w.row(&["2", "17.25"]).unwrap();
+        }
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "k\tspread\n1\t10.5\n2\t17.25\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut buf = Vec::new();
+        let mut w = TsvWriter::new(&mut buf, &["a", "b"]).unwrap();
+        let _ = w.row(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "separator")]
+    fn embedded_tab_panics() {
+        let mut buf = Vec::new();
+        let mut w = TsvWriter::new(&mut buf, &["a"]).unwrap();
+        let _ = w.row(&["bad\tcell"]);
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(1.0 / 3.0), "0.333333");
+        assert_eq!(fmt_f64(-2.0), "-2");
+    }
+}

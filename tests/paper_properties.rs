@@ -1,0 +1,171 @@
+//! Property-style integration tests for the paper's qualitative claims,
+//! exercised across crate boundaries.
+
+use spheres_of_influence::core::all_typical_cascades;
+use spheres_of_influence::jaccard::median::MedianConfig;
+use spheres_of_influence::prelude::*;
+use proptest::prelude::*;
+
+/// §5 / §6.4 (stability analysis): the expected cost of a seed set's
+/// typical cascade tends to decrease as the seed set grows — cascading
+/// becomes more predictable with more seeds.
+#[test]
+fn seed_set_cost_tends_to_decrease_with_size() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let pg = ProbGraph::fixed(gen::barabasi_albert(200, 3, true, &mut rng), 0.3).unwrap();
+    let config = TypicalCascadeConfig {
+        median_samples: 400,
+        cost_samples: 400,
+        ..TypicalCascadeConfig::default()
+    };
+    let seeds: Vec<NodeId> = (0..32).map(|i| i * 6).collect();
+    // Average the single-seed cost over several sources: an individual
+    // node can be degenerate (a sink's cascade is always {v}, cost 0).
+    let c1: f64 = seeds
+        .iter()
+        .take(8)
+        .map(|&s| typical_cascade_of_set(&pg, &[s], &config).expected_cost)
+        .sum::<f64>()
+        / 8.0;
+    let c8 = typical_cascade_of_set(&pg, &seeds[..8], &config).expected_cost;
+    let c32 = typical_cascade_of_set(&pg, &seeds, &config).expected_cost;
+    assert!(
+        c32 < c1 + 0.05,
+        "cost should not grow substantially: 1 seed (avg) {c1:.3}, 32 seeds {c32:.3}"
+    );
+    assert!(
+        c32 <= c8 + 0.05,
+        "8 seeds {c8:.3} -> 32 seeds {c32:.3}"
+    );
+}
+
+/// §6.3 (Figure 5): larger typical cascades are more reliable — among
+/// nodes with non-trivial spheres, big spheres should not have the worst
+/// costs.
+#[test]
+fn larger_spheres_are_not_less_reliable() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let pg = ProbGraph::fixed(gen::barabasi_albert(300, 4, true, &mut rng), 0.2).unwrap();
+    let index = CascadeIndex::build(
+        &pg,
+        IndexConfig {
+            num_worlds: 200,
+            seed: 5,
+            ..IndexConfig::default()
+        },
+    );
+    let spheres = all_typical_cascades(&index, &MedianConfig::default(), 0);
+    // Bucket: singleton spheres vs spheres of size >= 20.
+    let big: Vec<f64> = spheres
+        .iter()
+        .filter(|s| s.median.len() >= 20)
+        .map(|s| s.training_cost)
+        .collect();
+    let mid: Vec<f64> = spheres
+        .iter()
+        .filter(|s| (2..20).contains(&s.median.len()))
+        .map(|s| s.training_cost)
+        .collect();
+    if big.len() >= 5 && mid.len() >= 5 {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&big) <= mean(&mid) + 0.1,
+            "big spheres ({} nodes) mean cost {:.3} vs mid {:.3}",
+            big.len(),
+            mean(&big),
+            mean(&mid)
+        );
+    }
+}
+
+/// The spread estimates used by both methods agree with the exact
+/// closed form on graphs where one exists.
+#[test]
+fn spread_oracles_agree_with_closed_form() {
+    // Star: sigma({hub}) = 1 + sum p_i.
+    let mut b = GraphBuilder::new(11);
+    for leaf in 1..11 {
+        b.add_weighted_edge(0, leaf, leaf as f64 / 20.0);
+    }
+    let pg = b.build_prob().unwrap();
+    let closed_form = 1.0 + (1..11).map(|l| l as f64 / 20.0).sum::<f64>();
+    let mc = estimate_spread(&pg, &[0], 100_000, 1);
+    assert!((mc - closed_form).abs() < 0.05, "mc {mc} vs {closed_form}");
+
+    let index = CascadeIndex::build(
+        &pg,
+        IndexConfig {
+            num_worlds: 20_000,
+            seed: 2,
+            ..IndexConfig::default()
+        },
+    );
+    let mut oracle = SpreadOracle::new(&index);
+    let via_index = oracle.spread_of(&[0]);
+    assert!(
+        (via_index - closed_form).abs() < 0.08,
+        "index {via_index} vs {closed_form}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On arbitrary random graphs: every sphere contains its source, has
+    /// bounded cost, and the reported training cost is reproducible.
+    #[test]
+    fn spheres_are_well_formed_on_random_graphs(
+        n in 5usize..40,
+        density in 1usize..5,
+        p in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let m = (n * density).min(n * (n - 1));
+        let pg = ProbGraph::fixed(gen::gnm(n, m, &mut rng), p).unwrap();
+        let index = CascadeIndex::build(
+            &pg,
+            IndexConfig { num_worlds: 24, seed, ..IndexConfig::default() },
+        );
+        let spheres = all_typical_cascades(&index, &MedianConfig::default(), 1);
+        prop_assert_eq!(spheres.len(), n);
+        for s in &spheres {
+            prop_assert!(s.median.contains(&s.node));
+            prop_assert!((0.0..=1.0).contains(&s.training_cost));
+            prop_assert!(s.median.len() <= n);
+            // Canonical form.
+            prop_assert!(s.median.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// InfMax_TC coverage never exceeds the universe and is monotone in k.
+    #[test]
+    fn tc_coverage_is_sane_on_random_spheres(
+        n in 2usize..30,
+        seed in 0u64..500,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let cascades: Vec<Vec<NodeId>> = (0..n)
+            .map(|v| {
+                let mut c: Vec<NodeId> = (0..n as NodeId)
+                    .filter(|_| rng.random_bool(0.2))
+                    .collect();
+                if !c.contains(&(v as NodeId)) {
+                    c.push(v as NodeId);
+                }
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        let r = infmax_tc(&cascades, n, 0);
+        prop_assert!(r.coverage_curve.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        prop_assert!(*r.coverage_curve.last().unwrap() <= n as f64 + 1e-9);
+        // Greedy's first pick is the largest sphere.
+        let max_sphere = cascades.iter().map(|c| c.len()).max().unwrap();
+        prop_assert!((r.coverage_curve[0] - max_sphere as f64).abs() < 1e-9);
+    }
+}
