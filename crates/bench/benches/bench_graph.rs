@@ -2,61 +2,51 @@
 //! and transitive reduction — the per-world work inside Algorithm 1's
 //! index construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_bench::microbench::Bencher;
 use soi_graph::{gen, scc::Condensation, transitive, DiGraph};
+use soi_util::rng::Xoshiro256pp;
 use std::hint::black_box;
 
 fn graph_with(n: usize, avg_deg: usize, seed: u64) -> DiGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     gen::gnm(n, n * avg_deg, &mut rng)
 }
 
-fn bench_scc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tarjan_scc");
+fn bench_scc() {
+    let b = Bencher::group("tarjan_scc");
     for &n in &[1_000usize, 10_000, 50_000] {
         let g = graph_with(n, 4, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| soi_graph::scc::tarjan_scc(black_box(g)))
-        });
+        b.bench(n, || soi_graph::scc::tarjan_scc(black_box(&g)));
     }
-    group.finish();
 }
 
-fn bench_condensation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("condensation");
+fn bench_condensation() {
+    let b = Bencher::group("condensation");
     for &n in &[1_000usize, 10_000] {
         let g = graph_with(n, 4, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| Condensation::new(black_box(g)))
-        });
+        b.bench(n, || Condensation::new(black_box(&g)));
     }
-    group.finish();
 }
 
-fn bench_transitive_reduction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transitive_reduction");
+fn bench_transitive_reduction() {
+    let b = Bencher::group("transitive_reduction");
     // The realistic input is the condensation of a *sampled possible
     // world* (p = 0.15 keeps worlds sparse, so condensations stay large —
     // a dense deterministic graph collapses to one giant SCC).
     for &n in &[500usize, 2_000] {
         let pg = soi_graph::ProbGraph::fixed(graph_with(n, 6, 9), 0.15).unwrap();
         let mut sampler = soi_sampling::WorldSampler::new();
-        let mut rng = SmallRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let world = sampler.sample(&pg, &mut rng);
         let dag = Condensation::new(&world).dag;
-        group.bench_with_input(
-            BenchmarkId::new("dag_comps", dag.num_nodes()),
-            &dag,
-            |b, dag| b.iter(|| transitive::transitive_reduction(black_box(dag)).unwrap()),
-        );
+        b.bench(format!("dag_comps_{}", dag.num_nodes()), || {
+            transitive::transitive_reduction(black_box(&dag)).unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_scc, bench_condensation, bench_transitive_reduction
-);
-criterion_main!(benches);
+fn main() {
+    bench_scc();
+    bench_condensation();
+    bench_transitive_reduction();
+}

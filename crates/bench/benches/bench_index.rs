@@ -2,62 +2,54 @@
 //! (with and without transitive reduction — the §4 design choice), and
 //! cascade-extraction queries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_bench::microbench::Bencher;
 use soi_graph::{gen, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
+use soi_util::rng::Xoshiro256pp;
 use std::hint::black_box;
 
 fn pg(seed: u64) -> ProbGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     ProbGraph::fixed(gen::gnm(3_000, 15_000, &mut rng), 0.15).unwrap()
 }
 
-fn bench_build(c: &mut Criterion) {
+fn bench_build() {
     let pg = pg(1);
-    let mut group = c.benchmark_group("index_build_64_worlds");
-    group.sample_size(10);
+    let b = Bencher::group("index_build_64_worlds").sample_size(10);
     for (label, reduce) in [("with_reduction", true), ("without_reduction", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &reduce, |b, &r| {
-            b.iter(|| {
-                CascadeIndex::build(
-                    black_box(&pg),
-                    IndexConfig {
-                        num_worlds: 64,
-                        seed: 2,
-                        transitive_reduction: r,
-                        threads: 1,
-                    },
-                )
-            })
+        b.bench(label, || {
+            CascadeIndex::build(
+                black_box(&pg),
+                IndexConfig {
+                    num_worlds: 64,
+                    seed: 2,
+                    transitive_reduction: reduce,
+                    threads: 1,
+                },
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_build_parallel(c: &mut Criterion) {
+fn bench_build_parallel() {
     let pg = pg(3);
-    let mut group = c.benchmark_group("index_build_threads");
-    group.sample_size(10);
+    let b = Bencher::group("index_build_threads").sample_size(10);
     for &threads in &[1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                CascadeIndex::build(
-                    black_box(&pg),
-                    IndexConfig {
-                        num_worlds: 64,
-                        seed: 4,
-                        transitive_reduction: true,
-                        threads: t,
-                    },
-                )
-            })
+        b.bench(threads, || {
+            CascadeIndex::build(
+                black_box(&pg),
+                IndexConfig {
+                    num_worlds: 64,
+                    seed: 4,
+                    transitive_reduction: true,
+                    threads,
+                },
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_query(c: &mut Criterion) {
+fn bench_query() {
     let pg = pg(5);
     let index = CascadeIndex::build(
         &pg,
@@ -67,18 +59,16 @@ fn bench_query(c: &mut Criterion) {
             ..IndexConfig::default()
         },
     );
-    c.bench_function("index_cascades_of_one_node", |b| {
-        let mut v = 0u32;
-        b.iter(|| {
-            v = (v + 1) % 3_000;
-            index.cascades_of(black_box(v))
-        })
+    let b = Bencher::group("index_query").sample_size(10);
+    let mut v = 0u32;
+    b.bench("cascades_of_one_node", || {
+        v = (v + 1) % 3_000;
+        index.cascades_of(black_box(v))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_build, bench_build_parallel, bench_query
-);
-criterion_main!(benches);
+fn main() {
+    bench_build();
+    bench_build_parallel();
+    bench_query();
+}

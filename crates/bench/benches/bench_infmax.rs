@@ -2,17 +2,17 @@
 //! plain greedy (`InfMax_std`), `InfMax_TC` max-cover, and the RIS
 //! comparator — the per-method costs behind Figure 6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_bench::microbench::Bencher;
 use soi_core::all_typical_cascades;
 use soi_graph::{gen, NodeId, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
 use soi_influence::{infmax_ris, infmax_std, infmax_tc, GreedyMode};
 use soi_jaccard::median::MedianConfig;
+use soi_util::rng::Xoshiro256pp;
 use std::hint::black_box;
 
 fn setup() -> (ProbGraph, CascadeIndex, Vec<Vec<NodeId>>) {
-    let mut rng = SmallRng::seed_from_u64(1);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
     let pg = ProbGraph::fixed(gen::barabasi_albert(1_000, 3, true, &mut rng), 0.15).unwrap();
     let index = CascadeIndex::build(
         &pg,
@@ -29,40 +29,30 @@ fn setup() -> (ProbGraph, CascadeIndex, Vec<Vec<NodeId>>) {
     (pg, index, cascades)
 }
 
-fn bench_infmax(c: &mut Criterion) {
+fn bench_infmax() {
     let (pg, index, cascades) = setup();
-    let mut group = c.benchmark_group("infmax_k10");
-    group.sample_size(10);
-    group.bench_function("std_celf", |b| {
-        b.iter(|| infmax_std(black_box(&index), 10, GreedyMode::Celf))
+    let b = Bencher::group("infmax_k10").sample_size(10);
+    b.bench("std_celf", || {
+        infmax_std(black_box(&index), 10, GreedyMode::Celf)
     });
-    group.bench_function("std_plain", |b| {
-        b.iter(|| infmax_std(black_box(&index), 10, GreedyMode::Plain { capture_top: 0 }))
+    b.bench("std_plain", || {
+        infmax_std(black_box(&index), 10, GreedyMode::Plain { capture_top: 0 })
     });
-    group.bench_function("tc_cover", |b| {
-        b.iter(|| infmax_tc(black_box(&cascades), 10, 0))
-    });
-    group.bench_function("ris_5000_rr", |b| {
-        b.iter(|| infmax_ris(black_box(&pg), 10, 5_000, 3))
-    });
-    group.finish();
+    b.bench("tc_cover", || infmax_tc(black_box(&cascades), 10, 0));
+    b.bench("ris_5000_rr", || infmax_ris(black_box(&pg), 10, 5_000, 3));
 }
 
-fn bench_all_typical_cascades(c: &mut Criterion) {
+fn bench_all_typical_cascades() {
     let (_pg, index, _cascades) = setup();
-    let mut group = c.benchmark_group("all_typical_cascades_1000_nodes");
-    group.sample_size(10);
+    let b = Bencher::group("all_typical_cascades_1000_nodes").sample_size(10);
     for &threads in &[1usize, 4] {
-        group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| all_typical_cascades(black_box(&index), &MedianConfig::default(), threads))
+        b.bench(format!("threads_{threads}"), || {
+            all_typical_cascades(black_box(&index), &MedianConfig::default(), threads)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_infmax, bench_all_typical_cascades
-);
-criterion_main!(benches);
+fn main() {
+    bench_infmax();
+    bench_all_typical_cascades();
+}

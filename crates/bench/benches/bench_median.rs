@@ -2,61 +2,57 @@
 //! of Algorithm 2 (the paper's Figure 4 reports this as a per-node time
 //! distribution; these benches isolate it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_bench::microbench::Bencher;
 use soi_graph::{gen, ProbGraph};
 use soi_jaccard::median::{jaccard_median_with, MedianConfig};
 use soi_sampling::CascadeSampler;
+use soi_util::rng::Xoshiro256pp;
 use std::hint::black_box;
 
 /// Realistic inputs: actual sampled cascades, not synthetic sets.
 fn cascade_collection(ell: usize, p: f64, seed: u64) -> Vec<Vec<u32>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let pg = ProbGraph::fixed(gen::gnm(2_000, 10_000, &mut rng), p).unwrap();
     CascadeSampler::sample_many(&pg, 0, ell, seed)
 }
 
-fn bench_median_by_samples(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jaccard_median_samples");
+fn bench_median_by_samples() {
+    let b = Bencher::group("jaccard_median_samples");
     for &ell in &[100usize, 256, 1000] {
         let samples = cascade_collection(ell, 0.15, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(ell), &samples, |b, s| {
-            b.iter(|| jaccard_median_with(black_box(s), &MedianConfig::default()))
+        b.bench(ell, || {
+            jaccard_median_with(black_box(&samples), &MedianConfig::default())
         });
     }
-    group.finish();
 }
 
-fn bench_median_by_regime(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jaccard_median_regime");
+fn bench_median_by_regime() {
+    let b = Bencher::group("jaccard_median_regime");
     for &(p, label) in &[(0.05, "small_cascades"), (0.3, "large_cascades")] {
         let samples = cascade_collection(256, p, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &samples, |b, s| {
-            b.iter(|| jaccard_median_with(black_box(s), &MedianConfig::default()))
+        b.bench(label, || {
+            jaccard_median_with(black_box(&samples), &MedianConfig::default())
         });
     }
-    group.finish();
 }
 
-fn bench_sweep_vs_polish(c: &mut Criterion) {
+fn bench_sweep_vs_polish() {
     let samples = cascade_collection(256, 0.15, 3);
-    let mut group = c.benchmark_group("median_ablation");
-    group.bench_function("sweep_only", |b| {
-        let cfg = MedianConfig {
-            local_search_rounds: 0,
-            ..MedianConfig::default()
-        };
-        b.iter(|| jaccard_median_with(black_box(&samples), &cfg))
+    let b = Bencher::group("median_ablation");
+    let sweep_only = MedianConfig {
+        local_search_rounds: 0,
+        ..MedianConfig::default()
+    };
+    b.bench("sweep_only", || {
+        jaccard_median_with(black_box(&samples), &sweep_only)
     });
-    group.bench_function("sweep_plus_local_search", |b| {
-        b.iter(|| jaccard_median_with(black_box(&samples), &MedianConfig::default()))
+    b.bench("sweep_plus_local_search", || {
+        jaccard_median_with(black_box(&samples), &MedianConfig::default())
     });
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_median_by_samples, bench_median_by_regime, bench_sweep_vs_polish
-);
-criterion_main!(benches);
+fn main() {
+    bench_median_by_samples();
+    bench_median_by_regime();
+    bench_sweep_vs_polish();
+}

@@ -1,58 +1,52 @@
 //! Micro-benchmarks for Monte-Carlo machinery: possible-world
 //! materialization, lazy cascade sampling, and spread estimation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_bench::microbench::Bencher;
 use soi_graph::{gen, ProbGraph};
 use soi_sampling::{estimate_spread, CascadeSampler, WorldSampler};
+use soi_util::rng::Xoshiro256pp;
 use std::hint::black_box;
 
 fn pg_with(n: usize, avg_deg: usize, p: f64, seed: u64) -> ProbGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     ProbGraph::fixed(gen::gnm(n, n * avg_deg, &mut rng), p).unwrap()
 }
 
-fn bench_world_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("world_sample");
+fn bench_world_sampling() {
+    let b = Bencher::group("world_sample");
     for &n in &[1_000usize, 10_000] {
         let pg = pg_with(n, 5, 0.1, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &pg, |b, pg| {
-            let mut sampler = WorldSampler::new();
-            let mut rng = SmallRng::seed_from_u64(2);
-            b.iter(|| sampler.sample(black_box(pg), &mut rng))
-        });
+        let mut sampler = WorldSampler::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        b.bench(n, || sampler.sample(black_box(&pg), &mut rng));
     }
-    group.finish();
 }
 
-fn bench_cascade_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lazy_cascade");
+fn bench_cascade_sampling() {
+    let b = Bencher::group("lazy_cascade");
     for &(p, label) in &[(0.05, "subcritical"), (0.3, "supercritical")] {
         let pg = pg_with(5_000, 5, p, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &pg, |b, pg| {
-            let mut sampler = CascadeSampler::new(pg.num_nodes());
-            let mut rng = SmallRng::seed_from_u64(4);
-            let mut out = Vec::new();
-            b.iter(|| {
-                sampler.sample(black_box(pg), 0, &mut rng, &mut out);
-                out.len()
-            })
+        let mut sampler = CascadeSampler::new(pg.num_nodes());
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut out = Vec::new();
+        b.bench(label, || {
+            sampler.sample(black_box(&pg), 0, &mut rng, &mut out);
+            out.len()
         });
     }
-    group.finish();
 }
 
-fn bench_spread_estimation(c: &mut Criterion) {
+fn bench_spread_estimation() {
+    let b = Bencher::group("estimate_spread");
     let pg = pg_with(2_000, 5, 0.1, 5);
     let seeds: Vec<u32> = (0..10).collect();
-    c.bench_function("estimate_spread_1000_samples", |b| {
-        b.iter(|| estimate_spread(black_box(&pg), black_box(&seeds), 1000, 6))
+    b.bench("1000_samples", || {
+        estimate_spread(black_box(&pg), black_box(&seeds), 1000, 6)
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_world_sampling, bench_cascade_sampling, bench_spread_estimation
-);
-criterion_main!(benches);
+fn main() {
+    bench_world_sampling();
+    bench_cascade_sampling();
+    bench_spread_estimation();
+}

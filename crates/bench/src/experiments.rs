@@ -20,7 +20,12 @@ pub fn datasets(args: &Args) -> Vec<Dataset> {
         .into_iter()
         .filter(|&(n, s)| args.selects(&format!("{}-{}", n.name(), s.suffix())))
         .map(|(n, s)| {
-            eprintln!("building {}-{} (scale {})...", n.name(), s.suffix(), args.scale);
+            eprintln!(
+                "building {}-{} (scale {})...",
+                n.name(),
+                s.suffix(),
+                args.scale
+            );
             build(n, s, args.scale, args.seed)
         })
         .collect()
@@ -47,8 +52,18 @@ pub fn table1<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
             data.name(),
             data.graph.num_nodes().to_string(),
             data.graph.num_edges().to_string(),
-            if data.network.directed() { "directed" } else { "undirected" }.to_string(),
-            if data.source.is_learnt() { "learnt" } else { "assigned" }.to_string(),
+            if data.network.directed() {
+                "directed"
+            } else {
+                "undirected"
+            }
+            .to_string(),
+            if data.source.is_learnt() {
+                "learnt"
+            } else {
+                "assigned"
+            }
+            .to_string(),
         ])?;
     }
     w.flush()
@@ -112,10 +127,7 @@ pub fn compute_spheres(args: &Args) -> Vec<SphereStats> {
 
 /// Table 2: avg / sd / max of the typical-cascade size over all nodes.
 pub fn table2<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
-    let mut w = TsvWriter::new(
-        out,
-        &["dataset", "avg_size", "sd_size", "max_size"],
-    )?;
+    let mut w = TsvWriter::new(out, &["dataset", "avg_size", "sd_size", "max_size"])?;
     for s in compute_spheres(args) {
         let mut rs = RunningStats::new();
         for sphere in &s.spheres {
@@ -435,9 +447,8 @@ pub fn figure8<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
             let cost_std =
                 typical_cascade_of_set(&s.dataset.graph, &curves.std_seeds[..c], &config)
                     .expected_cost;
-            let cost_tc =
-                typical_cascade_of_set(&s.dataset.graph, &curves.tc_seeds[..c], &config)
-                    .expected_cost;
+            let cost_tc = typical_cascade_of_set(&s.dataset.graph, &curves.tc_seeds[..c], &config)
+                .expected_cost;
             w.row(&[
                 s.name.clone(),
                 c.to_string(),

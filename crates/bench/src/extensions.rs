@@ -20,19 +20,14 @@ use soi_influence::{
 };
 use soi_jaccard::median::MedianConfig;
 use soi_problog::generate::LogGenConfig;
-use soi_problog::{
-    eval, generate_log, learn_goyal, learn_goyal_jaccard, learn_saito, SaitoConfig,
-};
+use soi_problog::{eval, generate_log, learn_goyal, learn_goyal_jaccard, learn_saito, SaitoConfig};
 use soi_util::tsv::TsvWriter;
 use std::io::Write;
 
 /// Learner recovery quality: for each learnable network, plant a
 /// ground-truth graph, generate a log, and score every learner.
 pub fn table_learners<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
-    let mut w = TsvWriter::new(
-        out,
-        &["network", "learner", "mae", "rmse", "pearson"],
-    )?;
+    let mut w = TsvWriter::new(out, &["network", "learner", "mae", "rmse", "pearson"])?;
     for net in Network::all() {
         if !net.has_activity_log() || !args.selects(net.name()) {
             continue;
@@ -41,21 +36,24 @@ pub fn table_learners<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
         // Reuse the registry's ground-truth construction (build a -S
         // config to get the planted truth + topology).
         let d = build(net, ProbSource::Saito, args.scale, args.seed);
+        // xtask-allow: panic_policy — Saito datasets always carry truth.
         let truth = d.ground_truth.expect("learnt config carries truth");
         // The learnt ProbGraph drops zero arcs; re-learn on the topology
         // to get aligned vectors. Use the same log parameters as the
         // registry.
         let topology = net.build_graph(args.scale, args.seed);
         let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::SmallRng::seed_from_u64(soi_util::rng::derive_seed(args.seed, 0x6c6f67))
+            soi_util::rng::Xoshiro256pp::seed_from_u64(soi_util::rng::derive_seed(
+                args.seed, 0x6c6f67,
+            ))
         };
-        use rand::RngExt;
+        use soi_util::rng::Rng;
         let in_deg = topology.in_degrees();
         let truth_pg = soi_graph::ProbGraph::from_fn(topology, |_, v| {
             let factor = 0.3 + 1.7 * rng.random::<f64>();
             (factor / in_deg[v as usize] as f64).clamp(1e-6, 1.0)
         })
+        // xtask-allow: panic_policy — clamped to [1e-6, 1] above.
         .expect("valid");
         debug_assert_eq!(truth_pg.probs(), &truth[..]);
         let items = ((300.0 * args.scale) as usize).clamp(100, 3000);
@@ -72,7 +70,10 @@ pub fn table_learners<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
                 "saito-em",
                 learn_saito(truth_pg.graph(), &log, &SaitoConfig::default()),
             ),
-            ("goyal-bernoulli", learn_goyal(truth_pg.graph(), &log, Some(1))),
+            (
+                "goyal-bernoulli",
+                learn_goyal(truth_pg.graph(), &log, Some(1)),
+            ),
             (
                 "goyal-jaccard",
                 learn_goyal_jaccard(truth_pg.graph(), &log, Some(1)),
@@ -134,12 +135,9 @@ pub fn figure_lt<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
         let k = args.k.min(20);
         let tc = infmax_tc(&cascades, k, 0);
         let deg = high_degree_seeds(&topo, k);
-        let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::SmallRng::seed_from_u64(args.seed ^ 0x17)
-        };
+        let mut rng = { soi_util::rng::Xoshiro256pp::seed_from_u64(args.seed ^ 0x17) };
         let rand_seeds = random_seeds(&topo, k, &mut rng);
-        let spread = |seeds: &[NodeId], rng: &mut rand::rngs::SmallRng| {
+        let spread = |seeds: &[NodeId], rng: &mut soi_util::rng::Xoshiro256pp| {
             let rounds = 2000;
             (0..rounds)
                 .map(|_| simulate_lt(&lt, seeds, rng).len())
@@ -184,14 +182,14 @@ pub fn figure_baselines<W: Write>(args: &Args, out: W) -> std::io::Result<()> {
         let k = args.k.min(50);
         let spheres = all_typical_cascades(&index, &MedianConfig::default(), 0);
         let cascades: Vec<Vec<NodeId>> = spheres.into_iter().map(|s| s.median).collect();
-        let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::SmallRng::seed_from_u64(args.seed ^ 0x2d)
-        };
+        let mut rng = { soi_util::rng::Xoshiro256pp::seed_from_u64(args.seed ^ 0x2d) };
         let methods: Vec<(&str, Vec<NodeId>)> = vec![
             ("greedy_pool", infmax_std(&index, k, GreedyMode::Celf).seeds),
             ("infmax_tc", infmax_tc(&cascades, k, 0).seeds),
-            ("ris", infmax_ris(pg, k, 20 * pg.num_nodes(), args.seed ^ 0x3f).seeds),
+            (
+                "ris",
+                infmax_ris(pg, k, 20 * pg.num_nodes(), args.seed ^ 0x3f).seeds,
+            ),
             ("degree", high_degree_seeds(pg.graph(), k)),
             ("degree_discount", degree_discount_seeds(pg.graph(), k, 0.1)),
             ("pagerank", pagerank_seeds(pg.graph(), k)),

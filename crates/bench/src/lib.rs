@@ -1,7 +1,7 @@
 //! # soi-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's §6,
-//! plus Criterion micro-benchmarks.
+//! plus dependency-free micro-benchmarks (see [`microbench`]).
 //!
 //! Binaries (`cargo run --release -p soi-bench --bin <name>`):
 //!
@@ -25,5 +25,6 @@
 pub mod cli;
 pub mod experiments;
 pub mod extensions;
+pub mod microbench;
 
 pub use cli::Args;

@@ -1,0 +1,85 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Replaces the former Criterion benches so the workspace builds with no
+//! external registry dependencies (the hermeticity policy enforced by
+//! `cargo xtask lint`). Each bench target under `benches/` is a plain
+//! `fn main()` (`harness = false`) that times closures with
+//! [`Bencher::bench`] and prints one TSV row per case:
+//!
+//! ```text
+//! group/id<TAB>median_ns<TAB>mean_ns<TAB>min_ns<TAB>iters
+//! ```
+//!
+//! Methodology: a warmup (3 iterations or ≥ 50 ms, whichever comes
+//! first), then `sample_size` timed iterations; the median is the
+//! headline number, which is robust to scheduler noise without needing
+//! Criterion's bootstrap machinery.
+
+use std::time::Instant;
+
+/// A named group of micro-benchmarks sharing a sample size.
+pub struct Bencher {
+    group: String,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Creates a group; results print as `group/id`.
+    pub fn group(name: &str) -> Self {
+        Bencher {
+            group: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Sets the number of timed iterations per case (default 20).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints one result row. The closure's return value is
+    /// passed through [`std::hint::black_box`] so the computation is not
+    /// optimized away.
+    pub fn bench<T>(&self, id: impl std::fmt::Display, mut f: impl FnMut() -> T) {
+        // Warmup: at least 3 runs or 50 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 || (warm_start.elapsed().as_millis() < 50 && warm_iters < 1000) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples_ns.push(t.elapsed().as_nanos());
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        let min = samples_ns[0];
+        println!(
+            "{}/{}\t{}\t{}\t{}\t{}",
+            self.group, id, median, mean, min, self.sample_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_and_does_not_panic() {
+        let b = Bencher::group("smoke").sample_size(3);
+        let mut count = 0u64;
+        b.bench("counting", || {
+            count += 1;
+            count
+        });
+        // Warmup (>= 3) plus 3 timed iterations.
+        assert!(count >= 6);
+    }
+}

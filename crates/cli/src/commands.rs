@@ -1,7 +1,6 @@
 //! Subcommand implementations. Everything writes to a supplied
 //! `Write` so the tests drive commands end-to-end in memory.
 
-use rand::{rngs::SmallRng, SeedableRng};
 use soi_core::{typical_cascade, TypicalCascadeConfig};
 use soi_graph::{gen, io as gio, stats, DiGraph, NodeId, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
@@ -13,6 +12,7 @@ use soi_jaccard::median::MedianConfig;
 use soi_problog::{
     learn_goyal, learn_goyal_jaccard, learn_saito, to_prob_graph, Action, ActionLog, SaitoConfig,
 };
+use soi_util::rng::Xoshiro256pp;
 use std::collections::HashMap;
 use std::io::Write;
 
@@ -53,9 +53,7 @@ impl Opts {
                 if switch_names.contains(&name) {
                     switches.push(name.to_string());
                 } else {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     flags.insert(name.to_string(), v.clone());
                 }
             } else {
@@ -75,10 +73,7 @@ impl Opts {
     {
         match self.flags.get(name) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|e| format!("--{name}: {e}")),
+            Some(v) => v.parse().map(Some).map_err(|e| format!("--{name}: {e}")),
         }
     }
 
@@ -86,7 +81,8 @@ impl Opts {
     where
         T::Err: std::fmt::Display,
     {
-        self.get(name)?.ok_or_else(|| format!("--{name} is required"))
+        self.get(name)?
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn has(&self, switch: &str) -> bool {
@@ -144,7 +140,7 @@ fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     let nodes: usize = opts.require("nodes")?;
     let seed: u64 = opts.get("seed")?.unwrap_or(42);
     let undirected = opts.has("undirected");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let topo = match model.as_str() {
         "ba" => {
             let m: usize = opts.get("m")?.unwrap_or(3);
@@ -282,8 +278,7 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     let seed: u64 = opts.get("seed")?.unwrap_or(42);
     let method: String = opts.get("method")?.unwrap_or_else(|| "tc".to_string());
 
-    let needs_index = matches!(method.as_str(), "tc" | "greedy");
-    let index = needs_index.then(|| {
+    let build_index = || {
         CascadeIndex::build(
             &pg,
             IndexConfig {
@@ -292,15 +287,15 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
                 ..IndexConfig::default()
             },
         )
-    });
+    };
     let seeds: Vec<NodeId> = match method.as_str() {
         "tc" => {
-            let index = index.as_ref().expect("built");
-            let spheres = soi_core::all_typical_cascades(index, &MedianConfig::default(), 0);
+            let index = build_index();
+            let spheres = soi_core::all_typical_cascades(&index, &MedianConfig::default(), 0);
             let cascades: Vec<Vec<NodeId>> = spheres.into_iter().map(|s| s.median).collect();
             infmax_tc(&cascades, k, 0).seeds
         }
-        "greedy" => infmax_std(index.as_ref().expect("built"), k, GreedyMode::Celf).seeds,
+        "greedy" => infmax_std(&build_index(), k, GreedyMode::Celf).seeds,
         "mc" => {
             infmax_std_mc(
                 &pg,
@@ -318,7 +313,7 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
         "degree-discount" => degree_discount_seeds(pg.graph(), k, 0.1),
         "pagerank" => pagerank_seeds(pg.graph(), k),
         "random" => {
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
             random_seeds(pg.graph(), k, &mut rng)
         }
         other => return Err(format!("unknown method {other:?}")),
@@ -437,8 +432,19 @@ mod tests {
     fn generate_then_stats_then_sphere() {
         let path = tmp("g1.tsv");
         let msg = run(&[
-            "generate", "--model", "ba", "--nodes", "100", "--m", "2", "--prob", "fixed:0.3",
-            "--seed", "7", "--out", &path,
+            "generate",
+            "--model",
+            "ba",
+            "--nodes",
+            "100",
+            "--m",
+            "2",
+            "--prob",
+            "fixed:0.3",
+            "--seed",
+            "7",
+            "--out",
+            &path,
         ])
         .unwrap();
         assert!(msg.contains("100 nodes"));
@@ -460,9 +466,25 @@ mod tests {
             "--out", &path,
         ])
         .unwrap();
-        for method in ["tc", "greedy", "mc", "ris", "degree", "degree-discount", "pagerank", "random"] {
+        for method in [
+            "tc",
+            "greedy",
+            "mc",
+            "ris",
+            "degree",
+            "degree-discount",
+            "pagerank",
+            "random",
+        ] {
             let out = run(&[
-                "infmax", &path, "--k", "3", "--method", method, "--samples", "64",
+                "infmax",
+                &path,
+                "--k",
+                "3",
+                "--method",
+                method,
+                "--samples",
+                "64",
             ])
             .unwrap_or_else(|e| panic!("{method}: {e}"));
             assert!(out.contains("expected_spread"), "{method}: {out}");
@@ -475,12 +497,28 @@ mod tests {
     fn reliability_queries() {
         let path = tmp("g3.tsv");
         run(&[
-            "generate", "--model", "gnm", "--nodes", "30", "--edges", "120",
-            "--prob", "fixed:0.5", "--out", &path,
+            "generate",
+            "--model",
+            "gnm",
+            "--nodes",
+            "30",
+            "--edges",
+            "120",
+            "--prob",
+            "fixed:0.5",
+            "--out",
+            &path,
         ])
         .unwrap();
         let two = run(&[
-            "reliability", &path, "--source", "0", "--target", "1", "--samples", "2000",
+            "reliability",
+            &path,
+            "--source",
+            "0",
+            "--target",
+            "1",
+            "--samples",
+            "2000",
         ])
         .unwrap();
         assert!(two.starts_with("rel(0, 1)"));
@@ -493,8 +531,17 @@ mod tests {
         // Write a graph and a matching log, learn, load the result.
         let gpath = tmp("g4.tsv");
         run(&[
-            "generate", "--model", "gnm", "--nodes", "20", "--edges", "60",
-            "--prob", "fixed:0.6", "--out", &gpath,
+            "generate",
+            "--model",
+            "gnm",
+            "--nodes",
+            "20",
+            "--edges",
+            "60",
+            "--prob",
+            "fixed:0.6",
+            "--out",
+            &gpath,
         ])
         .unwrap();
         // Synthesize a log from the generated graph.
@@ -552,8 +599,8 @@ mod tests {
         // Out-of-range source.
         let gpath = tmp("g6.tsv");
         run(&[
-            "generate", "--model", "gnm", "--nodes", "10", "--edges", "20",
-            "--prob", "wc", "--out", &gpath,
+            "generate", "--model", "gnm", "--nodes", "10", "--edges", "20", "--prob", "wc",
+            "--out", &gpath,
         ])
         .unwrap();
         assert!(run(&["sphere", &gpath, "--source", "99"]).is_err());

@@ -60,7 +60,12 @@ impl SphereCatalog {
     /// The paper's "large spheres are reliable influencers" shortlist.
     pub fn top_by_reach(&self, k: usize) -> Vec<&NodeTypicalCascade> {
         let mut ranked: Vec<&NodeTypicalCascade> = self.spheres.iter().collect();
-        ranked.sort_by(|a, b| b.median.len().cmp(&a.median.len()).then(a.node.cmp(&b.node)));
+        ranked.sort_by(|a, b| {
+            b.median
+                .len()
+                .cmp(&a.median.len())
+                .then(a.node.cmp(&b.node))
+        });
         ranked.truncate(k);
         ranked
     }
@@ -182,11 +187,8 @@ mod tests {
                 ..IndexConfig::default()
             },
         );
-        let catalog = SphereCatalog::new(crate::all_typical_cascades(
-            &index,
-            &Default::default(),
-            1,
-        ));
+        let catalog =
+            SphereCatalog::new(crate::all_typical_cascades(&index, &Default::default(), 1));
         // The hub has by far the largest sphere.
         assert_eq!(catalog.top_by_reach(1)[0].node, 0);
         // Every leaf is covered by the hub's sphere.

@@ -23,9 +23,11 @@ pub mod catalog;
 pub mod engine;
 pub mod stability;
 
+pub use catalog::SphereCatalog;
 pub use engine::{
     all_typical_cascades, typical_cascade, typical_cascade_of_set, NodeTypicalCascade,
     TypicalCascade, TypicalCascadeConfig,
 };
-pub use catalog::SphereCatalog;
-pub use stability::{expected_cost, expected_cost_of_seed_set, expected_cost_with_ci, CostEstimate};
+pub use stability::{
+    expected_cost, expected_cost_of_seed_set, expected_cost_with_ci, CostEstimate,
+};

@@ -35,7 +35,10 @@ pub fn expected_cost_of_seed_set(
     seed: u64,
 ) -> f64 {
     assert!(samples > 0, "need at least one sample");
-    debug_assert!(candidate.windows(2).all(|w| w[0] < w[1]), "candidate not canonical");
+    debug_assert!(
+        candidate.windows(2).all(|w| w[0] < w[1]),
+        "candidate not canonical"
+    );
     let mut sampler = CascadeSampler::new(pg.num_nodes());
     let mut cascade = Vec::new();
     let mut total = 0.0;
@@ -105,11 +108,7 @@ pub fn expected_cost_with_ci(
 /// Exact `ρ_{G,s}(C)` by exhaustive enumeration of all `2^E` worlds.
 /// Only for ≤ 20 edges; anchors the estimator tests and reproduces the
 /// closed-form quantities of Example 1.
-pub fn exact_expected_cost_bruteforce(
-    pg: &ProbGraph,
-    source: NodeId,
-    candidate: &[NodeId],
-) -> f64 {
+pub fn exact_expected_cost_bruteforce(pg: &ProbGraph, source: NodeId, candidate: &[NodeId]) -> f64 {
     let m = pg.num_edges();
     assert!(m <= 20, "brute force limited to 20 edges");
     let g = pg.graph();
@@ -131,7 +130,9 @@ pub fn exact_expected_cost_bruteforce(
                 e += 1;
             }
         }
-        let world = soi_graph::DiGraph::from_edges(pg.num_nodes(), &edges).unwrap();
+        // World edges are a subset of pg's arcs, so ids are in range.
+        // xtask-allow: panic_policy
+        let world = soi_graph::DiGraph::from_edges(pg.num_nodes(), &edges).expect("subset of pg");
         reach.reachable_from(&world, source, &mut cascade);
         cascade.sort_unstable();
         total += prob * jaccard_distance(candidate, &cascade);
@@ -221,7 +222,10 @@ mod tests {
             large.lo(),
             large.hi()
         );
-        assert!(large.half_width < small.half_width, "CI shrinks with samples");
+        assert!(
+            large.half_width < small.half_width,
+            "CI shrinks with samples"
+        );
         assert!((large.mean - truth).abs() < 0.01);
     }
 

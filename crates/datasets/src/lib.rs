@@ -11,11 +11,11 @@
 //! Naming follows the paper: `-S` (Saito-learnt), `-G` (Goyal-learnt),
 //! `-W` (weighted cascade), `-F` (fixed `p = 0.1`).
 
-use rand::{rngs::SmallRng, SeedableRng};
 use soi_graph::{gen, DiGraph, ProbGraph};
 use soi_problog::generate::LogGenConfig;
 use soi_problog::{assign, generate_log, learn_goyal, learn_saito, to_prob_graph, SaitoConfig};
 use soi_util::rng::derive_seed;
+use soi_util::rng::Xoshiro256pp;
 
 /// How a configuration's probabilities are produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,7 +138,7 @@ impl Network {
     pub fn build_graph(self, scale: f64, seed: u64) -> DiGraph {
         assert!(scale > 0.0, "scale must be positive");
         let n = ((self.base_nodes() as f64 * scale) as usize).max(32);
-        let mut rng = SmallRng::seed_from_u64(derive_seed(seed, self as u64));
+        let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, self as u64));
         match self {
             // Directed fan network, heavy-tailed in-degree.
             Network::DiggSyn => gen::barabasi_albert(n, 6, true, &mut rng),
@@ -195,11 +195,12 @@ pub fn build(network: Network, source: ProbSource, scale: f64, seed: u64) -> Dat
         ProbSource::Fixed => Dataset {
             network,
             source,
+            // xtask-allow: panic_policy — 0.1 is a valid probability.
             graph: assign::fixed(topology, 0.1).expect("0.1 is valid"),
             ground_truth: None,
         },
         ProbSource::Trivalency => {
-            let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x747269));
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, 0x747269));
             Dataset {
                 network,
                 source,
@@ -208,19 +209,20 @@ pub fn build(network: Network, source: ProbSource, scale: f64, seed: u64) -> Dat
             }
         }
         ProbSource::Saito | ProbSource::Goyal => {
-            let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x6c6f67));
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, 0x6c6f67));
             // Ground truth: weighted-cascade-proportional with a random
             // per-arc factor. Realistic influence strengths scale inversely
             // with the target's attention (in-degree) — planting uniform
             // probabilities instead makes dense networks trivially
             // supercritical and every sphere the whole graph, unlike the
             // paper's learnt datasets (Table 2).
-            use rand::RngExt;
+            use soi_util::rng::Rng;
             let in_deg = topology.in_degrees();
             let truth = ProbGraph::from_fn(topology, |_, v| {
                 let factor = 0.3 + 1.7 * rng.random::<f64>();
                 (factor / in_deg[v as usize] as f64).clamp(1e-6, 1.0)
             })
+            // xtask-allow: panic_policy — clamped to [1e-6, 1] above.
             .expect("valid probabilities");
             let items = ((300.0 * scale) as usize).clamp(100, 3000);
             let log = generate_log(
@@ -237,6 +239,8 @@ pub fn build(network: Network, source: ProbSource, scale: f64, seed: u64) -> Dat
                 _ => unreachable!(),
             };
             let graph = to_prob_graph(truth.graph(), &learned, 1e-4)
+                // xtask-allow: panic_policy — to_prob_graph floors at
+                // 1e-4 and both learners emit probabilities in [0, 1].
                 .expect("learner outputs valid probabilities");
             Dataset {
                 network,
@@ -303,7 +307,11 @@ mod tests {
     fn topology_shapes_match_roles() {
         let scale = 0.1;
         // Undirected networks are symmetric.
-        for net in [Network::FlixsterSyn, Network::TwitterSyn, Network::NethepSyn] {
+        for net in [
+            Network::FlixsterSyn,
+            Network::TwitterSyn,
+            Network::NethepSyn,
+        ] {
             let g = net.build_graph(scale, 1);
             assert!(!net.directed());
             for (u, v) in g.edges() {

@@ -31,10 +31,7 @@ impl DiGraph {
         for &(u, v) in edges {
             for w in [u, v] {
                 if w as usize >= num_nodes {
-                    return Err(GraphError::NodeOutOfRange {
-                        node: w,
-                        num_nodes,
-                    });
+                    return Err(GraphError::NodeOutOfRange { node: w, num_nodes });
                 }
             }
             counts[u as usize + 1] += 1;
@@ -58,23 +55,23 @@ impl DiGraph {
     /// Builds a graph directly from CSR arrays.
     ///
     /// Used by hot paths (world sampling) that produce CSR layout natively.
-    /// Requirements, checked with `debug_assert`s: `offsets` is
-    /// monotonically non-decreasing, starts at 0, ends at `targets.len()`,
-    /// and every per-node target slice is sorted with ids `< offsets.len()-1`.
+    /// Requirements, validated in debug builds by
+    /// [`soi_util::invariant::check_csr`]: `offsets` is monotonically
+    /// non-decreasing, starts at 0, ends at `targets.len()`, and every
+    /// per-node target slice is sorted with ids `< offsets.len()-1`.
     pub fn from_csr_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
-        debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(offsets[0], 0);
-        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        let n = offsets.len() - 1;
-        debug_assert!(
-            (0..n).all(|v| {
-                let s = &targets[offsets[v]..offsets[v + 1]];
-                s.windows(2).all(|w| w[0] <= w[1]) && s.iter().all(|&t| (t as usize) < n)
-            }),
-            "per-node target slices must be sorted and in range"
-        );
+        soi_util::invariant::debug_check_csr(&offsets, &targets);
         DiGraph { offsets, targets }
+    }
+
+    /// The raw CSR arrays `(offsets, targets)`.
+    ///
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`; exposed
+    /// so invariant checkers and serializers can walk the layout without
+    /// per-node accessor calls.
+    #[inline]
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.targets)
     }
 
     /// Builds an empty graph with `num_nodes` isolated nodes.
@@ -260,10 +257,7 @@ mod tests {
     #[test]
     fn from_csr_parts_matches_from_edges() {
         let g = diamond();
-        let rebuilt = DiGraph::from_csr_parts(
-            vec![0, 2, 3, 4, 4],
-            vec![1, 2, 3, 3],
-        );
+        let rebuilt = DiGraph::from_csr_parts(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3]);
         assert_eq!(rebuilt, g);
     }
 

@@ -11,7 +11,21 @@
 //! self-loops or duplicate arcs.
 
 use crate::{DiGraph, GraphBuilder, NodeId};
-use rand::{Rng, RngExt};
+use soi_util::rng::Rng;
+
+/// Finalizes a builder whose arcs were generated with ids `< n`.
+fn build_generated(b: GraphBuilder) -> DiGraph {
+    // xtask-allow: panic_policy — every generator draws ids below its own
+    // node count, so the only builder error (id out of range) cannot occur.
+    b.build().expect("generated ids in range")
+}
+
+/// Builds from an edge list whose endpoints were generated with ids `< n`.
+fn from_generated_edges(n: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
+    // xtask-allow: panic_policy — same infallibility argument as
+    // `build_generated`, for generators that emit plain edge lists.
+    DiGraph::from_edges(n, edges).expect("generated ids in range")
+}
 
 /// Erdős–Rényi `G(n, p)`: every ordered pair `(u, v)`, `u != v`, becomes an
 /// arc independently with probability `p`. For `undirected`, pairs are
@@ -31,7 +45,7 @@ pub fn gnp<R: Rng>(n: usize, p: f64, undirected: bool, rng: &mut R) -> DiGraph {
             }
         }
     }
-    b.build().expect("generated ids in range")
+    build_generated(b)
 }
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct arcs chosen uniformly
@@ -49,7 +63,7 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
             edges.push((u, v));
         }
     }
-    DiGraph::from_edges(n, &edges).expect("ids in range")
+    from_generated_edges(n, &edges)
 }
 
 /// Barabási–Albert preferential attachment: nodes arrive one at a time and
@@ -104,7 +118,7 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, directed: bool, rng: &mut R) 
             pool.push(t);
         }
     }
-    b.build().expect("ids in range")
+    build_generated(b)
 }
 
 /// Watts–Strogatz small world: a ring lattice where each node connects to
@@ -138,7 +152,7 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> DiG
             b.add_undirected_edge(u, v, 1.0);
         }
     }
-    b.build().expect("ids in range")
+    build_generated(b)
 }
 
 /// Directed power-law configuration model: each node draws a target
@@ -188,7 +202,7 @@ pub fn powerlaw_configuration<R: Rng>(
             b.add_edge(u, t);
         }
     }
-    b.build().expect("ids in range")
+    build_generated(b)
 }
 
 /// A simple directed path `0 -> 1 -> ... -> n-1`.
@@ -196,20 +210,22 @@ pub fn path(n: usize) -> DiGraph {
     let edges: Vec<_> = (0..n.saturating_sub(1))
         .map(|i| (i as NodeId, (i + 1) as NodeId))
         .collect();
-    DiGraph::from_edges(n, &edges).expect("ids in range")
+    from_generated_edges(n, &edges)
 }
 
 /// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
 pub fn cycle(n: usize) -> DiGraph {
     assert!(n >= 1);
-    let edges: Vec<_> = (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
-    DiGraph::from_edges(n, &edges).expect("ids in range")
+    let edges: Vec<_> = (0..n)
+        .map(|i| (i as NodeId, ((i + 1) % n) as NodeId))
+        .collect();
+    from_generated_edges(n, &edges)
 }
 
 /// A star: node 0 points at every other node.
 pub fn star(n: usize) -> DiGraph {
     let edges: Vec<_> = (1..n).map(|i| (0 as NodeId, i as NodeId)).collect();
-    DiGraph::from_edges(n, &edges).expect("ids in range")
+    from_generated_edges(n, &edges)
 }
 
 /// The complete directed graph on `n` nodes (every ordered pair).
@@ -222,17 +238,17 @@ pub fn complete(n: usize) -> DiGraph {
             }
         }
     }
-    DiGraph::from_edges(n, &edges).expect("ids in range")
+    from_generated_edges(n, &edges)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::SmallRng, SeedableRng};
+    use soi_util::rng::Xoshiro256pp;
 
     #[test]
     fn gnp_extremes() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let g0 = gnp(10, 0.0, false, &mut rng);
         assert_eq!(g0.num_edges(), 0);
         let g1 = gnp(10, 1.0, false, &mut rng);
@@ -247,16 +263,19 @@ mod tests {
 
     #[test]
     fn gnp_density_is_plausible() {
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let g = gnp(100, 0.05, false, &mut rng);
         let expect = 100.0 * 99.0 * 0.05;
         let got = g.num_edges() as f64;
-        assert!((got - expect).abs() < expect * 0.3, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() < expect * 0.3,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]
     fn gnm_exact_count_no_dups() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let g = gnm(50, 200, &mut rng);
         assert_eq!(g.num_edges(), 200);
         let mut es: Vec<_> = g.edges().collect();
@@ -268,7 +287,7 @@ mod tests {
 
     #[test]
     fn ba_degree_heavy_tail() {
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let g = barabasi_albert(500, 3, true, &mut rng);
         assert_eq!(g.num_nodes(), 500);
         // Each new node adds ~m arcs plus the seed clique.
@@ -282,7 +301,7 @@ mod tests {
 
     #[test]
     fn ba_undirected_is_symmetric() {
-        let mut rng = SmallRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let g = barabasi_albert(100, 2, false, &mut rng);
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u), "missing back arc {v}->{u}");
@@ -291,7 +310,7 @@ mod tests {
 
     #[test]
     fn ws_is_symmetric_and_roughly_k_regular() {
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let g = watts_strogatz(200, 4, 0.1, &mut rng);
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u));
@@ -303,7 +322,7 @@ mod tests {
 
     #[test]
     fn powerlaw_degrees_bounded_and_tailed() {
-        let mut rng = SmallRng::seed_from_u64(12);
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
         let g = powerlaw_configuration(400, 2.2, 60, &mut rng);
         assert!(g.nodes().all(|v| g.out_degree(v) <= 60));
         let max_out = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
@@ -323,9 +342,9 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        let g1 = barabasi_albert(100, 2, true, &mut SmallRng::seed_from_u64(5));
-        let g2 = barabasi_albert(100, 2, true, &mut SmallRng::seed_from_u64(5));
-        let g3 = barabasi_albert(100, 2, true, &mut SmallRng::seed_from_u64(6));
+        let g1 = barabasi_albert(100, 2, true, &mut Xoshiro256pp::seed_from_u64(5));
+        let g2 = barabasi_albert(100, 2, true, &mut Xoshiro256pp::seed_from_u64(5));
+        let g3 = barabasi_albert(100, 2, true, &mut Xoshiro256pp::seed_from_u64(6));
         assert_eq!(g1, g2);
         assert_ne!(g1, g3);
     }

@@ -58,11 +58,10 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<ParsedGraph, GraphError> {
         }
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("nodes:") {
-                declared_nodes =
-                    Some(n.trim().parse().map_err(|e| GraphError::Parse {
-                        line: lineno,
-                        message: format!("bad node count: {e}"),
-                    })?);
+                declared_nodes = Some(n.trim().parse().map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    message: format!("bad node count: {e}"),
+                })?);
             }
             continue;
         }
@@ -179,7 +178,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let bad_prob = b"0 1 nope\n" as &[u8];
-        assert!(matches!(read_graph(bad_prob), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_graph(bad_prob),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -190,52 +192,59 @@ mod tests {
         }
     }
 
-    mod proptests {
+    mod roundtrip_properties {
         use super::super::*;
-        use proptest::prelude::*;
+        use soi_util::rng::{Rng, Xoshiro256pp};
 
-        proptest! {
-            /// Any valid probabilistic graph survives a text roundtrip
-            /// bit-for-bit (probabilities included).
-            #[test]
-            fn prob_graph_roundtrips(
-                n in 1usize..30,
-                arcs in prop::collection::vec((0u32..30, 0u32..30, 0.01f64..1.0), 0..80),
-            ) {
+        /// Any valid probabilistic graph survives a text roundtrip
+        /// bit-for-bit (probabilities included). 32 seeded random cases.
+        #[test]
+        fn prob_graph_roundtrips() {
+            for case in 0..32u64 {
+                let mut rng = Xoshiro256pp::from_stream(0x10_0001, case);
+                let n = rng.random_range(1usize..30);
+                let arcs = rng.random_range(0usize..80);
                 let mut b = crate::GraphBuilder::new(n);
-                for (u, v, p) in arcs {
-                    b.add_weighted_edge(u % n as u32, v % n as u32, p);
+                for _ in 0..arcs {
+                    let u = rng.random_range(0u32..30) % n as u32;
+                    let v = rng.random_range(0u32..30) % n as u32;
+                    let p = 0.01 + 0.99 * rng.random::<f64>();
+                    b.add_weighted_edge(u, v, p);
                 }
                 let pg = b.build_prob().unwrap();
                 let mut buf = Vec::new();
                 write_prob_graph(&pg, &mut buf).unwrap();
                 match read_graph(&buf[..]).unwrap() {
-                    ParsedGraph::Probabilistic(back) => prop_assert_eq!(back, pg),
+                    ParsedGraph::Probabilistic(back) => assert_eq!(back, pg, "case {case}"),
                     ParsedGraph::Plain(_) => {
                         // A graph with zero arcs parses as plain; that is
                         // the only case where the variant flips.
-                        prop_assert_eq!(pg.num_edges(), 0);
+                        assert_eq!(pg.num_edges(), 0, "case {case}");
                     }
                 }
             }
+        }
 
-            /// Plain graphs roundtrip too, preserving node count via the
-            /// header even with trailing isolated nodes.
-            #[test]
-            fn plain_graph_roundtrips(
-                n in 1usize..30,
-                arcs in prop::collection::vec((0u32..30, 0u32..30), 0..80),
-            ) {
+        /// Plain graphs roundtrip too, preserving node count via the
+        /// header even with trailing isolated nodes.
+        #[test]
+        fn plain_graph_roundtrips() {
+            for case in 0..32u64 {
+                let mut rng = Xoshiro256pp::from_stream(0x10_0002, case);
+                let n = rng.random_range(1usize..30);
+                let arcs = rng.random_range(0usize..80);
                 let mut b = crate::GraphBuilder::new(n);
-                for (u, v) in arcs {
-                    b.add_edge(u % n as u32, v % n as u32);
+                for _ in 0..arcs {
+                    let u = rng.random_range(0u32..30) % n as u32;
+                    let v = rng.random_range(0u32..30) % n as u32;
+                    b.add_edge(u, v);
                 }
                 let g = b.build().unwrap();
                 let mut buf = Vec::new();
                 write_graph(&g, &mut buf).unwrap();
                 match read_graph(&buf[..]).unwrap() {
-                    ParsedGraph::Plain(back) => prop_assert_eq!(back, g),
-                    ParsedGraph::Probabilistic(_) => prop_assert!(false, "variant flip"),
+                    ParsedGraph::Plain(back) => assert_eq!(back, g, "case {case}"),
+                    ParsedGraph::Probabilistic(_) => panic!("variant flip (case {case})"),
                 }
             }
         }

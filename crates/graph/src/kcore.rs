@@ -17,7 +17,7 @@
 //! sit in deep cores"), complementing the baselines in `soi-influence`.
 
 use crate::{DiGraph, NodeId, ProbGraph};
-use rand::{Rng, RngExt};
+use soi_util::rng::Rng;
 
 /// Undirected degree view: out-neighbors plus in-neighbors, deduplicated.
 fn undirected_adjacency(g: &DiGraph) -> Vec<Vec<NodeId>> {
@@ -68,7 +68,9 @@ fn peel(adj: &[Vec<NodeId>]) -> Vec<u32> {
         if cursor > max_deg {
             break;
         }
-        let v = buckets[cursor].pop().unwrap();
+        let Some(v) = buckets[cursor].pop() else {
+            continue; // bucket drained concurrently with the scan; rescan
+        };
         if removed[v as usize] {
             continue;
         }
@@ -168,12 +170,7 @@ pub fn eta_degrees<R: Rng>(pg: &ProbGraph, eta: f64, samples: usize, rng: &mut R
 /// η-core numbers: peeling over Monte-Carlo η-degrees. A practical MC
 /// analogue of the `(k, η)`-cores of reference [6]; deterministic in the
 /// RNG state.
-pub fn eta_core_numbers<R: Rng>(
-    pg: &ProbGraph,
-    eta: f64,
-    samples: usize,
-    rng: &mut R,
-) -> Vec<u32> {
+pub fn eta_core_numbers<R: Rng>(pg: &ProbGraph, eta: f64, samples: usize, rng: &mut R) -> Vec<u32> {
     // Peel the deterministic adjacency but cap each node's degree signal
     // at its η-degree: a node leaves the k-core once its η-degree bound
     // falls below k.
@@ -251,8 +248,7 @@ mod tests {
 
     #[test]
     fn core_invariant_holds_on_random_graphs() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(3);
         let g = gen::gnm(80, 320, &mut rng);
         let core = core_numbers(&g);
         let adj = undirected_adjacency(&g);
@@ -270,8 +266,7 @@ mod tests {
 
     #[test]
     fn eta_degrees_certain_graph_equal_true_degrees() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(4);
         let g = gen::complete(6);
         let pg = ProbGraph::fixed(g, 1.0).unwrap();
         let d = eta_degrees(&pg, 0.9, 50, &mut rng);
@@ -280,9 +275,8 @@ mod tests {
 
     #[test]
     fn eta_degrees_shrink_with_eta() {
-        use rand::SeedableRng;
-        let mut rng1 = rand::rngs::SmallRng::seed_from_u64(5);
-        let mut rng2 = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng1 = soi_util::rng::Xoshiro256pp::seed_from_u64(5);
+        let mut rng2 = soi_util::rng::Xoshiro256pp::seed_from_u64(5);
         let pg = ProbGraph::fixed(gen::complete(10), 0.5).unwrap();
         let lenient = eta_degrees(&pg, 0.2, 400, &mut rng1);
         let strict = eta_degrees(&pg, 0.9, 400, &mut rng2);
@@ -297,10 +291,9 @@ mod tests {
 
     #[test]
     fn eta_cores_peel_consistently() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(6);
         let pg = ProbGraph::fixed(gen::gnm(50, 250, &mut rng), 0.7).unwrap();
-        let mut rng2 = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng2 = soi_util::rng::Xoshiro256pp::seed_from_u64(7);
         let cores = eta_core_numbers(&pg, 0.5, 200, &mut rng2);
         let det = core_numbers(pg.graph());
         for v in 0..50 {

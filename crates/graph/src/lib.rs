@@ -20,13 +20,13 @@
 pub mod builder;
 pub mod csr;
 pub mod gen;
-pub mod pagerank;
 pub mod io;
 pub mod kcore;
+pub mod pagerank;
 pub mod prob;
 pub mod reach;
-pub mod stats;
 pub mod scc;
+pub mod stats;
 pub mod transitive;
 
 pub use builder::GraphBuilder;
@@ -79,7 +79,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidProbability { edge_index, value } => {
                 write!(f, "edge #{edge_index}: probability {value} not in (0, 1]")

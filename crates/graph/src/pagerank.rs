@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn ranks_sum_to_one_and_are_positive() {
-        let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::SmallRng::seed_from_u64(1)
-        };
+        let mut rng = { soi_util::rng::Xoshiro256pp::seed_from_u64(1) };
         let g = gen::gnm(50, 200, &mut rng);
         let pr = pagerank(&g, &PageRankConfig::default());
         let sum: f64 = pr.iter().sum();

@@ -9,7 +9,7 @@
 //! fixed probability, and the trivalency model.
 
 use crate::{DiGraph, GraphError, NodeId};
-use rand::{Rng, RngExt};
+use soi_util::rng::Rng;
 
 /// A directed graph whose arcs carry independent existence probabilities
 /// in `(0, 1]`.
@@ -63,6 +63,7 @@ impl ProbGraph {
                 probs.push(1.0 / in_deg[v as usize] as f64);
             }
         }
+        soi_util::invariant::debug_check_probabilities(&probs);
         ProbGraph { graph, probs }
     }
 
@@ -72,9 +73,10 @@ impl ProbGraph {
     /// DESIGN.md).
     pub fn trivalency<R: Rng>(graph: DiGraph, rng: &mut R) -> Self {
         const LEVELS: [f64; 3] = [0.1, 0.01, 0.001];
-        let probs = (0..graph.num_edges())
+        let probs: Vec<f64> = (0..graph.num_edges())
             .map(|_| LEVELS[rng.random_range(0..3)])
             .collect();
+        soi_util::invariant::debug_check_probabilities(&probs);
         ProbGraph { graph, probs }
     }
 
@@ -133,7 +135,8 @@ impl ProbGraph {
     /// Out-neighbors of `u` with their probabilities.
     pub fn out_arcs(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         let r = self.graph.edge_range(u);
-        self.graph.out_neighbors(u)
+        self.graph
+            .out_neighbors(u)
             .iter()
             .zip(&self.probs[r])
             .map(|(&v, &p)| (v, p))
@@ -159,7 +162,7 @@ impl ProbGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::SmallRng, SeedableRng};
+    use soi_util::rng::Xoshiro256pp;
 
     fn diamond() -> DiGraph {
         DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
@@ -204,7 +207,7 @@ mod tests {
 
     #[test]
     fn trivalency_draws_from_levels() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let pg = ProbGraph::trivalency(diamond(), &mut rng);
         for &p in pg.probs() {
             assert!([0.1, 0.01, 0.001].contains(&p));

@@ -79,12 +79,14 @@ pub fn tarjan_scc(g: &DiGraph) -> SccResult {
             } else {
                 work.pop();
                 if let Some(&(parent, _)) = work.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of an SCC; pop it off Tarjan's stack.
                     loop {
+                        // v itself is on the stack whenever it is an SCC
+                        // root, so the pop cannot underflow before the
+                        // `w == v` break. xtask-allow: panic_policy
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp_of[w as usize] = num_comps;
@@ -162,7 +164,14 @@ impl Condensation {
         }
         arcs.sort_unstable();
         arcs.dedup();
+        // Component ids are `< nc` by construction, so the only from_edges
+        // error (node out of range) cannot occur.
+        // xtask-allow: panic_policy
         let dag = DiGraph::from_edges(nc, &arcs).expect("component ids in range");
+        {
+            let (offsets, targets) = dag.csr_parts();
+            soi_util::invariant::debug_check_acyclic(offsets, targets);
+        }
 
         Condensation {
             dag,
@@ -217,7 +226,10 @@ mod tests {
         assert!(groups.contains(&vec![2, 3]));
         assert!(groups.contains(&vec![4]));
         // Arc {0,1} -> {2,3} means comp({0,1}) > comp({2,3}).
-        assert!(scc.comp_of[0] > scc.comp_of[2], "ids are reverse-topological");
+        assert!(
+            scc.comp_of[0] > scc.comp_of[2],
+            "ids are reverse-topological"
+        );
     }
 
     #[test]
@@ -231,7 +243,9 @@ mod tests {
     #[test]
     fn single_big_cycle() {
         let n = 1000;
-        let edges: Vec<_> = (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as NodeId, ((i + 1) % n) as NodeId))
+            .collect();
         let scc = tarjan_scc(&DiGraph::from_edges(n, &edges).unwrap());
         assert_eq!(scc.num_comps, 1);
     }
@@ -240,7 +254,9 @@ mod tests {
     fn long_path_does_not_overflow_stack() {
         // 200k-node path; a recursive Tarjan would blow the stack here.
         let n = 200_000;
-        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as NodeId, (i + 1) as NodeId))
+            .collect();
         let scc = tarjan_scc(&DiGraph::from_edges(n, &edges).unwrap());
         assert_eq!(scc.num_comps, n);
     }

@@ -130,12 +130,18 @@ mod tests {
 
     #[test]
     fn degree_stats_heavy_tail_raises_excess_ratio() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(1);
         let regular = degree_stats(&gen::cycle(500));
         let heavy = degree_stats(&gen::barabasi_albert(500, 2, true, &mut rng).reverse());
-        assert!((regular.excess_ratio - 0.0).abs() < 1e-9, "cycle has no excess");
-        assert!(heavy.excess_ratio > 3.0, "BA in-degrees are heavy: {}", heavy.excess_ratio);
+        assert!(
+            (regular.excess_ratio - 0.0).abs() < 1e-9,
+            "cycle has no excess"
+        );
+        assert!(
+            heavy.excess_ratio > 3.0,
+            "BA in-degrees are heavy: {}",
+            heavy.excess_ratio
+        );
     }
 
     #[test]

@@ -254,8 +254,7 @@ mod tests {
     use soi_graph::{gen, ProbGraph};
 
     fn sample_index() -> CascadeIndex {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(3);
         let pg = ProbGraph::fixed(gen::gnm(40, 160, &mut rng), 0.3).unwrap();
         CascadeIndex::build(
             &pg,

@@ -57,11 +57,7 @@ mod tests {
 
     #[test]
     fn series_skips_degenerate_iterations() {
-        let rankings = vec![
-            vec![10.0, 5.0],
-            vec![0.0, 0.0],
-            vec![4.0, 4.0],
-        ];
+        let rankings = vec![vec![10.0, 5.0], vec![0.0, 0.0], vec![4.0, 4.0]];
         assert_eq!(ratio_series(&rankings, 2), vec![0.5, 1.0]);
     }
 
@@ -92,11 +88,7 @@ mod tests {
                 ..IndexConfig::default()
             },
         );
-        let run = crate::infmax_std(
-            &index,
-            8,
-            crate::GreedyMode::Plain { capture_top: 10 },
-        );
+        let run = crate::infmax_std(&index, 8, crate::GreedyMode::Plain { capture_top: 10 });
         let ratios = ratio_series(&run.gain_rankings, 10);
         assert_eq!(ratios.len(), 8);
         // A symmetric cycle has indistinguishable candidates: ratios ≈ 1.

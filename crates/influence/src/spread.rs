@@ -81,8 +81,7 @@ impl<'a> SpreadOracle<'a> {
             if self.covered[i].contains(v as usize) {
                 continue;
             }
-            self.index
-                .cascade(v, i, &mut self.query, &mut self.scratch);
+            self.index.cascade(v, i, &mut self.query, &mut self.scratch);
             gain += self
                 .scratch
                 .iter()
@@ -121,9 +120,7 @@ impl<'a> SpreadOracle<'a> {
             gain += self
                 .scratch
                 .iter()
-                .filter(|&&w| {
-                    !self.covered[i].contains(w as usize) && !aux.contains(w as usize)
-                })
+                .filter(|&&w| !self.covered[i].contains(w as usize) && !aux.contains(w as usize))
                 .count();
         }
         gain as f64 / ell as f64
@@ -138,8 +135,7 @@ impl<'a> SpreadOracle<'a> {
             if self.covered[i].contains(v as usize) {
                 continue;
             }
-            self.index
-                .cascade(v, i, &mut self.query, &mut self.scratch);
+            self.index.cascade(v, i, &mut self.query, &mut self.scratch);
             for &w in &self.scratch {
                 if self.covered[i].insert(w as usize) {
                     gain += 1;
@@ -168,8 +164,7 @@ mod tests {
     use soi_index::IndexConfig;
 
     fn build(seed: u64, worlds: usize) -> (ProbGraph, CascadeIndex) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(seed);
         let pg = ProbGraph::fixed(gen::gnm(50, 250, &mut rng), 0.25).unwrap();
         let index = CascadeIndex::build(
             &pg,

@@ -239,13 +239,11 @@ pub fn infmax_tc_budgeted(cascades: &[Vec<NodeId>], costs: &[f64], budget: f64) 
 
     // Compare with the best single affordable node (guards the ratio
     // rule's pathological cases).
-    let best_single = (0..n)
-        .filter(|&v| costs[v] <= budget)
-        .max_by(|&a, &b| {
-            (cascades[a].len() as f64)
-                .total_cmp(&(cascades[b].len() as f64))
-                .then(b.cmp(&a))
-        });
+    let best_single = (0..n).filter(|&v| costs[v] <= budget).max_by(|&a, &b| {
+        (cascades[a].len() as f64)
+            .total_cmp(&(cascades[b].len() as f64))
+            .then(b.cmp(&a))
+    });
     if let Some(v) = best_single {
         if (cascades[v].len() as f64) > total {
             return TcResult {

@@ -54,7 +54,6 @@ pub fn canonicalize(mut v: Vec<u32>) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn known_distances() {
@@ -79,43 +78,55 @@ mod tests {
         assert_eq!(canonicalize(vec![]), Vec::<u32>::new());
     }
 
-    fn set_strategy() -> impl Strategy<Value = Vec<u32>> {
-        prop::collection::btree_set(0u32..50, 0..20).prop_map(|s| s.into_iter().collect())
+    /// Random canonical set over a 50-element universe, from a derived
+    /// per-(case, slot) stream.
+    fn random_set(case: u64, slot: u64) -> Vec<u32> {
+        use soi_util::rng::{Rng, Xoshiro256pp};
+        use std::collections::BTreeSet;
+        let mut rng = Xoshiro256pp::from_stream(0xD157 ^ slot, case);
+        let len = rng.random_range(0usize..20);
+        let set: BTreeSet<u32> = (0..len).map(|_| rng.random_range(0u32..50)).collect();
+        set.into_iter().collect()
     }
 
-    proptest! {
-        #[test]
-        fn distance_is_symmetric_and_bounded(a in set_strategy(), b in set_strategy()) {
-            let d = jaccard_distance(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&d));
-            prop_assert_eq!(d, jaccard_distance(&b, &a));
-        }
+    /// Metric-space properties over 64 seeded random (a, b, c) triples.
+    #[test]
+    fn distance_is_a_bounded_metric() {
+        for case in 0..64u64 {
+            let a = random_set(case, 1);
+            let b = random_set(case, 2);
+            let c = random_set(case, 3);
 
-        #[test]
-        fn identity_of_indiscernibles(a in set_strategy(), b in set_strategy()) {
+            // Symmetric and bounded.
             let d = jaccard_distance(&a, &b);
-            prop_assert_eq!(d == 0.0, a == b);
-        }
+            assert!((0.0..=1.0).contains(&d), "case {case}");
+            assert_eq!(d, jaccard_distance(&b, &a), "case {case}");
 
-        #[test]
-        fn triangle_inequality(
-            a in set_strategy(),
-            b in set_strategy(),
-            c in set_strategy(),
-        ) {
-            let ab = jaccard_distance(&a, &b);
+            // Identity of indiscernibles.
+            assert_eq!(d == 0.0, a == b, "case {case}");
+
+            // Triangle inequality.
+            let ab = d;
             let bc = jaccard_distance(&b, &c);
             let ac = jaccard_distance(&a, &c);
-            prop_assert!(ac <= ab + bc + 1e-12, "d(a,c)={ac} > {ab}+{bc}");
+            assert!(
+                ac <= ab + bc + 1e-12,
+                "case {case}: d(a,c)={ac} > {ab}+{bc}"
+            );
         }
+    }
 
-        #[test]
-        fn sizes_consistent(a in set_strategy(), b in set_strategy()) {
+    /// Intersection/union size identities over 64 seeded random pairs.
+    #[test]
+    fn sizes_consistent() {
+        for case in 0..64u64 {
+            let a = random_set(case, 4);
+            let b = random_set(case, 5);
             let i = intersection_size(&a, &b);
             let u = union_size(&a, &b);
-            prop_assert_eq!(i + u, a.len() + b.len());
-            prop_assert!(i <= a.len().min(b.len()));
-            prop_assert!(u >= a.len().max(b.len()));
+            assert_eq!(i + u, a.len() + b.len(), "case {case}");
+            assert!(i <= a.len().min(b.len()), "case {case}");
+            assert!(u >= a.len().max(b.len()), "case {case}");
         }
     }
 }

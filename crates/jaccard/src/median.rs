@@ -176,11 +176,7 @@ fn frequency_sweep_inner(
 /// Local search from an explicit starting candidate: repeatedly applies
 /// the single-element toggle with the largest strict improvement, for at
 /// most `rounds` full passes over the candidate pool.
-pub fn local_search(
-    initial: &[u32],
-    samples: &[Vec<u32>],
-    rounds: usize,
-) -> MedianResult {
+pub fn local_search(initial: &[u32], samples: &[Vec<u32>], rounds: usize) -> MedianResult {
     let mut inc = IncrementalCost::new(samples);
     for &e in initial {
         inc.insert(e);
@@ -265,7 +261,6 @@ pub fn exact_median_bruteforce(samples: &[Vec<u32>]) -> MedianResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn identical_samples_yield_that_set() {
@@ -328,7 +323,10 @@ mod tests {
         let bad_start = vec![9, 10, 11];
         let polished = local_search(&bad_start, &samples, 5);
         assert!(polished.cost <= empirical_cost(&bad_start, &samples) + 1e-12);
-        assert!(polished.cost <= 0.5, "should find something near {{3}}/{{2,3,4}}");
+        assert!(
+            polished.cost <= 0.5,
+            "should find something near {{3}}/{{2,3,4}}"
+        );
     }
 
     #[test]
@@ -351,41 +349,56 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    fn sample_collection() -> impl Strategy<Value = Vec<Vec<u32>>> {
-        prop::collection::vec(
-            prop::collection::btree_set(0u32..12, 0..7)
-                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
-            1..7,
-        )
+    /// Random sample collection for the property tests below: 1–6 sets
+    /// over a 12-element universe, drawn from a per-case derived stream.
+    fn sample_collection(case: u64) -> Vec<Vec<u32>> {
+        use soi_util::rng::{Rng, Xoshiro256pp};
+        use std::collections::BTreeSet;
+        let mut rng = Xoshiro256pp::from_stream(0x3ED1A0, case);
+        (0..rng.random_range(1usize..7))
+            .map(|_| {
+                let len = rng.random_range(0usize..7);
+                let set: BTreeSet<u32> = (0..len).map(|_| rng.random_range(0u32..12)).collect();
+                set.into_iter().collect()
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The pipeline's cost is never worse than majority's and within a
-        /// modest factor of the true optimum on small instances.
-        #[test]
-        fn near_optimality_on_small_instances(samples in sample_collection()) {
+    /// The pipeline's cost is never worse than majority's and within a
+    /// modest factor of the true optimum on small instances. 64 seeded
+    /// random cases.
+    #[test]
+    fn near_optimality_on_small_instances() {
+        for case in 0..64u64 {
+            let samples = sample_collection(case);
             let exact = exact_median_bruteforce(&samples);
             let ours = jaccard_median(&samples);
             let maj = empirical_cost(&majority_median(&samples), &samples);
-            prop_assert!(ours.cost <= maj + 1e-12, "worse than majority");
+            assert!(
+                ours.cost <= maj + 1e-12,
+                "worse than majority (case {case})"
+            );
             // The guarantee is multiplicative with an ε-dependent factor:
             // 1 + O(ε). Use the theory-shaped bound (1 + 2ε*) — tight at
             // small ε, permissive on clustered high-ε instances where the
             // optimum itself is poor.
-            prop_assert!(
+            assert!(
                 ours.cost <= exact.cost * (1.0 + 2.0 * exact.cost) + 1e-9,
-                "ours {} vs optimal {}", ours.cost, exact.cost
+                "ours {} vs optimal {} (case {case})",
+                ours.cost,
+                exact.cost
             );
         }
+    }
 
-        /// Reported cost always matches a direct recomputation.
-        #[test]
-        fn reported_cost_is_verifiable(samples in sample_collection()) {
+    /// Reported cost always matches a direct recomputation.
+    #[test]
+    fn reported_cost_is_verifiable() {
+        for case in 64..128u64 {
+            let samples = sample_collection(case);
             let r = jaccard_median(&samples);
             let direct = empirical_cost(&r.median, &samples);
-            prop_assert!((r.cost - direct).abs() < 1e-9);
+            assert!((r.cost - direct).abs() < 1e-9, "case {case}");
         }
     }
 }

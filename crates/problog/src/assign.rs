@@ -5,8 +5,8 @@
 //! find both paths (learnt / assigned) in one crate, plus a uniform-random
 //! assignment used as ground truth by the dataset registry.
 
-use rand::{Rng, RngExt};
 use soi_graph::{DiGraph, GraphError, ProbGraph};
+use soi_util::rng::Rng;
 
 /// Weighted cascade: `p(u, v) = 1 / inDeg(v)` (suffix `-W` in the paper).
 pub fn weighted_cascade(graph: DiGraph) -> ProbGraph {
@@ -42,12 +42,12 @@ pub fn uniform_random<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::SmallRng, SeedableRng};
     use soi_graph::gen;
+    use soi_util::rng::Xoshiro256pp;
 
     #[test]
     fn uniform_random_stays_in_range() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let pg = uniform_random(gen::complete(10), 0.05, 0.4, &mut rng).unwrap();
         assert!(pg.probs().iter().all(|&p| (0.05..=0.4).contains(&p)));
         // Heterogeneous: not all equal.
@@ -58,7 +58,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "need 0 < lo <= hi <= 1")]
     fn uniform_random_validates_bounds() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let _ = uniform_random(gen::path(3), 0.5, 0.2, &mut rng);
     }
 
@@ -68,7 +68,7 @@ mod tests {
         assert_eq!(pg.edge_prob_between(0, 1), Some(1.0));
         let pg = fixed(gen::star(4), 0.1).unwrap();
         assert!(pg.probs().iter().all(|&p| p == 0.1));
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let pg = trivalency(gen::star(4), &mut rng);
         assert!(pg.probs().iter().all(|&p| [0.1, 0.01, 0.001].contains(&p)));
     }

@@ -100,17 +100,12 @@ mod tests {
         // methods, and check the learned values correlate with truth.
         use crate::generate::{generate_log, LogGenConfig};
         use crate::{learn_goyal, learn_saito, SaitoConfig};
-        use rand::{rngs::SmallRng, SeedableRng};
         use soi_graph::gen;
+        use soi_util::rng::Xoshiro256pp;
 
-        let mut rng = SmallRng::seed_from_u64(21);
-        let truth = crate::assign::uniform_random(
-            gen::gnm(40, 200, &mut rng),
-            0.1,
-            0.9,
-            &mut rng,
-        )
-        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let truth =
+            crate::assign::uniform_random(gen::gnm(40, 200, &mut rng), 0.1, 0.9, &mut rng).unwrap();
         let log = generate_log(
             &truth,
             &LogGenConfig {

@@ -9,10 +9,10 @@
 //! the ground-truth probabilities (`eval` module).
 
 use crate::log::{Action, ActionLog};
-use rand::{Rng, RngExt, SeedableRng};
 use soi_graph::{NodeId, ProbGraph};
 use soi_sampling::ic::simulate_ic;
 use soi_util::rng::derive_seed;
+use soi_util::rng::Rng;
 
 /// Options for [`generate_log`].
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +46,7 @@ pub fn generate_log(truth: &ProbGraph, config: &LogGenConfig) -> ActionLog {
     let mut actions = Vec::new();
     for item in 0..config.num_items {
         let mut rng =
-            rand::rngs::SmallRng::seed_from_u64(derive_seed(config.seed, item as u64));
+            soi_util::rng::Xoshiro256pp::seed_from_u64(derive_seed(config.seed, item as u64));
         let seeds = distinct_seeds(truth.num_nodes(), config.seeds_per_item, &mut rng);
         for ev in simulate_ic(truth, &seeds, &mut rng) {
             actions.push(Action {
@@ -56,6 +56,8 @@ pub fn generate_log(truth: &ProbGraph, config: &LogGenConfig) -> ActionLog {
             });
         }
     }
+    // Every action's user comes from simulate_ic on `truth`, so ids are
+    // below truth.num_nodes(). xtask-allow: panic_policy
     ActionLog::new(truth.num_nodes(), actions).expect("simulated users are in range")
 }
 

@@ -73,7 +73,11 @@ impl ActionLog {
         actions.dedup_by_key(|a| (a.item, a.user));
         actions.sort_by_key(|a| (a.item, a.time, a.user));
 
-        let num_items = actions.iter().map(|a| a.item as usize + 1).max().unwrap_or(0);
+        let num_items = actions
+            .iter()
+            .map(|a| a.item as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut item_offsets = vec![0usize; num_items + 1];
         for a in &actions {
             item_offsets[a.item as usize + 1] += 1;

@@ -106,6 +106,8 @@ fn build_contexts(graph: &DiGraph, log: &ActionLog) -> Contexts {
                     Some(&tv) => tv > a.time + 1,
                 };
                 if failed {
+                    // `v` comes from out_neighbors(a.user), so the arc
+                    // exists. xtask-allow: panic_policy
                     let e = edge_id(graph, a.user, v).expect("iterating real arcs");
                     minus[e as usize] += 1;
                 }
@@ -300,10 +302,7 @@ mod tests {
         );
         let learned = learn_saito(truth.graph(), &log, &SaitoConfig::default());
         for (e, &p) in learned.iter().enumerate() {
-            assert!(
-                (p - 0.7).abs() < 0.06,
-                "edge {e}: learned {p}, truth 0.7"
-            );
+            assert!((p - 0.7).abs() < 0.06, "edge {e}: learned {p}, truth 0.7");
         }
     }
 }

@@ -95,11 +95,7 @@ pub fn sparsify_by_log(
             scored.push((arc_score(e), u, v, p));
         }
     }
-    scored.sort_by(|a, b| {
-        b.0.total_cmp(&a.0)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut b = GraphBuilder::new(pg.num_nodes());
     for &(score, u, v, p) in scored.iter().take(budget) {
         if score <= 0.0 {
@@ -119,11 +115,7 @@ pub fn sparsify_by_probability(pg: &ProbGraph, budget: usize) -> Result<ProbGrap
             scored.push((p, u, v));
         }
     }
-    scored.sort_by(|a, b| {
-        b.0.total_cmp(&a.0)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut b = GraphBuilder::new(pg.num_nodes());
     for &(p, u, v) in scored.iter().take(budget) {
         b.add_weighted_edge(u, v, p);
@@ -196,8 +188,7 @@ mod tests {
     fn sparsified_graph_preserves_spread_shape() {
         // Generate a log from a ground-truth graph, sparsify to 60% of
         // arcs, and check expected spread from a hub survives roughly.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(4);
         let truth = crate::assign::uniform_random(
             gen::barabasi_albert(120, 3, true, &mut rng),
             0.1,

@@ -102,8 +102,7 @@ impl StreamingLearner {
         // Credit every strictly-earlier windowed action.
         for earlier in &self.window {
             if earlier.time < action.time {
-                self.pair_counts
-                    .add(arc_key(earlier.user, action.user), 1);
+                self.pair_counts.add(arc_key(earlier.user, action.user), 1);
             }
         }
         self.window.push_back(action);
@@ -139,11 +138,7 @@ impl StreamingLearner {
 }
 
 /// Convenience: stream an entire [`crate::ActionLog`] through the learner.
-pub fn learn_streaming(
-    graph: &DiGraph,
-    log: &crate::ActionLog,
-    config: StreamConfig,
-) -> Vec<f64> {
+pub fn learn_streaming(graph: &DiGraph, log: &crate::ActionLog, config: StreamConfig) -> Vec<f64> {
     let mut learner = StreamingLearner::new(graph.num_nodes(), config);
     for (_, episode) in log.episodes() {
         for &a in episode {
@@ -212,8 +207,7 @@ mod tests {
 
     #[test]
     fn tracks_exact_learner_on_simulated_streams() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(9);
         let truth = ProbGraph::fixed(gen::gnm(60, 300, &mut rng), 0.4).unwrap();
         let log = generate_log(
             &truth,
@@ -247,11 +241,7 @@ mod tests {
     #[test]
     fn items_seen_counts_groups() {
         let g = gen::path(3);
-        let log = ActionLog::new(
-            3,
-            vec![act(0, 0, 0), act(1, 0, 1), act(2, 5, 0)],
-        )
-        .unwrap();
+        let log = ActionLog::new(3, vec![act(0, 0, 0), act(1, 0, 1), act(2, 5, 0)]).unwrap();
         let mut learner = StreamingLearner::new(g.num_nodes(), StreamConfig::default());
         for (_, ep) in log.episodes() {
             for &a in ep {

@@ -8,8 +8,8 @@
 //! most once, so the resulting set has exactly the distribution of
 //! `R_s(G ~ 𝒢)`.
 
-use rand::{Rng, RngExt};
 use soi_graph::{NodeId, ProbGraph};
+use soi_util::rng::Rng;
 
 /// Reusable scratch for lazy cascade sampling (visited stamps + stack).
 #[derive(Clone, Debug)]
@@ -125,7 +125,6 @@ impl CascadeSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use soi_graph::{gen, GraphBuilder, Reachability};
 
     fn example1_graph() -> ProbGraph {
@@ -145,7 +144,7 @@ mod tests {
     fn cascade_always_contains_source() {
         let pg = ProbGraph::fixed(gen::complete(10), 0.1).unwrap();
         let mut s = CascadeSampler::new(10);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(1);
         let mut out = Vec::new();
         for _ in 0..100 {
             s.sample(&pg, 4, &mut rng, &mut out);
@@ -158,7 +157,7 @@ mod tests {
         let g = gen::path(6);
         let pg = ProbGraph::fixed(g.clone(), 1.0).unwrap();
         let mut s = CascadeSampler::new(6);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(2);
         let mut out = Vec::new();
         s.sample(&pg, 2, &mut rng, &mut out);
         out.sort_unstable();
@@ -170,7 +169,7 @@ mod tests {
         // P(cascade of v5 = {v5, v1}) = 0.7 * 0.6 * 0.7 * 0.9 = 0.2646.
         let pg = example1_graph();
         let mut s = CascadeSampler::new(5);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(3);
         let mut out = Vec::new();
         let trials = 200_000;
         let mut hits = 0usize;
@@ -191,7 +190,7 @@ mod tests {
         // via v2.
         let pg = example1_graph();
         let mut s = CascadeSampler::new(5);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(4);
         let mut out = Vec::new();
         for _ in 0..50_000 {
             s.sample(&pg, 4, &mut rng, &mut out);
@@ -206,14 +205,18 @@ mod tests {
         // in materialized worlds (same seeds → same coin stream → identical
         // sets, since both consume one draw per arc in CSR order...
         // traversal order differs, so compare distributions statistically).
-        let pg = ProbGraph::fixed(gen::gnm(40, 160, &mut rand::rngs::SmallRng::seed_from_u64(7)), 0.3).unwrap();
+        let pg = ProbGraph::fixed(
+            gen::gnm(40, 160, &mut soi_util::rng::Xoshiro256pp::seed_from_u64(7)),
+            0.3,
+        )
+        .unwrap();
         let src: NodeId = 0;
         let runs = 4000;
 
         let mut lazy_mean = 0f64;
         let mut s = CascadeSampler::new(40);
         let mut out = Vec::new();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(5);
         for _ in 0..runs {
             s.sample(&pg, src, &mut rng, &mut out);
             lazy_mean += out.len() as f64;
@@ -223,7 +226,7 @@ mod tests {
         let mut world_mean = 0f64;
         let mut ws = crate::WorldSampler::new();
         let mut reach = Reachability::new(40);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(6);
         for _ in 0..runs {
             let w = ws.sample(&pg, &mut rng);
             world_mean += reach.count_reachable(&w, src) as f64;
@@ -246,7 +249,7 @@ mod tests {
         }
         let pg = b.build_prob().unwrap();
         let mut s = CascadeSampler::new(6);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(8);
         let mut out = Vec::new();
         s.sample_multi(&pg, &[0, 3], &mut rng, &mut out);
         out.sort_unstable();

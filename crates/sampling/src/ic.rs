@@ -8,8 +8,8 @@
 //! influence-probability learners (`soi-problog`), whose action logs
 //! record when each user acted.
 
-use rand::{Rng, RngExt};
 use soi_graph::{NodeId, ProbGraph};
+use soi_util::rng::Rng;
 
 /// One activation event of a simulated IC cascade.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,18 +61,20 @@ pub fn simulate_ic<R: Rng>(pg: &ProbGraph, seeds: &[NodeId], rng: &mut R) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use soi_graph::{gen, GraphBuilder};
 
     #[test]
     fn deterministic_path_has_linear_times() {
         let pg = ProbGraph::fixed(gen::path(5), 1.0).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(1);
         let events = simulate_ic(&pg, &[0], &mut rng);
         assert_eq!(
             events,
             (0..5)
-                .map(|i| Activation { node: i as NodeId, time: i as u32 })
+                .map(|i| Activation {
+                    node: i as NodeId,
+                    time: i as u32
+                })
                 .collect::<Vec<_>>()
         );
     }
@@ -80,16 +82,20 @@ mod tests {
     #[test]
     fn seeds_are_time_zero_and_unique() {
         let pg = ProbGraph::fixed(gen::complete(6), 0.5).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(2);
         let events = simulate_ic(&pg, &[3, 1, 3], &mut rng);
-        let zeroes: Vec<_> = events.iter().filter(|e| e.time == 0).map(|e| e.node).collect();
+        let zeroes: Vec<_> = events
+            .iter()
+            .filter(|e| e.time == 0)
+            .map(|e| e.node)
+            .collect();
         assert_eq!(zeroes, vec![3, 1], "dup seed dropped, insertion order kept");
     }
 
     #[test]
     fn each_node_activates_at_most_once() {
         let pg = ProbGraph::fixed(gen::complete(20), 0.3).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(3);
         for _ in 0..50 {
             let events = simulate_ic(&pg, &[0, 1], &mut rng);
             let mut nodes: Vec<_> = events.iter().map(|e| e.node).collect();
@@ -104,8 +110,12 @@ mod tests {
     fn times_are_bfs_layers() {
         // Every non-seed activation must have an in-neighbor activated at
         // exactly time - 1.
-        let pg = ProbGraph::fixed(gen::gnm(30, 120, &mut rand::rngs::SmallRng::seed_from_u64(9)), 0.6).unwrap();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let pg = ProbGraph::fixed(
+            gen::gnm(30, 120, &mut soi_util::rng::Xoshiro256pp::seed_from_u64(9)),
+            0.6,
+        )
+        .unwrap();
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(4);
         let events = simulate_ic(&pg, &[0], &mut rng);
         let time_of: std::collections::HashMap<NodeId, u32> =
             events.iter().map(|e| (e.node, e.time)).collect();
@@ -118,7 +128,11 @@ mod tests {
                 .nodes()
                 .filter(|&u| pg.graph().has_edge(u, e.node))
                 .any(|u| time_of.get(&u) == Some(&(e.time - 1)));
-            assert!(has_parent, "node {} at t={} has no parent at t-1", e.node, e.time);
+            assert!(
+                has_parent,
+                "node {} at t={} has no parent at t-1",
+                e.node, e.time
+            );
         }
     }
 
@@ -131,7 +145,7 @@ mod tests {
         b.add_weighted_edge(0, 3, 0.2);
         let pg = b.build_prob().unwrap();
         let runs = 100_000;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(5);
         let mut size_sum_ic = 0usize;
         for _ in 0..runs {
             size_sum_ic += simulate_ic(&pg, &[0], &mut rng).len();

@@ -59,7 +59,10 @@ pub fn reachability_probabilities(
             counts[v as usize] += 1;
         }
     }
-    counts.into_iter().map(|c| c as f64 / samples as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / samples as f64)
+        .collect()
 }
 
 /// Reliability search: nodes reachable from `sources` with probability

@@ -58,7 +58,9 @@ pub fn exact_spread_bruteforce(pg: &ProbGraph, seeds: &[NodeId]) -> f64 {
                 e += 1;
             }
         }
-        let world = soi_graph::DiGraph::from_edges(pg.num_nodes(), &edges).unwrap();
+        // World edges are a subset of pg's arcs, so ids are in range.
+        // xtask-allow: panic_policy
+        let world = soi_graph::DiGraph::from_edges(pg.num_nodes(), &edges).expect("subset of pg");
         reach.multi_source(&world, seeds, &mut out);
         total += prob * out.len() as f64;
     }
@@ -96,8 +98,7 @@ mod tests {
     fn spread_is_monotone_in_seeds() {
         let pg = ProbGraph::fixed(
             gen::gnm(30, 90, &mut {
-                use rand::SeedableRng;
-                rand::rngs::SmallRng::seed_from_u64(1)
+                soi_util::rng::Xoshiro256pp::seed_from_u64(1)
             }),
             0.2,
         )

@@ -6,8 +6,8 @@
 //! slices of the input are already sorted, and filtering preserves order —
 //! so no re-sort is needed.
 
-use rand::{Rng, RngExt};
 use soi_graph::{DiGraph, NodeId, ProbGraph};
+use soi_util::rng::Rng;
 
 /// Samples possible worlds from a [`ProbGraph`], reusing internal buffers
 /// across calls.
@@ -72,22 +72,20 @@ impl WorldSampler {
 ///
 /// Exposed so tests and the cascade index can re-materialize a specific
 /// world deterministically.
-pub fn world_rng(seed: u64, world: usize) -> rand::rngs::SmallRng {
-    use rand::SeedableRng;
-    rand::rngs::SmallRng::seed_from_u64(soi_util::rng::derive_seed(seed, world as u64))
+pub fn world_rng(seed: u64, world: usize) -> soi_util::rng::Xoshiro256pp {
+    soi_util::rng::Xoshiro256pp::seed_from_u64(soi_util::rng::derive_seed(seed, world as u64))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use soi_graph::{gen, GraphBuilder};
 
     #[test]
     fn world_is_subgraph_with_same_nodes() {
         let pg = ProbGraph::fixed(gen::complete(20), 0.3).unwrap();
         let mut s = WorldSampler::new();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(1);
         for _ in 0..10 {
             let w = s.sample(&pg, &mut rng);
             assert_eq!(w.num_nodes(), 20);
@@ -103,7 +101,7 @@ mod tests {
         let g = gen::path(10);
         let pg = ProbGraph::fixed(g.clone(), 1.0).unwrap();
         let mut s = WorldSampler::new();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(2);
         let w = s.sample(&pg, &mut rng);
         assert_eq!(w, g, "p = 1 keeps everything");
 
@@ -120,7 +118,7 @@ mod tests {
     fn survival_rate_matches_probability() {
         let pg = ProbGraph::fixed(gen::complete(30), 0.25).unwrap();
         let mut s = WorldSampler::new();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(3);
         let mut total = 0usize;
         let rounds = 200;
         for _ in 0..rounds {
@@ -148,7 +146,7 @@ mod tests {
         let pg1 = ProbGraph::fixed(gen::complete(8), 0.9).unwrap();
         let pg2 = ProbGraph::fixed(gen::path(3), 1.0).unwrap();
         let mut s = WorldSampler::new();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(4);
         let _big = s.sample(&pg1, &mut rng);
         let small = s.sample(&pg2, &mut rng);
         assert_eq!(small.num_nodes(), 3);

@@ -35,7 +35,11 @@ impl BitSet {
     /// Inserts `i`, returning `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let (b, m) = (i / BITS, 1u64 << (i % BITS));
         let fresh = self.blocks[b] & m == 0;
         self.blocks[b] |= m;
@@ -45,7 +49,11 @@ impl BitSet {
     /// Removes `i`, returning `true` if it was present.
     #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let (b, m) = (i / BITS, 1u64 << (i % BITS));
         let present = self.blocks[b] & m != 0;
         self.blocks[b] &= !m;

@@ -62,6 +62,8 @@ impl CountMinSketch {
         (0..self.row_seeds.len())
             .map(|row| self.counters[self.cell(row, key)])
             .min()
+            // The constructor asserts depth >= 1, so the iterator is
+            // never empty. xtask-allow: panic_policy
             .expect("depth >= 1")
     }
 
@@ -93,7 +95,7 @@ mod tests {
             cms.add(key, key % 7 + 1);
         }
         for key in 0..500u64 {
-            assert!(cms.estimate(key) >= key % 7 + 1, "undercount at {key}");
+            assert!(cms.estimate(key) > key % 7, "undercount at {key}");
         }
         assert_eq!(cms.estimate(10_000), cms.estimate(10_000)); // deterministic
     }

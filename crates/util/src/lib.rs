@@ -3,14 +3,17 @@
 //! Shared, dependency-free utilities for the *Spheres of Influence*
 //! workspace: a compact fixed-capacity bitset, streaming/summary statistics,
 //! histogram and empirical-CDF helpers, wall-clock timers, a small TSV
-//! emitter used by every experiment binary, and deterministic seed
-//! derivation for reproducible experiments.
+//! emitter used by every experiment binary, deterministic seed derivation
+//! and the workspace RNG ([`rng`]), plus `debug_assertions`-gated runtime
+//! invariant checkers ([`invariant`]) for CSR graphs, edge probabilities,
+//! and condensation DAGs.
 //!
 //! Nothing in this crate knows about graphs or cascades; it exists so the
 //! algorithmic crates stay focused and allocation-conscious.
 
 pub mod bitset;
 pub mod cms;
+pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod timer;

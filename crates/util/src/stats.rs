@@ -261,7 +261,10 @@ mod tests {
         }
         assert_eq!(rs.count(), 8);
         assert!((rs.mean() - 5.0).abs() < 1e-12);
-        assert!((rs.sd() - 2.0).abs() < 1e-12, "population sd of classic example is 2");
+        assert!(
+            (rs.sd() - 2.0).abs() < 1e-12,
+            "population sd of classic example is 2"
+        );
         assert_eq!(rs.min(), 2.0);
         assert_eq!(rs.max(), 9.0);
     }
@@ -341,7 +344,11 @@ mod tests {
             h.push(x);
         }
         assert_eq!(h.total(), 7);
-        assert_eq!(h.counts(), &[3, 1, 1, 2], "out-of-range clamps to edge bins");
+        assert_eq!(
+            h.counts(),
+            &[3, 1, 1, 2],
+            "out-of-range clamps to edge bins"
+        );
         let mids = h.midpoints();
         assert!((mids[0].0 - 0.125).abs() < 1e-12);
         assert!((mids[3].0 - 0.875).abs() < 1e-12);

@@ -1,0 +1,208 @@
+//! Hygiene pass: docs at the top, tests in the crate.
+//!
+//! Two rules per package:
+//!
+//! 1. every `.rs` file under `src/` opens with `//!` module docs — the
+//!    first non-blank line must be a `//!` comment (an initial
+//!    `#![..]` attribute block may precede it);
+//! 2. the package contains at least one `#[test]`, counting unit tests
+//!    under `src/` and integration tests under `tests/`.
+//!
+//! Packages are discovered from `Cargo.toml` files that declare a
+//! `[package]` section (a pure virtual workspace manifest has none).
+
+use crate::report::{Finding, Pass};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Runs the hygiene pass over the whole tree.
+///
+/// `manifests` maps manifest paths to their text; `sources` maps Rust
+/// file paths to their text. All paths are relative to the lint root.
+pub fn check(
+    manifests: &BTreeMap<PathBuf, String>,
+    sources: &BTreeMap<PathBuf, String>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (manifest, text) in manifests {
+        if !declares_package(text) {
+            continue;
+        }
+        let pkg_dir = manifest.parent().unwrap_or(Path::new("")).to_path_buf();
+        let mut has_test = false;
+        for (path, src) in sources {
+            let Ok(rel) = path.strip_prefix(&pkg_dir) else {
+                continue;
+            };
+            // Files of a *nested* package belong to that package.
+            if owned_by_nested_package(manifests, &pkg_dir, path) {
+                continue;
+            }
+            let top = rel.components().next();
+            let in_src = top.is_some_and(|c| c.as_os_str() == "src");
+            let in_tests = top.is_some_and(|c| c.as_os_str() == "tests");
+            if (in_src || in_tests) && src.contains("#[test]") {
+                has_test = true;
+            }
+            if in_src {
+                if let Some(line) = missing_module_docs(src) {
+                    findings.push(Finding {
+                        pass: Pass::Hygiene,
+                        path: path.clone(),
+                        line,
+                        message: "source file does not start with `//!` module docs".into(),
+                    });
+                }
+            }
+        }
+        if !has_test {
+            findings.push(Finding {
+                pass: Pass::Hygiene,
+                path: manifest.clone(),
+                line: 1,
+                message: "package has no `#[test]` (add a unit or integration test)".into(),
+            });
+        }
+    }
+    findings
+}
+
+fn declares_package(manifest_text: &str) -> bool {
+    manifest_text.lines().any(|l| l.trim() == "[package]")
+}
+
+/// True when `path` is inside a package nested under `pkg_dir` (e.g. a
+/// sub-crate's sources must not be attributed to the workspace root).
+fn owned_by_nested_package(
+    manifests: &BTreeMap<PathBuf, String>,
+    pkg_dir: &Path,
+    path: &Path,
+) -> bool {
+    manifests.keys().any(|m| {
+        let dir = m.parent().unwrap_or(Path::new(""));
+        dir != pkg_dir && dir.starts_with(pkg_dir) && path.starts_with(dir)
+    })
+}
+
+/// Returns the offending line number when module docs are missing.
+fn missing_module_docs(src: &str) -> Option<usize> {
+    for (idx, line) in src.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("#![") {
+            continue;
+        }
+        return if t.starts_with("//!") {
+            None
+        } else {
+            Some(idx + 1)
+        };
+    }
+    Some(1) // empty file: no docs at all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps(
+        manifests: &[(&str, &str)],
+        sources: &[(&str, &str)],
+    ) -> (BTreeMap<PathBuf, String>, BTreeMap<PathBuf, String>) {
+        (
+            manifests
+                .iter()
+                .map(|(p, t)| (PathBuf::from(p), t.to_string()))
+                .collect(),
+            sources
+                .iter()
+                .map(|(p, t)| (PathBuf::from(p), t.to_string()))
+                .collect(),
+        )
+    }
+
+    const PKG: &str = "[package]\nname = \"x\"\n";
+
+    #[test]
+    fn documented_tested_crate_passes() {
+        let (m, s) = maps(
+            &[("Cargo.toml", PKG)],
+            &[(
+                "src/lib.rs",
+                "//! Docs.\n#[cfg(test)]\nmod t { #[test]\nfn a() {} }\n",
+            )],
+        );
+        assert!(check(&m, &s).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_flagged_at_first_code_line() {
+        let (m, s) = maps(
+            &[("Cargo.toml", PKG)],
+            &[
+                ("src/lib.rs", "//! Docs.\n#[test]\nfn t() {}\n"),
+                ("src/other.rs", "\nuse std::fmt;\n"),
+            ],
+        );
+        let f = check(&m, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, PathBuf::from("src/other.rs"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn inner_attributes_may_precede_docs() {
+        let src = "#![deny(missing_docs)]\n//! Docs.\nfn f() {}\n#[test]\nfn t() {}\n";
+        let (m, s) = maps(&[("Cargo.toml", PKG)], &[("src/lib.rs", src)]);
+        assert!(check(&m, &s).is_empty());
+    }
+
+    #[test]
+    fn untested_crate_flagged_on_manifest() {
+        let (m, s) = maps(
+            &[("crates/x/Cargo.toml", PKG)],
+            &[("crates/x/src/lib.rs", "//! Docs.\nfn f() {}\n")],
+        );
+        let f = check(&m, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, PathBuf::from("crates/x/Cargo.toml"));
+        assert!(f[0].message.contains("no `#[test]`"));
+    }
+
+    #[test]
+    fn integration_tests_count() {
+        let (m, s) = maps(
+            &[("Cargo.toml", PKG)],
+            &[
+                ("src/lib.rs", "//! Docs.\n"),
+                ("tests/e2e.rs", "#[test]\nfn t() {}\n"),
+            ],
+        );
+        assert!(check(&m, &s).is_empty());
+    }
+
+    #[test]
+    fn virtual_manifest_ignored_and_nesting_respected() {
+        let virtual_ws = "[workspace]\nmembers = [\"crates/*\"]\n";
+        let (m, s) = maps(
+            &[("Cargo.toml", virtual_ws), ("crates/x/Cargo.toml", PKG)],
+            &[("crates/x/src/lib.rs", "//! Docs.\n#[test]\nfn t() {}\n")],
+        );
+        assert!(check(&m, &s).is_empty());
+    }
+
+    #[test]
+    fn root_package_does_not_claim_subcrate_files() {
+        // Root declares [package]; sub-crate files must not satisfy the
+        // root's test requirement.
+        let (m, s) = maps(
+            &[("Cargo.toml", PKG), ("crates/x/Cargo.toml", PKG)],
+            &[
+                ("src/lib.rs", "//! Docs.\n"),
+                ("crates/x/src/lib.rs", "//! Docs.\n#[test]\nfn t() {}\n"),
+            ],
+        );
+        let f = check(&m, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, PathBuf::from("Cargo.toml"));
+    }
+}

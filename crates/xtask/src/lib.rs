@@ -1,0 +1,110 @@
+//! # xtask
+//!
+//! Workspace static analysis for the Spheres-of-Influence repo, run as
+//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Four
+//! passes enforce the contracts the experiments depend on:
+//!
+//! | pass          | contract                                              |
+//! |---------------|-------------------------------------------------------|
+//! | `determinism` | no entropy-seeded RNGs; no unordered-map emission     |
+//! | `panic_policy`| library code returns `Result`, it does not abort      |
+//! | `hermeticity` | no external registry dependencies (offline build)     |
+//! | `hygiene`     | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
+//!
+//! Findings can be suppressed per line with `// xtask-allow: <pass>`
+//! (`#` comments in manifests), which is expected to sit next to a
+//! justification. The runtime counterpart of these static checks lives
+//! in `soi_util::invariant`. See `docs/STATIC_ANALYSIS.md` for the full
+//! policy.
+
+pub mod determinism;
+pub mod hermeticity;
+pub mod hygiene;
+pub mod panic_policy;
+pub mod report;
+pub mod source;
+pub mod walk;
+
+use report::Finding;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Runs every lint pass over the tree rooted at `root`.
+///
+/// Returns findings sorted in canonical order; empty means the tree is
+/// clean. I/O errors (unreadable root) surface as `Err`.
+pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let tree = walk::Tree::discover(root)?;
+
+    let mut sources: BTreeMap<PathBuf, String> = BTreeMap::new();
+    for rel in &tree.rust_files {
+        sources.insert(rel.clone(), std::fs::read_to_string(root.join(rel))?);
+    }
+    let mut manifests: BTreeMap<PathBuf, String> = BTreeMap::new();
+    for rel in &tree.manifests {
+        manifests.insert(rel.clone(), std::fs::read_to_string(root.join(rel))?);
+    }
+
+    let mut findings = Vec::new();
+    for (path, text) in &sources {
+        let scanned = source::scan(text);
+        findings.extend(determinism::check(path, &scanned));
+        findings.extend(panic_policy::check(path, &scanned));
+    }
+    for (path, text) in &manifests {
+        findings.extend(hermeticity::check(path, text));
+    }
+    findings.extend(hygiene::check(&manifests, &sources));
+
+    report::sort_findings(&mut findings);
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_runs_over_a_tiny_clean_tree() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).unwrap();
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[package]\nname = \"tiny\"\n\n[dependencies]\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("src/lib.rs"),
+            "//! Tiny.\npub fn two() -> u32 { 2 }\n#[cfg(test)]\nmod t {\n    #[test]\n    fn works() { assert_eq!(super::two(), 2); }\n}\n",
+        )
+        .unwrap();
+        let findings = run_lint(&root).unwrap();
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lint_aggregates_across_passes() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).unwrap();
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[package]\nname = \"bad\"\n\n[dependencies]\nrand = \"0.8\"\n",
+        )
+        .unwrap();
+        // Missing //! docs, an unwrap, an entropy RNG, and no tests.
+        std::fs::write(
+            root.join("src/lib.rs"),
+            "pub fn f() { let r = thread_rng(); r.x().unwrap(); }\n",
+        )
+        .unwrap();
+        let findings = run_lint(&root).unwrap();
+        let passes: Vec<&str> = findings.iter().map(|f| f.pass.name()).collect();
+        for expect in ["determinism", "panic_policy", "hermeticity", "hygiene"] {
+            assert!(passes.contains(&expect), "missing {expect}: {findings:?}");
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: fully conforming crate.
+
+use std::collections::BTreeMap;
+
+/// Deterministic, sorted, panic-free emission.
+pub fn render(counts: &BTreeMap<u32, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}\t{v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted() {
+        let mut m = BTreeMap::new();
+        m.insert(2, 1);
+        m.insert(1, 9);
+        assert_eq!(render(&m), "1\t9\n2\t1\n");
+    }
+}

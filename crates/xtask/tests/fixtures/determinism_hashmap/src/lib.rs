@@ -1,0 +1,17 @@
+//! Fixture: unordered emission.
+
+use std::collections::HashMap;
+
+pub fn dump(counts: HashMap<u32, u32>) {
+    for (k, v) in counts.iter() {
+        println!("{k}\t{v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

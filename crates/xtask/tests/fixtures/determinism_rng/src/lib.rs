@@ -1,0 +1,14 @@
+//! Fixture: entropy-seeded RNG.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,11 @@
+pub fn two() -> u32 {
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: no tests anywhere.
+
+pub fn two() -> u32 {
+    2
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `xtask lint` binary against fixture trees.
+//!
+//! Each fixture under `tests/fixtures/` seeds exactly one violation; the
+//! tests assert that the right pass fires at the right file and line and
+//! that the process exits nonzero. The `clean` fixture and the real
+//! workspace tree must both exit 0 — the latter keeps the repo honest:
+//! if a lint regression slips into any crate, this suite fails.
+
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_lint(root: &Path) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn xtask binary")
+}
+
+/// Runs the linter on a fixture and asserts a nonzero exit plus a
+/// finding at `location` (a `path:line: [pass]` prefix).
+fn assert_flags(fixture: &str, location: &str) {
+    let out = run_lint(&fixtures_dir().join(fixture));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "{fixture}: expected nonzero exit; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.starts_with(location)),
+        "{fixture}: no finding starting with `{location}`; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn determinism_flags_entropy_rng() {
+    assert_flags("determinism_rng", "src/lib.rs:4: [determinism]");
+}
+
+#[test]
+fn determinism_flags_unordered_emission() {
+    assert_flags("determinism_hashmap", "src/lib.rs:6: [determinism]");
+}
+
+#[test]
+fn panic_policy_flags_library_unwrap() {
+    assert_flags("panic_policy", "src/lib.rs:4: [panic_policy]");
+}
+
+#[test]
+fn hermeticity_flags_registry_dependency() {
+    assert_flags("hermeticity", "Cargo.toml:7: [hermeticity]");
+}
+
+#[test]
+fn hygiene_flags_missing_module_docs() {
+    assert_flags("hygiene_docs", "src/lib.rs:1: [hygiene]");
+}
+
+#[test]
+fn hygiene_flags_missing_tests() {
+    assert_flags("hygiene_tests", "Cargo.toml:1: [hygiene]");
+}
+
+#[test]
+fn each_bad_fixture_reports_exactly_one_finding() {
+    for fixture in [
+        "determinism_rng",
+        "determinism_hashmap",
+        "panic_policy",
+        "hermeticity",
+        "hygiene_docs",
+        "hygiene_tests",
+    ] {
+        let out = run_lint(&fixtures_dir().join(fixture));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let findings = stdout.lines().filter(|l| l.contains(": [")).count();
+        assert_eq!(
+            findings, 1,
+            "{fixture}: expected exactly the seeded violation; got:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let out = run_lint(&fixtures_dir().join("clean"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean fixture flagged:\n{stdout}");
+    assert!(stdout.trim().is_empty(), "clean fixture output:\n{stdout}");
+}
+
+#[test]
+fn real_workspace_tree_is_clean() {
+    // crates/xtask/../.. is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace tree has lint findings:\n{stdout}"
+    );
+}

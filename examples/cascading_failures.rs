@@ -16,8 +16,8 @@ use spheres_of_influence::jaccard::median::MedianConfig;
 use spheres_of_influence::prelude::*;
 
 fn main() {
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+    use soi_util::rng::Rng;
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(31);
 
     // 4 layers of services: databases (0..10) <- caches (10..40)
     // <- backends (40..140) <- frontends (140..340). An arc A -> B means
@@ -62,7 +62,12 @@ fn main() {
 
     // Rank by blast radius.
     let mut ranked: Vec<_> = spheres.iter().collect();
-    ranked.sort_by(|a, b| b.median.len().cmp(&a.median.len()).then(a.node.cmp(&b.node)));
+    ranked.sort_by(|a, b| {
+        b.median
+            .len()
+            .cmp(&a.median.len())
+            .then(a.node.cmp(&b.node))
+    });
     println!("\ntop-5 blast radii (typical failure cascade):");
     for s in ranked.iter().take(5) {
         println!(

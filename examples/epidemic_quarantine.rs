@@ -13,8 +13,8 @@
 use spheres_of_influence::prelude::*;
 
 fn main() {
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    use soi_util::rng::Rng;
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(11);
 
     // Contact network: households (cliques of 3-5, high transmission)
     // loosely connected through workplaces (random arcs, low transmission).

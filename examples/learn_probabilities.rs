@@ -16,8 +16,7 @@ use spheres_of_influence::problog::{
 };
 
 fn main() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(5);
 
     // Ground truth: heterogeneous probabilities on a social graph.
     let topology = gen::barabasi_albert(400, 4, true, &mut rng);

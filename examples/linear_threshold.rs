@@ -16,8 +16,7 @@ use spheres_of_influence::sampling::lt::{simulate_lt, LtGraph, LtWorldSampler};
 use spheres_of_influence::sampling::world::world_rng;
 
 fn main() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(99);
 
     // An organization's communication graph; LT weights are the standard
     // uniform 1/inDeg (each colleague contributes equally to persuasion).
@@ -86,9 +85,9 @@ fn main() {
     );
 
     // 5. Validate with direct LT simulation (thresholds, no live edges).
-    let mut sim_rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut sim_rng = soi_util::rng::Xoshiro256pp::seed_from_u64(7);
     let rounds = 3000;
-    let mean = |seeds: &[NodeId], rng: &mut rand::rngs::SmallRng| {
+    let mean = |seeds: &[NodeId], rng: &mut soi_util::rng::Xoshiro256pp| {
         (0..rounds)
             .map(|_| simulate_lt(&lt, seeds, rng).len())
             .sum::<usize>() as f64

@@ -15,8 +15,7 @@ fn main() {
     // 300-node preferential-attachment network with weighted-cascade
     // probabilities (p(u,v) = 1/inDeg(v)) — one of the paper's standard
     // benchmark assignments.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(42);
     let topology = gen::barabasi_albert(300, 3, true, &mut rng);
     let graph = ProbGraph::weighted_cascade(topology);
     println!(

@@ -14,8 +14,8 @@ use spheres_of_influence::jaccard::median::MedianConfig;
 use spheres_of_influence::prelude::*;
 
 fn main() {
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    use soi_util::rng::Rng;
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(2024);
 
     // A two-community network: nodes 0..200 are "teens", 200..400 are
     // "professionals"; cross-community arcs are rarer.
@@ -75,7 +75,10 @@ fn main() {
 
     // --- Campaign 3: influencers charge by their reach -----------------
     // Cost of seeding u = 1 + |sphere(u)| / 4 (big influencers are pricey).
-    let costs: Vec<f64> = cascades.iter().map(|c| 1.0 + c.len() as f64 / 4.0).collect();
+    let costs: Vec<f64> = cascades
+        .iter()
+        .map(|c| 1.0 + c.len() as f64 / 4.0)
+        .collect();
     let budget = 30.0;
     let budgeted = infmax_tc_budgeted(&cascades, &costs, budget);
     let spent: f64 = budgeted.seeds.iter().map(|&s| costs[s as usize]).sum();

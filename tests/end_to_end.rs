@@ -59,12 +59,10 @@ fn theorem2_more_samples_do_not_degrade_the_median() {
     // with ℓ samples approaches the optimum as ℓ grows; in particular the
     // true cost at ℓ = 64 should already be within a modest factor of the
     // cost at ℓ = 2048.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(1);
     let pg = ProbGraph::fixed(gen::gnm(60, 240, &mut rng), 0.25).unwrap();
-    let eval = |median: &[NodeId]| {
-        spheres_of_influence::core::expected_cost(&pg, 0, median, 20_000, 777)
-    };
+    let eval =
+        |median: &[NodeId]| spheres_of_influence::core::expected_cost(&pg, 0, median, 20_000, 777);
     let small = typical_cascade(
         &pg,
         0,
@@ -135,8 +133,14 @@ fn full_pipeline_on_a_benchmark_dataset() {
     let sigma_tc = estimate_spread(&data.graph, &tc_run.seeds, 3000, 5);
     let random: Vec<NodeId> = (0..k as NodeId).map(|i| i * 7 % n as NodeId).collect();
     let sigma_rand = estimate_spread(&data.graph, &random, 3000, 5);
-    assert!(sigma_std > sigma_rand, "std {sigma_std} vs random {sigma_rand}");
-    assert!(sigma_tc > sigma_rand, "tc {sigma_tc} vs random {sigma_rand}");
+    assert!(
+        sigma_std > sigma_rand,
+        "std {sigma_std} vs random {sigma_rand}"
+    );
+    assert!(
+        sigma_tc > sigma_rand,
+        "tc {sigma_tc} vs random {sigma_rand}"
+    );
     assert!(
         sigma_tc > 0.5 * sigma_std,
         "tc {sigma_tc} far below std {sigma_std}"
@@ -145,8 +149,7 @@ fn full_pipeline_on_a_benchmark_dataset() {
 
 #[test]
 fn ris_and_greedy_agree_on_good_seeds() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+    let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(6);
     let pg = ProbGraph::fixed(gen::barabasi_albert(150, 3, true, &mut rng), 0.25).unwrap();
     let index = CascadeIndex::build(
         &pg,

@@ -2,7 +2,7 @@
 //! pipeline: LT live-edge worlds feed the same cascade index, Jaccard
 //! medians, and `InfMax_TC` as IC does.
 
-use rand::{rngs::SmallRng, SeedableRng};
+use soi_util::rng::Xoshiro256pp;
 use spheres_of_influence::graph::{gen, DiGraph, Reachability};
 use spheres_of_influence::index::{CascadeIndex, IndexConfig};
 use spheres_of_influence::influence::infmax_tc;
@@ -19,7 +19,7 @@ fn lt_worlds(lt: &LtGraph, count: usize, seed: u64) -> Vec<DiGraph> {
 
 #[test]
 fn lt_worlds_feed_the_cascade_index() {
-    let mut rng = SmallRng::seed_from_u64(6);
+    let mut rng = Xoshiro256pp::seed_from_u64(6);
     let topo = gen::gnm(40, 200, &mut rng);
     let lt = LtGraph::uniform(&topo);
     let worlds = lt_worlds(&lt, 32, 7);
@@ -51,7 +51,7 @@ fn lt_worlds_feed_the_cascade_index() {
 
 #[test]
 fn lt_typical_cascades_and_infmax_tc() {
-    let mut rng = SmallRng::seed_from_u64(8);
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
     let topo = gen::barabasi_albert(120, 3, true, &mut rng);
     let lt = LtGraph::uniform(&topo);
     let worlds = lt_worlds(&lt, 64, 9);
@@ -72,8 +72,8 @@ fn lt_typical_cascades_and_infmax_tc() {
 
     // The selected seeds spread under direct LT simulation at least as
     // well as a fixed arbitrary set.
-    let mut rng = SmallRng::seed_from_u64(10);
-    let mean_spread = |seeds: &[u32], rng: &mut SmallRng| {
+    let mut rng = Xoshiro256pp::seed_from_u64(10);
+    let mean_spread = |seeds: &[u32], rng: &mut Xoshiro256pp| {
         let rounds = 2000;
         (0..rounds)
             .map(|_| simulate_lt(&lt, seeds, rng).len())
