@@ -49,4 +49,5 @@ fn main() {
     bench_scc();
     bench_condensation();
     bench_transitive_reduction();
+    soi_bench::microbench::write_summary();
 }

@@ -71,4 +71,5 @@ fn main() {
     bench_build();
     bench_build_parallel();
     bench_query();
+    soi_bench::microbench::write_summary();
 }

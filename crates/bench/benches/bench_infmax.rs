@@ -55,4 +55,5 @@ fn bench_all_typical_cascades() {
 fn main() {
     bench_infmax();
     bench_all_typical_cascades();
+    soi_bench::microbench::write_summary();
 }

@@ -55,4 +55,5 @@ fn main() {
     bench_median_by_samples();
     bench_median_by_regime();
     bench_sweep_vs_polish();
+    soi_bench::microbench::write_summary();
 }

@@ -49,4 +49,5 @@ fn main() {
     bench_world_sampling();
     bench_cascade_sampling();
     bench_spread_estimation();
+    soi_bench::microbench::write_summary();
 }

@@ -14,8 +14,42 @@
 //! first), then `sample_size` timed iterations; the median is the
 //! headline number, which is robust to scheduler noise without needing
 //! Criterion's bootstrap machinery.
+//!
+//! Every result is also recorded in-process; a bench `main` ends with
+//! [`write_summary`], which merges its rows by name into the
+//! machine-readable `BENCH_summary.json` at the repository root so CI
+//! and regression tooling can diff runs without scraping stdout.
 
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One finished micro-benchmark case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// `group/id` of the case.
+    pub name: String,
+    /// Median of the timed samples, nanoseconds.
+    pub median_ns: u128,
+    /// 90th percentile (nearest-rank) of the timed samples, nanoseconds.
+    pub p90_ns: u128,
+    /// Mean of the timed samples, nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest timed sample, nanoseconds.
+    pub min_ns: u128,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Results accumulated by every [`Bencher`] in this process.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(r: BenchRecord) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(r);
+}
 
 /// A named group of micro-benchmarks sharing a sample size.
 pub struct Bencher {
@@ -58,12 +92,97 @@ impl Bencher {
         }
         samples_ns.sort_unstable();
         let median = samples_ns[samples_ns.len() / 2];
+        let p90 = percentile(&samples_ns, 90);
         let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
         let min = samples_ns[0];
         println!(
             "{}/{}\t{}\t{}\t{}\t{}",
             self.group, id, median, mean, min, self.sample_size
         );
+        record(BenchRecord {
+            name: format!("{}/{}", self.group, id),
+            median_ns: median,
+            p90_ns: p90,
+            mean_ns: mean,
+            min_ns: min,
+            iters: self.sample_size,
+        });
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+fn percentile(sorted_ns: &[u128], pct: usize) -> u128 {
+    let rank = (sorted_ns.len() * pct).div_ceil(100).max(1);
+    sorted_ns[rank - 1]
+}
+
+/// Serializes one record as a single JSON object line.
+fn render_record(r: &BenchRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"median_ns\":{},\"p90_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"iters\":{}}}",
+        r.name, r.median_ns, r.p90_ns, r.mean_ns, r.min_ns, r.iters
+    )
+}
+
+/// Parses a line previously emitted by [`render_record`]. Bench names
+/// never contain quotes or escapes, so plain field scanning suffices.
+fn parse_record(line: &str) -> Option<BenchRecord> {
+    let field = |key: &str| -> Option<&str> {
+        let tag = format!("\"{key}\":");
+        let at = line.find(&tag)? + tag.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    };
+    let name = {
+        let raw = field("name")?;
+        raw.strip_prefix('"')?.strip_suffix('"')?.to_string()
+    };
+    Some(BenchRecord {
+        name,
+        median_ns: field("median_ns")?.parse().ok()?,
+        p90_ns: field("p90_ns")?.parse().ok()?,
+        mean_ns: field("mean_ns")?.parse().ok()?,
+        min_ns: field("min_ns")?.parse().ok()?,
+        iters: field("iters")?.parse().ok()?,
+    })
+}
+
+/// Merges this process's results into the JSON summary at `path`:
+/// existing entries with the same name are replaced, everything else is
+/// kept, and the output is sorted by name.
+pub fn write_summary_to(path: &std::path::Path) -> std::io::Result<()> {
+    let fresh = RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(path)
+        .map(|text| text.lines().filter_map(parse_record).collect())
+        .unwrap_or_default();
+    merged.retain(|old| !fresh.iter().any(|r| r.name == old.name));
+    merged.extend(fresh);
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "{{")?;
+    writeln!(w, "\"benches\": [")?;
+    for (i, r) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
+        writeln!(w, "{}{}", render_record(r), comma)?;
+    }
+    writeln!(w, "]")?;
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
+/// [`write_summary_to`] targeting `BENCH_summary.json` at the workspace
+/// root. Bench binaries call this at the end of `main`.
+pub fn write_summary() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_summary.json");
+    if let Err(e) = write_summary_to(&path) {
+        eprintln!("BENCH_summary.json: {e}");
     }
 }
 
@@ -81,5 +200,77 @@ mod tests {
         });
         // Warmup (>= 3) plus 3 timed iterations.
         assert!(count >= 6);
+        // And the case was recorded for the summary.
+        let results = RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(results.iter().any(|r| r.name == "smoke/counting"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u128> = (1..=10).collect();
+        assert_eq!(percentile(&v, 90), 9);
+        assert_eq!(percentile(&v, 50), 5);
+        assert_eq!(percentile(&v, 100), 10);
+        assert_eq!(percentile(&[7], 90), 7);
+    }
+
+    #[test]
+    fn record_round_trips_through_json_line() {
+        let r = BenchRecord {
+            name: "group/1000".into(),
+            median_ns: 123,
+            p90_ns: 150,
+            mean_ns: 130,
+            min_ns: 110,
+            iters: 20,
+        };
+        assert_eq!(parse_record(&render_record(&r)), Some(r));
+        assert_eq!(parse_record("{\"benches\": ["), None);
+        assert_eq!(parse_record("]"), None);
+    }
+
+    #[test]
+    fn summary_merges_by_name() {
+        let path =
+            std::env::temp_dir().join(format!("soi-bench-summary-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "{\n\"benches\": [\n\
+             {\"name\":\"kept/1\",\"median_ns\":9,\"p90_ns\":9,\"mean_ns\":9,\"min_ns\":9,\"iters\":5},\n\
+             {\"name\":\"merge_test/overwritten\",\"median_ns\":1,\"p90_ns\":1,\"mean_ns\":1,\"min_ns\":1,\"iters\":1}\n\
+             ]\n}\n",
+        )
+        .unwrap();
+        record(BenchRecord {
+            name: "merge_test/overwritten".into(),
+            median_ns: 42,
+            p90_ns: 43,
+            mean_ns: 42,
+            min_ns: 41,
+            iters: 7,
+        });
+        write_summary_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records: Vec<BenchRecord> = text.lines().filter_map(parse_record).collect();
+        let kept = records.iter().find(|r| r.name == "kept/1").unwrap();
+        assert_eq!(kept.median_ns, 9, "unrelated entries preserved");
+        let over = records
+            .iter()
+            .find(|r| r.name == "merge_test/overwritten")
+            .unwrap();
+        assert_eq!((over.median_ns, over.iters), (42, 7), "same-name replaced");
+        let mut names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(names, sorted, "summary is name-sorted");
+        names.dedup();
+        assert_eq!(names.len(), records.len(), "no duplicate names");
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -32,6 +32,12 @@ commands:
   learn      GRAPH LOG [--method saito|goyal|goyal-jaccard] [--lag L]
              [--min-prob P] --out FILE
 
+global options (valid on every command):
+  --trace off|error|warn|info|debug|trace   event-log verbosity (default off);
+             info and up also prints a per-phase timing summary on exit
+  --metrics-out FILE   write a JSONL run report (counters, histograms,
+             span timings) when the command finishes
+
 graph files: TSV edge lists (`u<TAB>v<TAB>p`, `# nodes: N` header);
 log files: `user<TAB>item<TAB>time` lines.";
 
@@ -97,8 +103,73 @@ impl Opts {
     }
 }
 
+/// Observability options shared by every subcommand, pulled out of the
+/// argument list before routing.
+struct ObsOpts {
+    trace: Option<soi_obs::Level>,
+    metrics_out: Option<String>,
+}
+
+impl ObsOpts {
+    /// Strips `--trace LEVEL` and `--metrics-out PATH` from `args`,
+    /// returning the remaining command arguments alongside the parsed
+    /// options.
+    fn extract(args: &[String]) -> Result<(Vec<String>, ObsOpts), String> {
+        let mut rest = Vec::with_capacity(args.len());
+        let mut obs = ObsOpts {
+            trace: None,
+            metrics_out: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a level")?;
+                    obs.trace = soi_obs::event::parse_level(v)?;
+                }
+                "--metrics-out" => {
+                    let v = it.next().ok_or("--metrics-out needs a path")?;
+                    obs.metrics_out = Some(v.clone());
+                }
+                _ => rest.push(a.clone()),
+            }
+        }
+        Ok((rest, obs))
+    }
+
+    /// Emits the run report / summary table after the command finished.
+    /// The report's `config` records only the stripped command arguments,
+    /// so two runs differing solely in `--metrics-out` path (or trace
+    /// level) produce byte-identical masked reports.
+    fn finish(&self, cmd_args: &[String]) -> Result<(), String> {
+        if self.metrics_out.is_none() && self.trace < Some(soi_obs::Level::Info) {
+            return Ok(());
+        }
+        let argv = cmd_args.join(" ");
+        let config: Vec<(&str, &str)> = vec![("argv", argv.as_str())];
+        let report = soi_obs::RunReport::collect(&config);
+        if let Some(path) = &self.metrics_out {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            report
+                .write_jsonl(&mut w)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        if self.trace >= Some(soi_obs::Level::Info) {
+            // Human-readable per-phase table on stderr, keeping stdout
+            // reserved for the command's own output.
+            let mut err = std::io::stderr().lock();
+            report.write_summary(&mut err).ok();
+        }
+        Ok(())
+    }
+}
+
 /// Routes `args` to a subcommand, writing human-readable output to `out`.
 pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let (args, obs) = ObsOpts::extract(args)?;
+    soi_obs::reset();
+    soi_obs::event::set_max_level(obs.trace);
     let Some(cmd) = args.first() else {
         return Err("no command given".into());
     };
@@ -113,6 +184,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
         "learn" => cmd_learn(rest, out),
         other => Err(format!("unknown command {other:?}")),
     }
+    .and_then(|()| obs.finish(&args))
     .map_err(|e| format!("{cmd}: {e}"))
 }
 

@@ -1,0 +1,158 @@
+//! End-to-end checks of `--metrics-out` / `--trace`: the run report must
+//! cover every pipeline phase and be byte-identical across two runs with
+//! the same seed once wall-clock fields are masked. Each run spawns the
+//! real binary so the process-global registry starts clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("soi-metrics-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn soi(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_soi"))
+        .args(args)
+        .output()
+        .expect("spawn soi")
+}
+
+fn generate_graph(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let out = soi(&[
+        "generate",
+        "--model",
+        "gnm",
+        "--nodes",
+        "40",
+        "--edges",
+        "160",
+        "--prob",
+        "wc",
+        "--seed",
+        "3",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+fn run_infmax_tc(graph: &Path, report: &Path) {
+    let out = soi(&[
+        "infmax",
+        graph.to_str().unwrap(),
+        "--k",
+        "3",
+        "--method",
+        "tc",
+        "--samples",
+        "32",
+        "--seed",
+        "5",
+        "--metrics-out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("expected_spread"), "stdout: {stdout}");
+}
+
+#[test]
+fn report_covers_all_phases_and_is_deterministic_masked() {
+    let graph = generate_graph("golden.tsv");
+    let (r1, r2) = (tmp("run1.jsonl"), tmp("run2.jsonl"));
+    run_infmax_tc(&graph, &r1);
+    run_infmax_tc(&graph, &r2);
+
+    let a = std::fs::read_to_string(&r1).unwrap();
+    let b = std::fs::read_to_string(&r2).unwrap();
+
+    // Every line is a self-describing JSON object.
+    for line in a.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "malformed line: {line}"
+        );
+    }
+
+    // One infmax --method tc run exercises the whole pipeline: worlds are
+    // sampled into the index, typical cascades fit medians per node, the
+    // max-cover greedy selects seeds, and the final spread estimate runs
+    // direct cascades.
+    for phase in ["sampling.", "median.", "index.", "engine.", "influence."] {
+        assert!(
+            a.contains(&format!("{{\"type\":\"counter\",\"name\":\"{phase}")),
+            "no {phase} counters in report:\n{a}"
+        );
+    }
+    assert!(a.contains("\"type\":\"span\""), "no spans in report");
+    assert!(
+        a.contains("\"wall_ns_total\":"),
+        "spans must carry wall time"
+    );
+    assert!(
+        a.contains("\"type\":\"histogram\""),
+        "no histograms in report"
+    );
+
+    // Golden determinism: identical seeds, identical counts. Only the
+    // wall_ns_* fields may differ between the runs.
+    let (ma, mb) = (
+        soi_obs::report::mask_wall_clock(&a),
+        soi_obs::report::mask_wall_clock(&b),
+    );
+    assert!(
+        ma.contains("\"wall_ns_total\":0"),
+        "masking left wall time intact"
+    );
+    assert_eq!(ma, mb, "masked reports differ between same-seed runs");
+}
+
+#[test]
+fn trace_info_prints_summary_table_on_stderr() {
+    let graph = generate_graph("trace.tsv");
+    let out = soi(&[
+        "infmax",
+        graph.to_str().unwrap(),
+        "--k",
+        "2",
+        "--method",
+        "tc",
+        "--samples",
+        "16",
+        "--trace",
+        "info",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("index built:"),
+        "info event missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("engine.median_fit"),
+        "summary missing: {stderr}"
+    );
+    // stdout stays reserved for command output.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("seeds\t"), "stdout polluted: {stdout}");
+}
+
+#[test]
+fn bad_trace_level_is_rejected() {
+    let out = soi(&["stats", "/nonexistent", "--trace", "loud"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown level"), "stderr: {stderr}");
+}

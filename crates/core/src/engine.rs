@@ -6,6 +6,12 @@ use soi_jaccard::median::{jaccard_median_with, MedianConfig};
 use soi_sampling::CascadeSampler;
 use soi_util::rng::derive_seed;
 
+/// Power-of-two buckets for the `engine.sphere_size` histogram (sphere
+/// sizes are counts, so bucket totals stay deterministic).
+const SPHERE_SIZE_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0,
+];
+
 /// Configuration for typical-cascade computation.
 #[derive(Clone, Copy, Debug)]
 pub struct TypicalCascadeConfig {
@@ -108,12 +114,21 @@ pub fn typical_cascade_of_set(
     config: &TypicalCascadeConfig,
 ) -> TypicalCascade {
     assert!(config.median_samples > 0, "need at least one sample");
+    soi_obs::counter_add!("engine.tc_queries", 1);
+    let _span = soi_obs::span("engine.typical_cascade");
     let train_seed = derive_seed(config.seed, 0x7261696e); // "rain"
-    let samples = sample_set_cascades(pg, seeds, config.median_samples, train_seed);
-    let fit = jaccard_median_with(&samples, &config.median);
+    let samples = {
+        let _s = soi_obs::span("engine.sample");
+        sample_set_cascades(pg, seeds, config.median_samples, train_seed)
+    };
+    let fit = {
+        let _s = soi_obs::span("engine.median_fit");
+        jaccard_median_with(&samples, &config.median)
+    };
     let expected_cost = if config.cost_samples == 0 {
         fit.cost
     } else {
+        let _s = soi_obs::span("engine.cost_eval");
         let eval_seed = derive_seed(config.seed, 0x6576616c); // "eval"
         crate::stability::expected_cost_of_seed_set(
             pg,
@@ -181,8 +196,18 @@ pub fn all_typical_cascades(
     };
     let mut results: Vec<Option<NodeTypicalCascade>> = (0..n).map(|_| None).collect();
     let solve = |v: NodeId| {
-        let samples = index.cascades_of(v);
-        let fit = jaccard_median_with(&samples, median);
+        // Per-node phase breakdown — the Figure 4 quantity: index lookup
+        // vs median fit, aggregated in the span table.
+        soi_obs::counter_add!("engine.nodes_solved", 1);
+        let samples = {
+            let _s = soi_obs::span("engine.index_lookup");
+            index.cascades_of(v)
+        };
+        let fit = {
+            let _s = soi_obs::span("engine.median_fit");
+            jaccard_median_with(&samples, median)
+        };
+        soi_obs::hist_observe!("engine.sphere_size", SPHERE_SIZE_BUCKETS, fit.median.len());
         NodeTypicalCascade {
             node: v,
             median: fit.median,
@@ -205,6 +230,10 @@ pub fn all_typical_cascades(
             }
         });
     }
+    soi_obs::event!(
+        soi_obs::Level::Info,
+        "typical cascades solved for {n} nodes on {threads} thread(s)"
+    );
     // The chunked scoped threads fill every slot exactly once, and
     // thread::scope joins before this point. xtask-allow: panic_policy
     results.into_iter().map(|r| r.expect("filled")).collect()

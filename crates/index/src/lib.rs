@@ -127,6 +127,7 @@ impl CascadeIndex {
     /// ```
     pub fn build(pg: &ProbGraph, config: IndexConfig) -> Self {
         assert!(config.num_worlds > 0, "need at least one world");
+        let _span = soi_obs::span("index.build");
         let n = pg.num_nodes();
         let ell = config.num_worlds;
         let threads = effective_threads(config.threads, ell);
@@ -172,13 +173,15 @@ impl CascadeIndex {
             worlds.push(w);
         }
 
-        CascadeIndex {
+        let index = CascadeIndex {
             num_nodes: n,
             worlds,
             comp_matrix,
             max_comps,
             config,
-        }
+        };
+        index.record_build_metrics();
+        index
     }
 
     /// Reassembles an index from stored parts (used by [`io`]); inputs
@@ -228,13 +231,39 @@ impl CascadeIndex {
             }
             worlds_out.push(w);
         }
-        CascadeIndex {
+        let index = CascadeIndex {
             num_nodes,
             worlds: worlds_out,
             comp_matrix,
             max_comps,
             config,
-        }
+        };
+        index.record_build_metrics();
+        index
+    }
+
+    /// Records closure/size counters and gauges for a finished build.
+    /// Everything here is a function of the seeded inputs, so the values
+    /// are deterministic.
+    fn record_build_metrics(&self) {
+        soi_obs::counter_add!("index.builds", 1);
+        soi_obs::counter_add!("index.worlds_built", self.worlds.len());
+        let comps: usize = self.worlds.iter().map(WorldIndex::num_comps).sum();
+        let dag_edges: usize = self.worlds.iter().map(|w| w.dag.num_edges()).sum();
+        let members: usize = self.worlds.iter().map(|w| w.members.len()).sum();
+        soi_obs::counter_add!("index.total_comps", comps);
+        soi_obs::counter_add!("index.total_dag_edges", dag_edges);
+        soi_obs::counter_add!("index.total_member_entries", members);
+        soi_obs::gauge("index.memory_bytes").set(self.memory_bytes() as f64);
+        soi_obs::gauge("index.max_comps").set(self.max_comps as f64);
+        soi_obs::event!(
+            soi_obs::Level::Info,
+            "index built: {} worlds, {} comps, {} member entries, {} bytes",
+            self.worlds.len(),
+            comps,
+            members,
+            self.memory_bytes()
+        );
     }
 
     /// Number of nodes of the indexed graph.
@@ -374,7 +403,11 @@ fn build_world(
     sampler: &mut WorldSampler,
 ) -> (WorldIndex, Vec<u32>) {
     let mut rng = world_rng(config.seed, i);
-    let world = sampler.sample(pg, &mut rng);
+    let world = {
+        let _span = soi_obs::span("index.sample_world");
+        sampler.sample(pg, &mut rng)
+    };
+    let _span = soi_obs::span("index.condense_world");
     condense_world(&world, config.transitive_reduction)
 }
 

@@ -52,6 +52,7 @@ pub struct GreedyResult {
 
 /// Runs `InfMax_std` for `k` seeds over the index's sampled worlds.
 pub fn infmax_std(index: &CascadeIndex, k: usize, mode: GreedyMode) -> GreedyResult {
+    let _span = soi_obs::span("influence.greedy");
     let mut oracle = SpreadOracle::new(index);
     match mode {
         GreedyMode::Plain { capture_top } => plain(&mut oracle, k, capture_top),
@@ -154,6 +155,7 @@ fn celf(oracle: &mut SpreadOracle<'_>, k: usize) -> GreedyResult {
                 curve.push(oracle.current_spread());
                 break;
             }
+            soi_obs::counter_add!("influence.celf_reevals", 1);
             let fresh = oracle.marginal_gain(top.node);
             heap.push(CelfEntry {
                 gain: fresh,
@@ -179,6 +181,7 @@ fn celf(oracle: &mut SpreadOracle<'_>, k: usize) -> GreedyResult {
 /// skipped. Seed-for-seed identical to CELF/plain greedy (same oracle,
 /// same tie-breaks); only the number of oracle calls drops.
 pub fn infmax_celfpp(index: &CascadeIndex, k: usize) -> GreedyResult {
+    let _span = soi_obs::span("influence.greedy");
     let mut oracle = SpreadOracle::new(index);
     let n = oracle.index().num_nodes();
     let k = k.min(n);
@@ -255,8 +258,14 @@ pub fn infmax_celfpp(index: &CascadeIndex, k: usize) -> GreedyResult {
             // against exactly the node that was committed last round, it
             // is already the fresh gain.
             let fresh = match top.gain_after_best {
-                Some((b, g)) if top.round + 1 == round && Some(b) == last_committed => g,
-                _ => oracle.marginal_gain(top.node),
+                Some((b, g)) if top.round + 1 == round && Some(b) == last_committed => {
+                    soi_obs::counter_add!("influence.celfpp_shortcut_hits", 1);
+                    g
+                }
+                _ => {
+                    soi_obs::counter_add!("influence.celf_reevals", 1);
+                    oracle.marginal_gain(top.node)
+                }
             };
             top.gain = fresh;
             // Record gain w.r.t. S ∪ {current heap best} for next round:
@@ -324,6 +333,7 @@ impl Default for McGreedyConfig {
 pub fn infmax_std_mc(pg: &soi_graph::ProbGraph, k: usize, config: &McGreedyConfig) -> GreedyResult {
     use soi_sampling::estimate_spread;
     use soi_util::rng::derive_seed;
+    let _span = soi_obs::span("influence.mc_greedy");
     let n = pg.num_nodes();
     let k = k.min(n);
     let eval_counter = std::sync::atomic::AtomicU64::new(0);
@@ -347,6 +357,7 @@ pub fn infmax_std_mc(pg: &soi_graph::ProbGraph, k: usize, config: &McGreedyConfi
     let mut initial: Vec<f64> = vec![0.0; n];
     if threads <= 1 {
         for (v, slot) in initial.iter_mut().enumerate() {
+            soi_obs::counter_add!("influence.mc_spread_evals", 1);
             *slot = estimate_spread(pg, &[v as NodeId], config.samples, fresh_seed());
         }
     } else {
@@ -357,6 +368,7 @@ pub fn infmax_std_mc(pg: &soi_graph::ProbGraph, k: usize, config: &McGreedyConfi
                 scope.spawn(move || {
                     for (j, slot) in slots.iter_mut().enumerate() {
                         let v = (t * chunk + j) as NodeId;
+                        soi_obs::counter_add!("influence.mc_spread_evals", 1);
                         let seed = derive_seed(
                             config.seed,
                             eval_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
@@ -416,6 +428,8 @@ pub fn infmax_std_mc(pg: &soi_graph::ProbGraph, k: usize, config: &McGreedyConfi
                 });
             }
             // Fresh evaluation of the marginal gain.
+            soi_obs::counter_add!("influence.celf_reevals", 1);
+            soi_obs::counter_add!("influence.mc_spread_evals", 1);
             let mut with_v: Vec<NodeId> = seeds.clone();
             with_v.push(top.node);
             let gain =

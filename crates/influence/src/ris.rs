@@ -53,6 +53,10 @@ pub fn sample_rr_sets(pg: &ProbGraph, num_rr: usize, seed: u64) -> Vec<Vec<NodeI
             let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(derive_seed(seed, i as u64));
             let target = rng.random_range(0..n as NodeId);
             sampler.sample(&tp, target, &mut rng, &mut out);
+            // RR-set cost accounting: total width is the classic EPT-style
+            // cost measure of the Borgs et al. analysis.
+            soi_obs::counter_add!("influence.rr_sets_sampled", 1);
+            soi_obs::counter_add!("influence.rr_set_nodes", out.len());
             let mut set = out.clone();
             set.sort_unstable();
             set
@@ -87,6 +91,7 @@ impl Ord for Entry {
 /// max-cover. Deterministic in `seed`.
 pub fn infmax_ris(pg: &ProbGraph, k: usize, num_rr: usize, seed: u64) -> RisResult {
     assert!(num_rr > 0, "need RR sets");
+    let _span = soi_obs::span("influence.ris");
     let n = pg.num_nodes();
     let k = k.min(n);
     let rr = sample_rr_sets(pg, num_rr, seed);

@@ -72,6 +72,7 @@ fn universe_size(cascades: &[Vec<NodeId>]) -> usize {
 }
 
 fn gain_of(cascade: &[NodeId], covered: &BitSet, values: &[f64]) -> f64 {
+    soi_obs::counter_add!("influence.tc_gain_evals", 1);
     cascade
         .iter()
         .filter(|&&w| !covered.contains(w as usize))
@@ -111,6 +112,8 @@ fn weighted_inner(
     k: usize,
     capture_top: usize,
 ) -> TcResult {
+    let _span = soi_obs::span("influence.tc_cover");
+    soi_obs::counter_add!("influence.tc_runs", 1);
     let n = cascades.len();
     let k = k.min(n);
     let universe = universe_size(cascades).max(values.len());
@@ -168,6 +171,7 @@ fn weighted_inner(
                     curve.push(total);
                     break;
                 }
+                soi_obs::counter_add!("influence.tc_reevals", 1);
                 let fresh = gain_of(&cascades[top.node as usize], &covered, values);
                 heap.push(LazyEntry {
                     gain: fresh,

@@ -76,11 +76,18 @@ pub fn jaccard_median_with(samples: &[Vec<u32>], config: &MedianConfig) -> Media
             cost: 0.0,
         };
     }
+    soi_obs::counter_add!("median.calls", 1);
+    soi_obs::event!(
+        soi_obs::Level::Debug,
+        "median fit over {} sample sets",
+        samples.len()
+    );
     let (mut inc, mut best) = frequency_sweep_inner(samples, config);
 
     // Evaluate up to 24 evenly-spaced input sets as candidates.
     let stride = samples.len().div_ceil(24).max(1);
     for s in samples.iter().step_by(stride) {
+        soi_obs::counter_add!("median.input_set_evals", 1);
         let cost = empirical_cost(s, samples);
         if cost < best.cost - 1e-15 {
             best = MedianResult {
@@ -140,12 +147,15 @@ fn frequency_sweep_inner(
     // Elements ordered by descending frequency; ties by ascending id for
     // determinism.
     let min_count = ((config.min_frequency * samples.len() as f64).ceil() as usize).max(1);
+    let universe_size = inc.universe().count();
     let mut order: Vec<(u32, u32)> = inc
         .universe()
         .map(|e| (e, inc.frequency(e) as u32))
         .filter(|&(_, f)| f as usize >= min_count)
         .collect();
     order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    soi_obs::counter_add!("median.prefix_evals", order.len());
+    soi_obs::counter_add!("median.pruned_elements", universe_size - order.len());
 
     // Evaluate every prefix, starting with the empty set.
     let mut best_cost = inc.cost();
@@ -201,9 +211,11 @@ fn local_search_inner(
     pool.sort_unstable();
     pool.dedup();
     for _ in 0..rounds {
+        soi_obs::counter_add!("median.local_search_rounds", 1);
         let mut improved = false;
         for &e in &pool {
             if inc.toggle_delta(e) < -1e-12 {
+                soi_obs::counter_add!("median.local_search_toggles", 1);
                 // Apply the improving toggle immediately (first-improvement
                 // strategy — cheaper than best-improvement and converges to
                 // the same local optima class).

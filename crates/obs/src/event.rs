@@ -1,0 +1,208 @@
+//! A level-filtered structured event log.
+//!
+//! Library crates emit through [`crate::event!`]; the macro checks
+//! [`enabled`] (one relaxed atomic load) before evaluating any format
+//! arguments, so disabled events are free. Emitted events go to the
+//! configured sink (stderr by default; a capture buffer in tests) as
+//! `[level] target: message` lines, and bump a per-level counter in
+//! the metrics registry so reports record *how many* events fired —
+//! a deterministic count for a fixed level configuration.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Event severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The run is compromised.
+    Error = 1,
+    /// Something is off but the run continues.
+    Warn = 2,
+    /// Phase-level progress.
+    Info = 3,
+    /// Per-call detail.
+    Debug = 4,
+    /// Hot-loop detail.
+    Trace = 5,
+}
+
+impl Level {
+    /// The lowercase level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Parses a `--trace` argument: a level name or `off`.
+pub fn parse_level(s: &str) -> Result<Option<Level>, String> {
+    match s {
+        "off" => Ok(None),
+        "error" => Ok(Some(Level::Error)),
+        "warn" => Ok(Some(Level::Warn)),
+        "info" => Ok(Some(Level::Info)),
+        "debug" => Ok(Some(Level::Debug)),
+        "trace" => Ok(Some(Level::Trace)),
+        other => Err(format!(
+            "unknown level {other:?} (off|error|warn|info|debug|trace)"
+        )),
+    }
+}
+
+/// 0 = off; otherwise the most verbose enabled `Level as usize`.
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the most verbose level that emits; `None` disables all events.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as usize), Ordering::Relaxed);
+}
+
+/// The currently enabled level, if any.
+pub fn max_level() -> Option<Level> {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// True when events at `level` would be emitted. One relaxed load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as usize <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+type Sink = Box<dyn Write + Send>;
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn relock(m: &Mutex<Option<Sink>>) -> MutexGuard<'_, Option<Sink>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Redirects emitted events to `w` (`None` restores the default,
+/// stderr). Used by tests and by the CLI to co-locate events with
+/// command output.
+pub fn set_sink(w: Option<Sink>) {
+    *relock(sink()) = w;
+}
+
+/// Writes one event. Called by [`crate::event!`] after the level check;
+/// prefer the macro, which skips argument evaluation when disabled.
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    crate::counter_add!("obs.events_emitted", 1);
+    let mut guard = relock(sink());
+    let result = match guard.as_mut() {
+        Some(w) => writeln!(w, "[{}] {}: {}", level.name(), target, args),
+        None => writeln!(
+            std::io::stderr().lock(),
+            "[{}] {}: {}",
+            level.name(),
+            target,
+            args
+        ),
+    };
+    let _ = result; // an unwritable sink must not break the run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+    use std::sync::Arc;
+
+    /// A sink the test can read back after installing it.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
+                .into_owned()
+        }
+    }
+
+    #[test]
+    fn level_filtering_and_sink_capture() {
+        let _g = lock();
+        crate::reset();
+        let cap = Capture::default();
+        set_sink(Some(Box::new(cap.clone())));
+        set_max_level(Some(Level::Info));
+        crate::event!(Level::Info, "worlds={}", 256);
+        crate::event!(Level::Debug, "suppressed {}", 1);
+        set_max_level(None);
+        set_sink(None);
+        let text = cap.text();
+        assert!(text.contains("[info]"), "got: {text}");
+        assert!(text.contains("worlds=256"));
+        assert!(!text.contains("suppressed"));
+    }
+
+    #[test]
+    fn disabled_events_do_not_evaluate_arguments() {
+        let _g = lock();
+        crate::reset();
+        set_max_level(None);
+        let mut evaluated = false;
+        crate::event!(Level::Error, "{}", {
+            evaluated = true;
+            "x"
+        });
+        assert!(!evaluated, "disabled event evaluated its arguments");
+        assert_eq!(crate::metrics::counter("obs.events_emitted").get(), 0);
+    }
+
+    #[test]
+    fn parse_level_accepts_all_names() {
+        assert_eq!(parse_level("off"), Ok(None));
+        assert_eq!(parse_level("error"), Ok(Some(Level::Error)));
+        assert_eq!(parse_level("trace"), Ok(Some(Level::Trace)));
+        assert!(parse_level("loud").is_err());
+    }
+
+    #[test]
+    fn max_level_round_trips() {
+        let _g = lock();
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            set_max_level(Some(l));
+            assert_eq!(max_level(), Some(l));
+            assert!(enabled(l));
+        }
+        set_max_level(None);
+        assert_eq!(max_level(), None);
+        assert!(!enabled(Level::Error));
+    }
+}

@@ -1,0 +1,300 @@
+//! The global metrics registry: named counters, gauges, and
+//! fixed-bucket histograms with atomic updates.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the registry maps names
+//! to handles in `BTreeMap`s so snapshots iterate in a deterministic
+//! order. [`Registry::reset`] zeroes values *in place* — it never
+//! removes entries — so handles cached by [`crate::counter_add!`] call
+//! sites survive across runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A monotonically increasing counter. Cloning shares the value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` (relaxed; safe from any thread).
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A histogram with fixed upper-bound buckets plus an overflow bucket.
+///
+/// `bounds` are ascending inclusive upper edges; an observation lands in
+/// the first bucket whose bound is `>= x`, or in the overflow bucket.
+/// Bucket counts are atomic, so observation is hot-loop safe.
+#[derive(Clone, Debug)]
+pub struct HistogramMetric {
+    inner: Arc<HistInner>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1 (last = overflow)
+}
+
+impl HistogramMetric {
+    fn new(bounds: &[f64]) -> HistogramMetric {
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistogramMetric {
+            inner: Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                counts,
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        let b = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&ub| x <= ub)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The configured upper bounds (excludes the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    fn reset(&self) {
+        for c in self.inner.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-global metric tables.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramMetric>>,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it at zero
+    /// on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        relock(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        relock(&self.gauges)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`. The first caller
+    /// fixes the bucket bounds; later bounds are ignored.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> HistogramMetric {
+        relock(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramMetric::new(bounds))
+            .clone()
+    }
+
+    /// Zeroes every registered value in place. Entries (and therefore
+    /// cached handles) are preserved.
+    pub fn reset(&self) {
+        for c in relock(&self.counters).values() {
+            c.reset();
+        }
+        for g in relock(&self.gauges).values() {
+            g.reset();
+        }
+        for h in relock(&self.histograms).values() {
+            h.reset();
+        }
+    }
+
+    /// Counter names and values, sorted by name.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        relock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Gauge names and values, sorted by name.
+    pub fn gauge_values(&self) -> BTreeMap<String, f64> {
+        relock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Histogram names with `(bounds, counts)`, sorted by name.
+    pub fn histogram_values(&self) -> BTreeMap<String, (Vec<f64>, Vec<u64>)> {
+        relock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.bounds().to_vec(), v.counts())))
+            .collect()
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().gauge(name)`.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Shorthand for `registry().histogram(name, bounds)`.
+pub fn histogram(name: &str, bounds: &[f64]) -> HistogramMetric {
+    registry().histogram(name, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let _g = lock();
+        crate::reset();
+        let c = counter("test.metrics.threads");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let _g = lock();
+        crate::reset();
+        let g = gauge("test.metrics.gauge");
+        g.set(-3.75);
+        assert_eq!(g.get(), -3.75);
+        g.set(1e18);
+        assert_eq!(g.get(), 1e18);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let _g = lock();
+        crate::reset();
+        let h = histogram("test.metrics.hist", &[1.0, 10.0, 100.0]);
+        // Exactly on a bound lands in that bucket (inclusive upper edge).
+        for x in [0.5, 1.0] {
+            h.observe(x);
+        }
+        for x in [1.0001, 10.0] {
+            h.observe(x);
+        }
+        for x in [10.5, 100.0] {
+            h.observe(x);
+        }
+        for x in [100.0001, 1e9] {
+            h.observe(x);
+        }
+        assert_eq!(h.counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_by_first_registration() {
+        let _g = lock();
+        crate::reset();
+        let a = histogram("test.metrics.hist_fixed", &[5.0]);
+        let b = histogram("test.metrics.hist_fixed", &[99.0, 100.0]);
+        assert_eq!(b.bounds(), a.bounds());
+    }
+
+    #[test]
+    fn snapshot_maps_are_name_sorted() {
+        let _g = lock();
+        crate::reset();
+        counter("test.sorted.b").add(2);
+        counter("test.sorted.a").add(1);
+        let names: Vec<String> = registry()
+            .counter_values()
+            .into_keys()
+            .filter(|k| k.starts_with("test.sorted."))
+            .collect();
+        assert_eq!(names, vec!["test.sorted.a", "test.sorted.b"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Hierarchical wall-clock spans.
+//!
+//! [`span`] returns a guard; while the guard lives, nested spans (on
+//! the *same thread*) record under a `parent/child` path. On drop the
+//! elapsed time is folded into a process-global table of
+//! [`SpanStat`]s — count, total, min, max — keyed by the full path.
+//!
+//! Each thread keeps its own path stack, so spans opened on worker
+//! threads (e.g. inside `std::thread::scope`) root at that thread's
+//! own stack rather than inheriting the spawner's path; aggregation
+//! into the shared table is mutex-protected and merge-order
+//! independent, which keeps span *counts* deterministic under any
+//! scheduling. Only the nanosecond fields are wall-clock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans at this path (deterministic).
+    pub count: u64,
+    /// Total elapsed nanoseconds (wall-clock).
+    pub total_ns: u128,
+    /// Fastest single span (wall-clock).
+    pub min_ns: u128,
+    /// Slowest single span (wall-clock).
+    pub max_ns: u128,
+}
+
+impl SpanStat {
+    fn record(&mut self, elapsed_ns: u128) {
+        self.count += 1;
+        self.total_ns += elapsed_ns;
+        self.min_ns = if self.count == 1 {
+            elapsed_ns
+        } else {
+            self.min_ns.min(elapsed_ns)
+        };
+        self.max_ns = self.max_ns.max(elapsed_ns);
+    }
+}
+
+thread_local! {
+    static PATH: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn table() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn relock(m: &Mutex<BTreeMap<String, SpanStat>>) -> MutexGuard<'_, BTreeMap<String, SpanStat>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Opens a span named `name` under the current thread's span path.
+/// Close it by dropping the guard (usually by leaving scope). Guards
+/// must drop in reverse creation order — ordinary lexical scoping
+/// guarantees this.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    PATH.with(|p| p.borrow_mut().push(name));
+    SpanGuard {
+        start: Instant::now(),
+    }
+}
+
+/// Runs `f` inside a span named `name`.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _guard = span(name);
+    f()
+}
+
+/// An open span; records its elapsed time into the global table on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        let path = PATH.with(|p| {
+            let mut stack = p.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        relock(table()).entry(path).or_default().record(elapsed);
+    }
+}
+
+/// A sorted snapshot of every span path recorded so far.
+pub fn snapshot_spans() -> BTreeMap<String, SpanStat> {
+    relock(table()).clone()
+}
+
+/// Clears all recorded span statistics.
+pub fn reset_spans() {
+    relock(table()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let _g = lock();
+        crate::reset();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        }
+        let snap = snapshot_spans();
+        assert_eq!(snap["outer"].count, 1);
+        assert_eq!(snap["outer/inner"].count, 3);
+        assert!(snap["outer"].total_ns >= snap["outer/inner"].total_ns);
+        assert!(snap["outer/inner"].min_ns <= snap["outer/inner"].max_ns);
+    }
+
+    #[test]
+    fn spans_nest_per_thread_not_across_threads() {
+        let _g = lock();
+        crate::reset();
+        let _outer = span("parent_thread");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = span("worker");
+                    let _n = span("step");
+                });
+            }
+        });
+        drop(_outer);
+        let snap = snapshot_spans();
+        // Workers root at their own stacks: no "parent_thread/worker".
+        assert_eq!(snap["worker"].count, 4);
+        assert_eq!(snap["worker/step"].count, 4);
+        assert!(!snap.contains_key("parent_thread/worker"));
+        assert_eq!(snap["parent_thread"].count, 1);
+    }
+
+    #[test]
+    fn timed_returns_closure_result() {
+        let _g = lock();
+        crate::reset();
+        let v = timed("timed_helper", || 2 + 2);
+        assert_eq!(v, 4);
+        assert_eq!(snapshot_spans()["timed_helper"].count, 1);
+    }
+}

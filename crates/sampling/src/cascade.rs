@@ -11,6 +11,12 @@
 use soi_graph::{NodeId, ProbGraph};
 use soi_util::rng::Rng;
 
+/// Power-of-two buckets for the `sampling.cascade_size` histogram
+/// (cascade sizes are counts, so bucket totals stay deterministic).
+const SIZE_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0,
+];
+
 /// Reusable scratch for lazy cascade sampling (visited stamps + stack).
 #[derive(Clone, Debug)]
 pub struct CascadeSampler {
@@ -80,6 +86,7 @@ impl CascadeSampler {
         }
         let g = pg.graph();
         let probs = pg.probs();
+        soi_obs::counter_add!("sampling.cascades_sampled", 1);
         while let Some(v) = self.stack.pop() {
             for e in g.edge_range(v) {
                 let w = g.edge_target(e);
@@ -97,6 +104,8 @@ impl CascadeSampler {
                 }
             }
         }
+        soi_obs::counter_add!("sampling.cascade_nodes", out.len());
+        soi_obs::hist_observe!("sampling.cascade_size", SIZE_BUCKETS, out.len());
     }
 
     /// Samples `count` independent cascades from `source`, returning them

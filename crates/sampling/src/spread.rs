@@ -22,6 +22,7 @@ use soi_graph::{NodeId, ProbGraph};
 /// ```
 pub fn estimate_spread(pg: &ProbGraph, seeds: &[NodeId], samples: usize, seed: u64) -> f64 {
     assert!(samples > 0, "need at least one sample");
+    soi_obs::counter_add!("sampling.spread_estimates", 1);
     let mut sampler = CascadeSampler::new(pg.num_nodes());
     let mut out = Vec::new();
     let mut total = 0usize;

@@ -28,6 +28,7 @@ impl WorldSampler {
     /// Each arc survives independently with its probability. The returned
     /// graph has the same node set; only arcs differ.
     pub fn sample<R: Rng>(&mut self, pg: &ProbGraph, rng: &mut R) -> DiGraph {
+        soi_obs::counter_add!("sampling.worlds_sampled", 1);
         let g = pg.graph();
         let n = g.num_nodes();
         self.offsets.clear();

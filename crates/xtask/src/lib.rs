@@ -1,15 +1,16 @@
 //! # xtask
 //!
 //! Workspace static analysis for the Spheres-of-Influence repo, run as
-//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Four
+//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Five
 //! passes enforce the contracts the experiments depend on:
 //!
-//! | pass          | contract                                              |
-//! |---------------|-------------------------------------------------------|
-//! | `determinism` | no entropy-seeded RNGs; no unordered-map emission     |
-//! | `panic_policy`| library code returns `Result`, it does not abort      |
-//! | `hermeticity` | no external registry dependencies (offline build)     |
-//! | `hygiene`     | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
+//! | pass            | contract                                              |
+//! |-----------------|-------------------------------------------------------|
+//! | `determinism`   | no entropy-seeded RNGs; no unordered-map emission     |
+//! | `panic_policy`  | library code returns `Result`, it does not abort      |
+//! | `hermeticity`   | no external registry dependencies (offline build)     |
+//! | `hygiene`       | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
+//! | `observability` | library code logs via `soi-obs`, not println/eprintln |
 //!
 //! Findings can be suppressed per line with `// xtask-allow: <pass>`
 //! (`#` comments in manifests), which is expected to sit next to a
@@ -20,6 +21,7 @@
 pub mod determinism;
 pub mod hermeticity;
 pub mod hygiene;
+pub mod observability;
 pub mod panic_policy;
 pub mod report;
 pub mod source;
@@ -50,6 +52,7 @@ pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
         let scanned = source::scan(text);
         findings.extend(determinism::check(path, &scanned));
         findings.extend(panic_policy::check(path, &scanned));
+        findings.extend(observability::check(path, &scanned));
     }
     for (path, text) in &manifests {
         findings.extend(hermeticity::check(path, text));

@@ -20,6 +20,8 @@ pub enum Pass {
     Hermeticity,
     /// Missing module docs or missing tests.
     Hygiene,
+    /// Direct console writes in library code instead of `soi-obs`.
+    Observability,
 }
 
 impl Pass {
@@ -30,16 +32,18 @@ impl Pass {
             Pass::PanicPolicy => "panic_policy",
             Pass::Hermeticity => "hermeticity",
             Pass::Hygiene => "hygiene",
+            Pass::Observability => "observability",
         }
     }
 
     /// All passes, in report order.
-    pub fn all() -> [Pass; 4] {
+    pub fn all() -> [Pass; 5] {
         [
             Pass::Determinism,
             Pass::PanicPolicy,
             Pass::Hermeticity,
             Pass::Hygiene,
+            Pass::Observability,
         ]
     }
 }

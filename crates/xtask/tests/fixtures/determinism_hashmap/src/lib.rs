@@ -3,8 +3,10 @@
 use std::collections::HashMap;
 
 pub fn dump(counts: HashMap<u32, u32>) {
+    use std::io::Write;
+    let mut out = std::io::stdout();
     for (k, v) in counts.iter() {
-        println!("{k}\t{v}");
+        writeln!(out, "{k}\t{v}").ok();
     }
 }
 

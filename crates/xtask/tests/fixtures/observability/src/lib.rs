@@ -1,0 +1,13 @@
+//! Fixture: library code printing straight to stderr.
+
+pub fn noisy(progress: usize) {
+    eprintln!("progress: {progress}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

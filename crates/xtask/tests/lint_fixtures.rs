@@ -43,7 +43,7 @@ fn determinism_flags_entropy_rng() {
 
 #[test]
 fn determinism_flags_unordered_emission() {
-    assert_flags("determinism_hashmap", "src/lib.rs:6: [determinism]");
+    assert_flags("determinism_hashmap", "src/lib.rs:8: [determinism]");
 }
 
 #[test]
@@ -67,6 +67,11 @@ fn hygiene_flags_missing_tests() {
 }
 
 #[test]
+fn observability_flags_library_eprintln() {
+    assert_flags("observability", "src/lib.rs:4: [observability]");
+}
+
+#[test]
 fn each_bad_fixture_reports_exactly_one_finding() {
     for fixture in [
         "determinism_rng",
@@ -75,6 +80,7 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "hermeticity",
         "hygiene_docs",
         "hygiene_tests",
+        "observability",
     ] {
         let out = run_lint(&fixtures_dir().join(fixture));
         let stdout = String::from_utf8_lossy(&out.stdout);

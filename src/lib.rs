@@ -38,6 +38,7 @@
 //! | [`problog`] | Saito-EM and Goyal learners, action logs, assignment models | §6.2 |
 //! | [`influence`] | `InfMax_std` (greedy/CELF), `InfMax_TC` (Algorithm 3), RIS, saturation | §5, §6.4 |
 //! | [`datasets`] | the 12 synthetic benchmark configurations | §6.1 |
+//! | [`obs`] | spans, metrics, event log, run reports (see `docs/OBSERVABILITY.md`) | §6 instrumentation |
 
 pub use soi_core as core;
 pub use soi_datasets as datasets;
@@ -45,6 +46,7 @@ pub use soi_graph as graph;
 pub use soi_index as index;
 pub use soi_influence as influence;
 pub use soi_jaccard as jaccard;
+pub use soi_obs as obs;
 pub use soi_problog as problog;
 pub use soi_sampling as sampling;
 pub use soi_util as util;
