@@ -1,20 +1,28 @@
 //! Subcommand implementations. Everything writes to a supplied
 //! `Write` so the tests drive commands end-to-end in memory.
+//!
+//! Commands return a [`RunStatus`] and fail with the workspace
+//! [`SoiError`]; `main` maps those onto the exit-code contract described
+//! in `docs/ROBUSTNESS.md`: 0 complete, 1 runtime failure, 2 usage,
+//! 3 deadline expired with partial output.
 
-use soi_core::{typical_cascade, TypicalCascadeConfig};
+use soi_core::{typical_cascade, EngineRunOpts, TypicalCascadeConfig};
 use soi_graph::{gen, io as gio, stats, DiGraph, NodeId, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
 use soi_influence::{
-    degree_discount_seeds, high_degree_seeds, infmax_ris, infmax_std, infmax_std_mc, infmax_tc,
-    pagerank_seeds, random_seeds, GreedyMode, McGreedyConfig,
+    degree_discount_seeds, high_degree_seeds, infmax_celf_resumable, infmax_ris_budgeted,
+    infmax_std_mc, infmax_tc, pagerank_seeds, random_seeds, GreedyRunOpts, McGreedyConfig,
 };
 use soi_jaccard::median::MedianConfig;
 use soi_problog::{
     learn_goyal, learn_goyal_jaccard, learn_saito, to_prob_graph, Action, ActionLog, SaitoConfig,
 };
 use soi_util::rng::Xoshiro256pp;
+use soi_util::runtime::{Deadline, Outcome};
+use soi_util::SoiError;
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::PathBuf;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -37,9 +45,52 @@ global options (valid on every command):
              info and up also prints a per-phase timing summary on exit
   --metrics-out FILE   write a JSONL run report (counters, histograms,
              span timings) when the command finishes
+  --deadline-ticks N   cooperative work budget for the heavy phases
+             (`spheres`, `infmax --method greedy|ris`); on expiry the
+             command writes what it completed and exits with code 3
+  --checkpoint-dir DIR write periodic, atomic, checksummed checkpoints
+             (`spheres`, `infmax --method greedy`) into DIR
+  --checkpoint-every N checkpoint / deadline block granularity in work
+             units (default 64)
+  --resume             resume from a checkpoint in --checkpoint-dir when
+             one exists (fresh start otherwise)
+
+exit codes: 0 complete; 1 runtime failure; 2 usage error;
+            3 deadline expired (partial output written; resumable)
 
 graph files: TSV edge lists (`u<TAB>v<TAB>p`, `# nodes: N` header);
 log files: `user<TAB>item<TAB>time` lines.";
+
+/// How a command finished.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunStatus {
+    /// All work finished; exit 0.
+    Complete,
+    /// The deadline expired; partial output was written. Exit 3.
+    Partial {
+        /// Completed fraction of the interrupted phase in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl RunStatus {
+    fn from_outcome<T>(outcome: &Outcome<T>) -> RunStatus {
+        match outcome.progress() {
+            Some(p) => RunStatus::Partial {
+                fraction: p.fraction(),
+            },
+            None => RunStatus::Complete,
+        }
+    }
+
+    /// Completed fraction: 1 when complete.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            RunStatus::Complete => 1.0,
+            RunStatus::Partial { fraction } => *fraction,
+        }
+    }
+}
 
 /// A minimal `--flag value` option bag with positional arguments.
 struct Opts {
@@ -49,7 +100,7 @@ struct Opts {
 }
 
 impl Opts {
-    fn parse(args: &[String], switch_names: &[&str]) -> Result<Opts, String> {
+    fn parse(args: &[String], switch_names: &[&str]) -> Result<Opts, SoiError> {
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
         let mut switches = Vec::new();
@@ -59,7 +110,9 @@ impl Opts {
                 if switch_names.contains(&name) {
                     switches.push(name.to_string());
                 } else {
-                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| SoiError::usage(format!("--{name} needs a value")))?;
                     flags.insert(name.to_string(), v.clone());
                 }
             } else {
@@ -73,33 +126,36 @@ impl Opts {
         })
     }
 
-    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, SoiError>
     where
         T::Err: std::fmt::Display,
     {
         match self.flags.get(name) {
             None => Ok(None),
-            Some(v) => v.parse().map(Some).map_err(|e| format!("--{name}: {e}")),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| SoiError::usage(format!("--{name}: {e}"))),
         }
     }
 
-    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, SoiError>
     where
         T::Err: std::fmt::Display,
     {
         self.get(name)?
-            .ok_or_else(|| format!("--{name} is required"))
+            .ok_or_else(|| SoiError::usage(format!("--{name} is required")))
     }
 
     fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
 
-    fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+    fn positional(&self, i: usize, what: &str) -> Result<&str, SoiError> {
         self.positional
             .get(i)
             .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+            .ok_or_else(|| SoiError::usage(format!("missing {what}")))
     }
 }
 
@@ -110,38 +166,106 @@ struct ObsOpts {
     metrics_out: Option<String>,
 }
 
-impl ObsOpts {
-    /// Strips `--trace LEVEL` and `--metrics-out PATH` from `args`,
-    /// returning the remaining command arguments alongside the parsed
-    /// options.
-    fn extract(args: &[String]) -> Result<(Vec<String>, ObsOpts), String> {
-        let mut rest = Vec::with_capacity(args.len());
-        let mut obs = ObsOpts {
-            trace: None,
-            metrics_out: None,
-        };
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--trace" => {
-                    let v = it.next().ok_or("--trace needs a level")?;
-                    obs.trace = soi_obs::event::parse_level(v)?;
-                }
-                "--metrics-out" => {
-                    let v = it.next().ok_or("--metrics-out needs a path")?;
-                    obs.metrics_out = Some(v.clone());
-                }
-                _ => rest.push(a.clone()),
-            }
+/// Fault-tolerance options shared by every subcommand: deadline budget
+/// and checkpoint/resume policy.
+struct RuntimeOpts {
+    deadline_ticks: Option<u64>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    resume: bool,
+}
+
+impl RuntimeOpts {
+    fn deadline(&self) -> Deadline {
+        match self.deadline_ticks {
+            Some(n) => Deadline::ticks(n),
+            None => Deadline::unlimited(),
         }
-        Ok((rest, obs))
     }
 
+    /// Resolves the checkpoint path for a pipeline (creating the
+    /// directory), or `None` when checkpointing is off.
+    fn checkpoint_file(&self, name: &str) -> Result<Option<PathBuf>, SoiError> {
+        match &self.checkpoint_dir {
+            None => Ok(None),
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| SoiError::io(dir.as_str(), e))?;
+                Ok(Some(PathBuf::from(dir).join(name)))
+            }
+        }
+    }
+}
+
+/// Removes a checkpoint after its pipeline completed (missing is fine).
+fn discard_checkpoint(path: Option<&PathBuf>) {
+    if let Some(p) = path {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Strips the global options (`--trace`, `--metrics-out`,
+/// `--deadline-ticks`, `--checkpoint-dir`, `--checkpoint-every`,
+/// `--resume`) from `args`, returning the remaining command arguments
+/// alongside the parsed option bags.
+fn extract_globals(args: &[String]) -> Result<(Vec<String>, ObsOpts, RuntimeOpts), SoiError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut obs = ObsOpts {
+        trace: None,
+        metrics_out: None,
+    };
+    let mut rt = RuntimeOpts {
+        deadline_ticks: None,
+        checkpoint_dir: None,
+        checkpoint_every: 64,
+        resume: false,
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| SoiError::usage(format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                let v = value("--trace", &mut it)?;
+                obs.trace = soi_obs::event::parse_level(&v).map_err(SoiError::usage)?;
+            }
+            "--metrics-out" => obs.metrics_out = Some(value("--metrics-out", &mut it)?),
+            "--deadline-ticks" => {
+                let v = value("--deadline-ticks", &mut it)?;
+                rt.deadline_ticks = Some(
+                    v.parse()
+                        .map_err(|e| SoiError::usage(format!("--deadline-ticks: {e}")))?,
+                );
+            }
+            "--checkpoint-dir" => rt.checkpoint_dir = Some(value("--checkpoint-dir", &mut it)?),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every", &mut it)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|e| SoiError::usage(format!("--checkpoint-every: {e}")))?;
+                if n == 0 {
+                    return Err(SoiError::usage("--checkpoint-every must be at least 1"));
+                }
+                rt.checkpoint_every = n;
+            }
+            "--resume" => rt.resume = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    if rt.resume && rt.checkpoint_dir.is_none() {
+        return Err(SoiError::usage("--resume requires --checkpoint-dir"));
+    }
+    Ok((rest, obs, rt))
+}
+
+impl ObsOpts {
     /// Emits the run report / summary table after the command finished.
     /// The report's `config` records only the stripped command arguments,
     /// so two runs differing solely in `--metrics-out` path (or trace
     /// level) produce byte-identical masked reports.
-    fn finish(&self, cmd_args: &[String]) -> Result<(), String> {
+    fn finish(&self, cmd_args: &[String]) -> Result<(), SoiError> {
         if self.metrics_out.is_none() && self.trace < Some(soi_obs::Level::Info) {
             return Ok(());
         }
@@ -149,11 +273,11 @@ impl ObsOpts {
         let config: Vec<(&str, &str)> = vec![("argv", argv.as_str())];
         let report = soi_obs::RunReport::collect(&config);
         if let Some(path) = &self.metrics_out {
-            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let file = std::fs::File::create(path).map_err(|e| SoiError::io(path.as_str(), e))?;
             let mut w = std::io::BufWriter::new(file);
             report
                 .write_jsonl(&mut w)
-                .map_err(|e| format!("{path}: {e}"))?;
+                .map_err(|e| SoiError::io(path.as_str(), e))?;
         }
         if self.trace >= Some(soi_obs::Level::Info) {
             // Human-readable per-phase table on stderr, keeping stdout
@@ -166,47 +290,54 @@ impl ObsOpts {
 }
 
 /// Routes `args` to a subcommand, writing human-readable output to `out`.
-pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
-    let (args, obs) = ObsOpts::extract(args)?;
+pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
+    let (args, obs, rt) = extract_globals(args)?;
     soi_obs::reset();
     soi_obs::event::set_max_level(obs.trace);
     let Some(cmd) = args.first() else {
-        return Err("no command given".into());
+        return Err(SoiError::usage("no command given"));
     };
     let rest = &args[1..];
-    match cmd.as_str() {
+    let status = match cmd.as_str() {
         "generate" => cmd_generate(rest, out),
         "stats" => cmd_stats(rest, out),
         "sphere" => cmd_sphere(rest, out),
-        "spheres" => cmd_spheres(rest, out),
-        "infmax" => cmd_infmax(rest, out),
+        "spheres" => cmd_spheres(rest, &rt, out),
+        "infmax" => cmd_infmax(rest, &rt, out),
         "reliability" => cmd_reliability(rest, out),
         "learn" => cmd_learn(rest, out),
-        other => Err(format!("unknown command {other:?}")),
-    }
-    .and_then(|()| obs.finish(&args))
-    .map_err(|e| format!("{cmd}: {e}"))
+        other => Err(SoiError::usage(format!("unknown command {other:?}"))),
+    }?;
+    // The metrics report carries how much of the run's budgeted phase
+    // finished — 1.0 for uninterrupted runs.
+    soi_obs::gauge("runtime.completed_fraction").set(status.fraction());
+    obs.finish(&args)?;
+    Ok(status)
 }
 
-fn load_prob_graph(path: &str) -> Result<ProbGraph, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    match gio::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())? {
+fn load_prob_graph(path: &str) -> Result<ProbGraph, SoiError> {
+    let file = std::fs::File::open(path).map_err(|e| SoiError::io(path, e))?;
+    match gio::read_graph(std::io::BufReader::new(file))
+        .map_err(|e| SoiError::from(e).with_context(path))?
+    {
         gio::ParsedGraph::Probabilistic(pg) => Ok(pg),
-        gio::ParsedGraph::Plain(_) => Err(format!(
+        gio::ParsedGraph::Plain(_) => Err(SoiError::invalid(format!(
             "{path}: plain edge list — probabilities required (use a 3-column file)"
-        )),
+        ))),
     }
 }
 
-fn load_any_graph(path: &str) -> Result<DiGraph, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    match gio::read_graph(std::io::BufReader::new(file)).map_err(|e| e.to_string())? {
+fn load_any_graph(path: &str) -> Result<DiGraph, SoiError> {
+    let file = std::fs::File::open(path).map_err(|e| SoiError::io(path, e))?;
+    match gio::read_graph(std::io::BufReader::new(file))
+        .map_err(|e| SoiError::from(e).with_context(path))?
+    {
         gio::ParsedGraph::Probabilistic(pg) => Ok(pg.graph().clone()),
         gio::ParsedGraph::Plain(g) => Ok(g),
     }
 }
 
-fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &["undirected"])?;
     let model: String = opts.require("model")?;
     let nodes: usize = opts.require("nodes")?;
@@ -230,7 +361,11 @@ fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             let maxd: usize = opts.get("m")?.unwrap_or(nodes / 10);
             gen::powerlaw_configuration(nodes, 2.0, maxd.max(2), &mut rng)
         }
-        other => return Err(format!("unknown model {other:?} (ba|gnm|ws|powerlaw)")),
+        other => {
+            return Err(SoiError::usage(format!(
+                "unknown model {other:?} (ba|gnm|ws|powerlaw)"
+            )))
+        }
     };
     let prob: String = opts.get("prob")?.unwrap_or_else(|| "wc".to_string());
     let pg = if prob == "wc" {
@@ -238,24 +373,30 @@ fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     } else if prob == "tri" {
         ProbGraph::trivalency(topo, &mut rng)
     } else if let Some(p) = prob.strip_prefix("fixed:") {
-        let p: f64 = p.parse().map_err(|e| format!("--prob fixed:P: {e}"))?;
-        ProbGraph::fixed(topo, p).map_err(|e| e.to_string())?
+        let p: f64 = p
+            .parse()
+            .map_err(|e| SoiError::usage(format!("--prob fixed:P: {e}")))?;
+        ProbGraph::fixed(topo, p)?
     } else {
-        return Err(format!("unknown --prob {prob:?} (wc|fixed:P|tri)"));
+        return Err(SoiError::usage(format!(
+            "unknown --prob {prob:?} (wc|fixed:P|tri)"
+        )));
     };
     let path: String = opts.require("out")?;
-    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-    gio::write_prob_graph(&pg, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(&path).map_err(|e| SoiError::io(path.as_str(), e))?;
+    gio::write_prob_graph(&pg, std::io::BufWriter::new(file))
+        .map_err(|e| SoiError::io(path.as_str(), e))?;
     writeln!(
         out,
         "wrote {} nodes, {} arcs ({model}, {prob}) to {path}",
         pg.num_nodes(),
         pg.num_edges()
     )
-    .map_err(|e| e.to_string())
+    .ok();
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
     let g = load_any_graph(opts.positional(0, "graph file")?)?;
     let d = stats::degree_stats(&g);
@@ -267,15 +408,15 @@ fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     writeln!(out, "max_in_degree\t{}", d.max_in).ok();
     writeln!(out, "excess_ratio\t{:.2}", d.excess_ratio).ok();
     writeln!(out, "largest_wcc\t{wcc}").ok();
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_sphere<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_sphere<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
     let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
     let source: NodeId = opts.require("source")?;
     if source as usize >= pg.num_nodes() {
-        return Err(format!("--source {source} out of range"));
+        return Err(SoiError::invalid(format!("--source {source} out of range")));
     }
     let samples: usize = opts.get("samples")?.unwrap_or(256);
     let seed: u64 = opts.get("seed")?.unwrap_or(42);
@@ -301,10 +442,14 @@ fn cmd_sphere<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             .join(",")
     )
     .ok();
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_spheres<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_spheres<W: Write>(
+    args: &[String],
+    rt: &RuntimeOpts,
+    out: &mut W,
+) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
     let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
     let samples: usize = opts.get("samples")?.unwrap_or(256);
@@ -318,11 +463,29 @@ fn cmd_spheres<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             ..IndexConfig::default()
         },
     );
-    let spheres = soi_core::all_typical_cascades(&index, &MedianConfig::default(), threads);
+    let deadline = rt.deadline();
+    let ckpt_path = rt.checkpoint_file("spheres.ckpt")?;
+    let outcome = soi_core::all_typical_cascades_resumable(
+        &index,
+        &MedianConfig::default(),
+        threads,
+        &EngineRunOpts {
+            deadline: &deadline,
+            checkpoint: ckpt_path.as_deref(),
+            checkpoint_every: rt.checkpoint_every,
+            resume: rt.resume,
+        },
+    )?;
+    let status = RunStatus::from_outcome(&outcome);
+    let total = index.num_nodes();
+    let spheres = outcome.value();
+
+    soi_util::failpoint!("cli.spheres.write");
     let path: String = opts.require("out")?;
-    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    let file = std::fs::File::create(&path).map_err(|e| SoiError::io(path.as_str(), e))?;
     let mut w = std::io::BufWriter::new(file);
-    writeln!(w, "node\tsize\ttraining_cost\tmembers").map_err(|e| e.to_string())?;
+    let write_err = |e| SoiError::io(path.as_str(), e);
+    writeln!(w, "node\tsize\ttraining_cost\tmembers").map_err(write_err)?;
     for s in &spheres {
         writeln!(
             w,
@@ -336,16 +499,34 @@ fn cmd_spheres<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join(",")
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(write_err)?;
     }
-    writeln!(out, "wrote {} spheres to {path}", spheres.len()).ok();
-    Ok(())
+    w.flush().map_err(write_err)?;
+    match status {
+        RunStatus::Complete => {
+            discard_checkpoint(ckpt_path.as_ref());
+            writeln!(out, "wrote {} spheres to {path}", spheres.len()).ok();
+        }
+        RunStatus::Partial { .. } => {
+            writeln!(
+                out,
+                "wrote {} of {total} spheres to {path} (deadline expired; resumable)",
+                spheres.len()
+            )
+            .ok();
+        }
+    }
+    Ok(status)
 }
 
-fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_infmax<W: Write>(
+    args: &[String],
+    rt: &RuntimeOpts,
+    out: &mut W,
+) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
-    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
     let k: usize = opts.require("k")?;
+    let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
     let samples: usize = opts.get("samples")?.unwrap_or(256);
     let seed: u64 = opts.get("seed")?.unwrap_or(42);
     let method: String = opts.get("method")?.unwrap_or_else(|| "tc".to_string());
@@ -360,6 +541,8 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             },
         )
     };
+    let deadline = rt.deadline();
+    let mut status = RunStatus::Complete;
     let seeds: Vec<NodeId> = match method.as_str() {
         "tc" => {
             let index = build_index();
@@ -367,7 +550,25 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             let cascades: Vec<Vec<NodeId>> = spheres.into_iter().map(|s| s.median).collect();
             infmax_tc(&cascades, k, 0).seeds
         }
-        "greedy" => infmax_std(&build_index(), k, GreedyMode::Celf).seeds,
+        "greedy" => {
+            let index = build_index();
+            let ckpt_path = rt.checkpoint_file("greedy.ckpt")?;
+            let outcome = infmax_celf_resumable(
+                &index,
+                k,
+                &GreedyRunOpts {
+                    deadline: &deadline,
+                    checkpoint: ckpt_path.as_deref(),
+                    checkpoint_every: rt.checkpoint_every,
+                    resume: rt.resume,
+                },
+            )?;
+            status = RunStatus::from_outcome(&outcome);
+            if matches!(status, RunStatus::Complete) {
+                discard_checkpoint(ckpt_path.as_ref());
+            }
+            outcome.value().seeds
+        }
         "mc" => {
             infmax_std_mc(
                 &pg,
@@ -380,7 +581,12 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             )
             .seeds
         }
-        "ris" => infmax_ris(&pg, k, (20 * pg.num_nodes()).max(1000), seed).seeds,
+        "ris" => {
+            let outcome =
+                infmax_ris_budgeted(&pg, k, (20 * pg.num_nodes()).max(1000), seed, &deadline);
+            status = RunStatus::from_outcome(&outcome);
+            outcome.value().seeds
+        }
         "degree" => high_degree_seeds(pg.graph(), k),
         "degree-discount" => degree_discount_seeds(pg.graph(), k, 0.1),
         "pagerank" => pagerank_seeds(pg.graph(), k),
@@ -388,7 +594,7 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
             random_seeds(pg.graph(), k, &mut rng)
         }
-        other => return Err(format!("unknown method {other:?}")),
+        other => return Err(SoiError::usage(format!("unknown method {other:?}"))),
     };
     let sigma = soi_sampling::estimate_spread(&pg, &seeds, samples.max(1000), seed ^ 0xE7A1);
     writeln!(
@@ -402,10 +608,18 @@ fn cmd_infmax<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     )
     .ok();
     writeln!(out, "expected_spread\t{sigma:.2}").ok();
-    Ok(())
+    if let RunStatus::Partial { fraction } = status {
+        writeln!(
+            out,
+            "partial\t{:.1}% (deadline expired; resumable with --resume)",
+            fraction * 100.0
+        )
+        .ok();
+    }
+    Ok(status)
 }
 
-fn cmd_reliability<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_reliability<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
     let pg = load_prob_graph(opts.positional(0, "graph file")?)?;
     let source: NodeId = opts.require("source")?;
@@ -428,11 +642,11 @@ fn cmd_reliability<W: Write>(args: &[String], out: &mut W) -> Result<(), String>
         )
         .ok();
     }
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn parse_log(path: &str, num_users: usize) -> Result<ActionLog, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn parse_log(path: &str, num_users: usize) -> Result<ActionLog, SoiError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SoiError::io(path, e))?;
     let mut actions = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -441,11 +655,18 @@ fn parse_log(path: &str, num_users: usize) -> Result<ActionLog, String> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 3 {
-            return Err(format!("{path}:{}: expected `user item time`", lineno + 1));
+            return Err(SoiError::Parse {
+                context: path.to_string(),
+                line: lineno + 1,
+                message: "expected `user item time`".into(),
+            });
         }
-        let parse = |s: &str, what: &str| -> Result<u32, String> {
-            s.parse()
-                .map_err(|e| format!("{path}:{}: bad {what}: {e}", lineno + 1))
+        let parse = |s: &str, what: &str| -> Result<u32, SoiError> {
+            s.parse().map_err(|e| SoiError::Parse {
+                context: path.to_string(),
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
         };
         actions.push(Action {
             user: parse(fields[0], "user")?,
@@ -453,10 +674,10 @@ fn parse_log(path: &str, num_users: usize) -> Result<ActionLog, String> {
             time: parse(fields[2], "time")?,
         });
     }
-    ActionLog::new(num_users, actions).map_err(|e| e.to_string())
+    ActionLog::new(num_users, actions).map_err(|e| SoiError::invalid(e.to_string()))
 }
 
-fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
     let opts = Opts::parse(args, &[])?;
     let graph = load_any_graph(opts.positional(0, "graph file")?)?;
     let log = parse_log(opts.positional(1, "log file")?, graph.num_nodes())?;
@@ -467,12 +688,13 @@ fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
         "saito" => learn_saito(&graph, &log, &SaitoConfig::default()),
         "goyal" => learn_goyal(&graph, &log, lag),
         "goyal-jaccard" => learn_goyal_jaccard(&graph, &log, lag),
-        other => return Err(format!("unknown method {other:?}")),
+        other => return Err(SoiError::usage(format!("unknown method {other:?}"))),
     };
-    let pg = to_prob_graph(&graph, &probs, min_prob).map_err(|e| e.to_string())?;
+    let pg = to_prob_graph(&graph, &probs, min_prob)?;
     let path: String = opts.require("out")?;
-    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-    gio::write_prob_graph(&pg, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(&path).map_err(|e| SoiError::io(path.as_str(), e))?;
+    gio::write_prob_graph(&pg, std::io::BufWriter::new(file))
+        .map_err(|e| SoiError::io(path.as_str(), e))?;
     writeln!(
         out,
         "learned {} arcs (of {} topology arcs) with {method}; wrote {path}",
@@ -480,18 +702,24 @@ fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
         graph.num_edges()
     )
     .ok();
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<String, String> {
+    fn run_status(args: &[&str]) -> Result<(RunStatus, String), SoiError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        dispatch(&args, &mut out)?;
-        Ok(String::from_utf8(out).unwrap())
+        let status = dispatch(&args, &mut out)?;
+        Ok((status, String::from_utf8(out).unwrap()))
+    }
+
+    fn run(args: &[&str]) -> Result<String, SoiError> {
+        let (status, out) = run_status(args)?;
+        assert_eq!(status, RunStatus::Complete, "unexpected partial: {out}");
+        Ok(out)
     }
 
     fn tmp(name: &str) -> String {
@@ -663,6 +891,138 @@ mod tests {
     }
 
     #[test]
+    fn deadline_limited_spheres_is_partial_and_resumes() {
+        let gpath = tmp("g7.tsv");
+        run(&[
+            "generate", "--model", "ba", "--nodes", "50", "--prob", "wc", "--seed", "3", "--out",
+            &gpath,
+        ])
+        .unwrap();
+        let full = tmp("spheres7-full.tsv");
+        run(&["spheres", &gpath, "--samples", "32", "--out", &full]).unwrap();
+
+        let ckdir = tmp("ck7");
+        let _ = std::fs::remove_dir_all(&ckdir);
+        let part = tmp("spheres7-part.tsv");
+        // Blocks of 10 nodes, budget 15 ticks: block 1 fits (10 spent),
+        // block 2 would overrun and is skipped -> 10 of 50 solved.
+        let (status, msg) = run_status(&[
+            "spheres",
+            &gpath,
+            "--samples",
+            "32",
+            "--out",
+            &part,
+            "--deadline-ticks",
+            "15",
+            "--checkpoint-every",
+            "10",
+            "--checkpoint-dir",
+            &ckdir,
+        ])
+        .unwrap();
+        match status {
+            RunStatus::Partial { fraction } => {
+                assert!((fraction - 0.2).abs() < 1e-9, "fraction {fraction}")
+            }
+            RunStatus::Complete => panic!("expected partial: {msg}"),
+        }
+        assert!(msg.contains("deadline expired"), "{msg}");
+        let partial_content = std::fs::read_to_string(&part).unwrap();
+        assert_eq!(partial_content.lines().count(), 11, "header + 10 nodes");
+        let full_content = std::fs::read_to_string(&full).unwrap();
+        assert!(
+            full_content.starts_with(&partial_content),
+            "prefix property"
+        );
+
+        // Resume without a deadline: completes and matches the
+        // uninterrupted run byte-for-byte; checkpoint is discarded.
+        let resumed = tmp("spheres7-resumed.tsv");
+        let (status, _) = run_status(&[
+            "spheres",
+            &gpath,
+            "--samples",
+            "32",
+            "--out",
+            &resumed,
+            "--checkpoint-dir",
+            &ckdir,
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert_eq!(std::fs::read_to_string(&resumed).unwrap(), full_content);
+        assert!(
+            !std::path::Path::new(&ckdir).join("spheres.ckpt").exists(),
+            "checkpoint discarded after completion"
+        );
+        std::fs::remove_dir_all(&ckdir).unwrap();
+    }
+
+    #[test]
+    fn deadline_limited_greedy_infmax_is_partial() {
+        let gpath = tmp("g8.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "40", "--edges", "160", "--prob", "wc",
+            "--out", &gpath,
+        ])
+        .unwrap();
+        // Budget covers the initial gain pass (40 evals) plus a few
+        // re-evaluations — not all 5 rounds.
+        let (status, msg) = run_status(&[
+            "infmax",
+            &gpath,
+            "--k",
+            "5",
+            "--method",
+            "greedy",
+            "--samples",
+            "32",
+            "--deadline-ticks",
+            "44",
+        ])
+        .unwrap();
+        assert!(
+            matches!(status, RunStatus::Partial { .. }),
+            "expected partial: {msg}"
+        );
+        assert!(msg.contains("partial"), "{msg}");
+    }
+
+    #[test]
+    fn metrics_report_carries_completed_fraction() {
+        let gpath = tmp("g9.tsv");
+        run(&[
+            "generate", "--model", "ba", "--nodes", "30", "--prob", "wc", "--out", &gpath,
+        ])
+        .unwrap();
+        let mpath = tmp("metrics9.jsonl");
+        let opath = tmp("spheres9.tsv");
+        let (status, _) = run_status(&[
+            "spheres",
+            &gpath,
+            "--samples",
+            "16",
+            "--out",
+            &opath,
+            "--deadline-ticks",
+            "5",
+            "--checkpoint-every",
+            "5",
+            "--metrics-out",
+            &mpath,
+        ])
+        .unwrap();
+        assert!(matches!(status, RunStatus::Partial { .. }));
+        let report = std::fs::read_to_string(&mpath).unwrap();
+        assert!(
+            report.contains("runtime.completed_fraction"),
+            "completed fraction missing from metrics report: {report}"
+        );
+    }
+
+    #[test]
     fn error_paths_are_clean() {
         assert!(run(&[]).is_err());
         assert!(run(&["frobnicate"]).is_err());
@@ -676,5 +1036,32 @@ mod tests {
         ])
         .unwrap();
         assert!(run(&["sphere", &gpath, "--source", "99"]).is_err());
+    }
+
+    #[test]
+    fn usage_errors_are_classified_for_exit_code_2() {
+        for args in [
+            &["frobnicate"] as &[&str],
+            &["infmax", "net.tsv"],                      // missing --k
+            &["spheres", "net.tsv", "--resume"],         // --resume sans dir
+            &["stats", "x", "--deadline-ticks", "nope"], // bad number
+            &["stats", "x", "--checkpoint-every", "0"],  // zero block
+        ] {
+            let err = run(args).unwrap_err();
+            assert!(err.is_usage(), "{args:?} -> {err}");
+        }
+        // Runtime failures are NOT usage errors.
+        let err = run(&["sphere", "/nonexistent/file", "--source", "0"]).unwrap_err();
+        assert!(!err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_path_and_line() {
+        let bad = tmp("bad10.tsv");
+        std::fs::write(&bad, "0\t1\t0.5\n1\t0\tNaN\n").unwrap();
+        let err = run(&["stats", &bad]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad10.tsv:2"), "{msg}");
+        assert!(msg.contains("probability"), "{msg}");
     }
 }

@@ -13,17 +13,35 @@
 //! Graph files are the workspace's TSV edge-list format
 //! (`source<TAB>target<TAB>probability`, `# nodes: N` header); log files
 //! are `user<TAB>item<TAB>time` lines.
+//!
+//! Exit codes (see `docs/ROBUSTNESS.md`): 0 complete; 1 runtime failure;
+//! 2 usage error (usage text on stderr); 3 deadline expired with partial,
+//! resumable output.
 
 mod commands;
 
+use commands::RunStatus;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&args, &mut std::io::stdout().lock()) {
-        Ok(()) => {}
-        Err(e) => {
+    let code = match commands::dispatch(&args, &mut std::io::stdout().lock()) {
+        Ok(RunStatus::Complete) => 0,
+        Ok(RunStatus::Partial { fraction }) => {
+            eprintln!(
+                "partial: deadline expired at {:.1}% complete (re-run with --resume to continue)",
+                fraction * 100.0
+            );
+            3
+        }
+        Err(e) if e.is_usage() => {
             eprintln!("error: {e}");
             eprintln!("{}", commands::USAGE);
-            std::process::exit(2);
+            2
         }
-    }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
 }

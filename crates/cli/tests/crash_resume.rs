@@ -1,0 +1,275 @@
+//! Crash-then-resume matrix over the real `soi` binary.
+//!
+//! For every registered failpoint site ([`soi_util::failpoint::SITES`])
+//! the test arms a simulated crash (`exit(41)`, no destructors) via the
+//! `SOI_FAILPOINTS` environment variable, runs the pipeline until it
+//! dies, then re-runs with `--resume` and asserts the final output is
+//! **byte-identical** to an uninterrupted run. This is the end-to-end
+//! proof of the checkpoint/resume contract in `docs/ROBUSTNESS.md`.
+//!
+//! Failpoints compile to no-ops in release builds; `cargo test` builds
+//! the binary with `debug_assertions` on, which is what arms the sites.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const CRASH: i32 = 41;
+
+fn soi() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_soi"));
+    // Never inherit stray failpoints from the environment.
+    c.env_remove(soi_util::failpoint::ENV_VAR);
+    c
+}
+
+fn run(mut cmd: Command) -> Output {
+    cmd.output().expect("spawn soi")
+}
+
+fn assert_code(out: &Output, want: i32, what: &str) {
+    assert_eq!(
+        out.status.code(),
+        Some(want),
+        "{what}: expected exit {want}, got {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soi-crash-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates the shared test graph once per temp dir.
+fn make_graph(dir: &Path) -> String {
+    let g = dir.join("g.tsv").to_string_lossy().into_owned();
+    let out = run({
+        let mut c = soi();
+        c.args([
+            "generate", "--model", "ba", "--nodes", "50", "--m", "2", "--prob", "wc", "--seed",
+            "9", "--out", &g,
+        ]);
+        c
+    });
+    assert_code(&out, 0, "generate");
+    g
+}
+
+fn spheres_args(graph: &str, out_path: &str, ckpt_dir: &str) -> Vec<String> {
+    [
+        "spheres",
+        graph,
+        "--samples",
+        "32",
+        "--seed",
+        "4",
+        "--out",
+        out_path,
+        "--checkpoint-dir",
+        ckpt_dir,
+        "--checkpoint-every",
+        "10",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn every_registered_site_crashes_then_resumes_byte_identical() {
+    let dir = fresh_dir("matrix");
+    let graph = make_graph(&dir);
+
+    // Golden uninterrupted outputs.
+    let golden_spheres = dir.join("golden-spheres.tsv");
+    let out = run({
+        let mut c = soi();
+        c.args(spheres_args(
+            &graph,
+            golden_spheres.to_str().unwrap(),
+            dir.join("ck-golden").to_str().unwrap(),
+        ));
+        c
+    });
+    assert_code(&out, 0, "golden spheres");
+    let golden_spheres = std::fs::read(&golden_spheres).unwrap();
+
+    let golden_greedy = run({
+        let mut c = soi();
+        c.args([
+            "infmax",
+            &graph,
+            "--k",
+            "5",
+            "--method",
+            "greedy",
+            "--samples",
+            "32",
+        ]);
+        c
+    });
+    assert_code(&golden_greedy, 0, "golden greedy");
+
+    // Which pipeline exercises each site, and on which hit to fire so
+    // at least one checkpoint usually exists before the crash.
+    for &site in soi_util::failpoint::SITES {
+        let tag = site.replace('.', "-");
+        let ck = dir.join(format!("ck-{tag}"));
+        let out_path = dir.join(format!("out-{tag}.tsv"));
+        let spec = match site {
+            "graph.io.read" => format!("{site}=exit({CRASH})"),
+            "ckpt.write.tmp" | "ckpt.write.rename" => format!("{site}=exit({CRASH})@2"),
+            "engine.block" => format!("{site}=exit({CRASH})@3"),
+            "greedy.round" => format!("{site}=exit({CRASH})@4"),
+            "cli.spheres.write" => format!("{site}=exit({CRASH})"),
+            other => panic!("unmapped failpoint site {other:?} — extend this matrix"),
+        };
+
+        if site == "greedy.round" {
+            let greedy_args = |resume: bool| {
+                let mut a: Vec<String> = [
+                    "infmax",
+                    &graph,
+                    "--k",
+                    "5",
+                    "--method",
+                    "greedy",
+                    "--samples",
+                    "32",
+                    "--checkpoint-dir",
+                    ck.to_str().unwrap(),
+                    "--checkpoint-every",
+                    "1",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+                if resume {
+                    a.push("--resume".into());
+                }
+                a
+            };
+            let crash = run({
+                let mut c = soi();
+                c.args(greedy_args(false));
+                c.env(soi_util::failpoint::ENV_VAR, &spec);
+                c
+            });
+            assert_code(&crash, CRASH, &format!("crash run ({site})"));
+            let resumed = run({
+                let mut c = soi();
+                c.args(greedy_args(true));
+                c
+            });
+            assert_code(&resumed, 0, &format!("resume run ({site})"));
+            assert_eq!(
+                resumed.stdout, golden_greedy.stdout,
+                "{site}: resumed greedy output differs from uninterrupted run"
+            );
+            continue;
+        }
+
+        let crash = run({
+            let mut c = soi();
+            c.args(spheres_args(
+                &graph,
+                out_path.to_str().unwrap(),
+                ck.to_str().unwrap(),
+            ));
+            c.env(soi_util::failpoint::ENV_VAR, &spec);
+            c
+        });
+        assert_code(&crash, CRASH, &format!("crash run ({site})"));
+
+        let mut resume_args =
+            spheres_args(&graph, out_path.to_str().unwrap(), ck.to_str().unwrap());
+        resume_args.push("--resume".into());
+        let resumed = run({
+            let mut c = soi();
+            c.args(resume_args);
+            c
+        });
+        assert_code(&resumed, 0, &format!("resume run ({site})"));
+        let resumed_bytes = std::fs::read(&out_path).unwrap();
+        assert_eq!(
+            resumed_bytes, golden_spheres,
+            "{site}: resumed spheres TSV differs from uninterrupted run"
+        );
+        assert!(
+            !ck.join("spheres.ckpt").exists(),
+            "{site}: checkpoint not discarded after successful completion"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn error_action_fails_with_runtime_exit_code() {
+    let dir = fresh_dir("error-action");
+    let graph = make_graph(&dir);
+    let out = run({
+        let mut c = soi();
+        c.args(["stats", &graph]);
+        c.env(soi_util::failpoint::ENV_VAR, "graph.io.read=error");
+        c
+    });
+    assert_code(&out, 1, "error-action run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("graph.io.read"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deadline_expiry_exits_partial_with_fraction_in_metrics() {
+    let dir = fresh_dir("deadline");
+    let graph = make_graph(&dir);
+    let out_path = dir.join("spheres.tsv");
+    let metrics = dir.join("metrics.jsonl");
+    let out = run({
+        let mut c = soi();
+        c.args([
+            "spheres",
+            &graph,
+            "--samples",
+            "32",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--deadline-ticks",
+            "15",
+            "--checkpoint-every",
+            "10",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        c
+    });
+    assert_code(&out, 3, "deadline-limited run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline expired"), "{stderr}");
+    assert!(stderr.contains("%"), "completed fraction missing: {stderr}");
+    let report = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        report.contains("runtime.completed_fraction"),
+        "metrics report lacks completed fraction: {report}"
+    );
+    // Partial output is a strict prefix: header plus 10 of 50 rows.
+    let tsv = std::fs::read_to_string(&out_path).unwrap();
+    assert_eq!(tsv.lines().count(), 11, "{tsv}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage_text() {
+    let out = run({
+        let mut c = soi();
+        c.args(["spheres", "missing.tsv", "--resume"]);
+        c
+    });
+    assert_code(&out, 2, "usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: soi"), "{stderr}");
+}

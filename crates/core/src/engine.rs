@@ -4,7 +4,11 @@ use soi_graph::{NodeId, ProbGraph};
 use soi_index::CascadeIndex;
 use soi_jaccard::median::{jaccard_median_with, MedianConfig};
 use soi_sampling::CascadeSampler;
+use soi_util::ckpt::{self, ByteReader, Checkpoint, KIND_TYPICAL_CASCADES};
 use soi_util::rng::derive_seed;
+use soi_util::runtime::{Deadline, Outcome};
+use soi_util::SoiError;
+use std::path::Path;
 
 /// Power-of-two buckets for the `engine.sphere_size` histogram (sphere
 /// sizes are counts, so bucket totals stay deterministic).
@@ -239,6 +243,219 @@ pub fn all_typical_cascades(
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
+/// Options for [`all_typical_cascades_resumable`]: deadline budget,
+/// checkpoint location, and resume behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineRunOpts<'a> {
+    /// Cooperative budget, ticked once per node solved.
+    pub deadline: &'a Deadline,
+    /// Checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<&'a Path>,
+    /// Write a checkpoint every this many nodes (also the block size for
+    /// deadline checks). Clamped to at least 1.
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint` if it exists (fresh start otherwise).
+    pub resume: bool,
+}
+
+/// Binds the config fingerprint to everything that changes per-node
+/// output: the checkpoint kind and the median tuning. The graph
+/// fingerprint (worlds, seed, structure) is carried separately.
+fn engine_config_fingerprint(median: &MedianConfig) -> u64 {
+    let mut h = soi_util::hash::Mix64Hasher::new();
+    h.update_u64(KIND_TYPICAL_CASCADES as u64);
+    h.update_u64(median.local_search_rounds as u64);
+    h.update_u64(median.min_frequency.to_bits());
+    h.finish()
+}
+
+/// Payload: u32 count, then per node `u32 node | f64 cost bits | u32 len |
+/// len x u32 median`, little-endian throughout.
+fn encode_tc_payload(results: &[NodeTypicalCascade]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for r in results {
+        out.extend_from_slice(&r.node.to_le_bytes());
+        out.extend_from_slice(&r.training_cost.to_bits().to_le_bytes());
+        out.extend_from_slice(&(r.median.len() as u32).to_le_bytes());
+        for &m in &r.median {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_tc_payload(
+    c: &Checkpoint,
+    num_nodes: usize,
+) -> Result<Vec<NodeTypicalCascade>, SoiError> {
+    let mut r = ByteReader::new(&c.payload);
+    let count = r.u32("node count")? as usize;
+    if count as u64 != c.done_units || count > num_nodes {
+        return Err(SoiError::invalid(format!(
+            "checkpoint payload holds {count} nodes but header says {} of {num_nodes}",
+            c.done_units
+        )));
+    }
+    let mut results = Vec::with_capacity(count);
+    for i in 0..count {
+        let node = r.u32("node id")?;
+        if node as usize != i {
+            return Err(SoiError::invalid(format!(
+                "checkpoint node {node} out of order at position {i}"
+            )));
+        }
+        let training_cost = f64::from_bits(r.u64("training cost")?);
+        let len = r.u32("median length")? as usize;
+        if len > num_nodes {
+            return Err(SoiError::invalid(format!(
+                "checkpoint median of node {node} has {len} > {num_nodes} members"
+            )));
+        }
+        let mut median = Vec::with_capacity(len);
+        for _ in 0..len {
+            let m = r.u32("median member")?;
+            if m as usize >= num_nodes {
+                return Err(SoiError::invalid(format!(
+                    "checkpoint median member {m} out of range for node {node}"
+                )));
+            }
+            if let Some(&prev) = median.last() {
+                if m <= prev {
+                    return Err(SoiError::invalid(format!(
+                        "checkpoint median of node {node} is not canonical (sorted, unique)"
+                    )));
+                }
+            }
+            median.push(m);
+        }
+        results.push(NodeTypicalCascade {
+            node,
+            median,
+            training_cost,
+        });
+    }
+    r.expect_end("typical-cascade payload")?;
+    Ok(results)
+}
+
+/// Fault-tolerant [`all_typical_cascades`]: same node-order deterministic
+/// output, plus cooperative deadlines and checkpoint/resume.
+///
+/// Nodes are solved in blocks of `opts.checkpoint_every`; each block ticks
+/// the deadline once per node up front, so on expiry the partial value is
+/// an exact node-prefix of the uninterrupted run (per-node work depends
+/// only on the index and the median config, never on other nodes). After
+/// each block a [`KIND_TYPICAL_CASCADES`] checkpoint is written atomically
+/// when a path is configured; resuming validates the checkpoint against
+/// the index fingerprint and median config and continues from the stored
+/// prefix, yielding byte-identical final output.
+pub fn all_typical_cascades_resumable(
+    index: &CascadeIndex,
+    median: &MedianConfig,
+    threads: usize,
+    opts: &EngineRunOpts<'_>,
+) -> Result<Outcome<Vec<NodeTypicalCascade>>, SoiError> {
+    let n = index.num_nodes();
+    let graph_fp = index.fingerprint();
+    let config_fp = engine_config_fingerprint(median);
+    let every = opts.checkpoint_every.max(1);
+    let threads = {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        (if threads == 0 { hw } else { threads }).clamp(1, n.max(1))
+    };
+
+    let mut results: Vec<NodeTypicalCascade> = Vec::with_capacity(n);
+    if opts.resume {
+        if let Some(path) = opts.checkpoint.filter(|p| p.exists()) {
+            let c = ckpt::read_checkpoint(path, KIND_TYPICAL_CASCADES)?;
+            c.validate(KIND_TYPICAL_CASCADES, graph_fp, config_fp)?;
+            if c.total_units != n as u64 {
+                return Err(SoiError::CkptMismatch {
+                    field: "total_units",
+                    stored: c.total_units,
+                    expected: n as u64,
+                });
+            }
+            results = decode_tc_payload(&c, n)?;
+            soi_obs::counter_add!("engine.tc_resumes", 1);
+            soi_obs::event!(
+                soi_obs::Level::Info,
+                "resuming typical cascades from checkpoint: {} of {n} nodes done",
+                results.len()
+            );
+        }
+    }
+
+    let solve = |v: NodeId| {
+        soi_obs::counter_add!("engine.nodes_solved", 1);
+        let samples = {
+            let _s = soi_obs::span("engine.index_lookup");
+            index.cascades_of(v)
+        };
+        let fit = {
+            let _s = soi_obs::span("engine.median_fit");
+            jaccard_median_with(&samples, median)
+        };
+        soi_obs::hist_observe!("engine.sphere_size", SPHERE_SIZE_BUCKETS, fit.median.len());
+        NodeTypicalCascade {
+            node: v,
+            median: fit.median,
+            training_cost: fit.cost,
+        }
+    };
+
+    let resumed_from = results.len();
+    while results.len() < n {
+        let start = results.len();
+        let end = (start + every).min(n);
+        let block_len = (end - start) as u64;
+        // First block of this run is unconditional so a budgeted fresh run
+        // always makes progress; later blocks stop cleanly at a boundary.
+        let proceed = opts.deadline.tick(block_len);
+        if start > resumed_from && !proceed {
+            break;
+        }
+        soi_util::failpoint!("engine.block");
+        let mut block: Vec<Option<NodeTypicalCascade>> = (start..end).map(|_| None).collect();
+        if threads <= 1 || block.len() <= 1 {
+            for (j, slot) in block.iter_mut().enumerate() {
+                *slot = Some(solve((start + j) as NodeId));
+            }
+        } else {
+            let chunk = block.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, chunk_slots) in block.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                            *slot = Some(solve((start + t * chunk + j) as NodeId));
+                        }
+                    });
+                }
+            });
+        }
+        // Scoped threads fill every slot exactly once. xtask-allow: panic_policy
+        results.extend(block.into_iter().map(|r| r.expect("filled")));
+        if let Some(path) = opts.checkpoint {
+            let c = Checkpoint {
+                kind: KIND_TYPICAL_CASCADES,
+                graph_fingerprint: graph_fp,
+                config_fingerprint: config_fp,
+                total_units: n as u64,
+                done_units: results.len() as u64,
+                payload: encode_tc_payload(&results),
+            };
+            ckpt::write_checkpoint(path, &c)?;
+            soi_obs::counter_add!("engine.tc_checkpoints", 1);
+        }
+        if !proceed {
+            break;
+        }
+    }
+    let done = results.len() as u64;
+    Ok(opts.deadline.outcome(results, done, n as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +562,165 @@ mod tests {
             let direct = jaccard_median_with(&index.cascades_of(v), &MedianConfig::default());
             assert_eq!(serial[v as usize].median, direct.median);
         }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("soi-engine-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_index(num_worlds: usize) -> CascadeIndex {
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(9);
+        let pg = ProbGraph::fixed(gen::gnm(40, 180, &mut rng), 0.3).unwrap();
+        CascadeIndex::build(
+            &pg,
+            IndexConfig {
+                num_worlds,
+                seed: 11,
+                ..IndexConfig::default()
+            },
+        )
+    }
+
+    fn assert_same(a: &[NodeTypicalCascade], b: &[NodeTypicalCascade]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.median, y.median);
+            assert_eq!(x.training_cost.to_bits(), y.training_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn resumable_matches_plain_without_interruption() {
+        use soi_util::runtime::Deadline;
+        let index = test_index(16);
+        let plain = all_typical_cascades(&index, &MedianConfig::default(), 2);
+        let unlimited = Deadline::unlimited();
+        let out = all_typical_cascades_resumable(
+            &index,
+            &MedianConfig::default(),
+            2,
+            &EngineRunOpts {
+                deadline: &unlimited,
+                checkpoint: None,
+                checkpoint_every: 7,
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert!(out.is_complete());
+        assert_same(&out.value(), &plain);
+    }
+
+    #[test]
+    fn deadline_yields_a_node_prefix() {
+        use soi_util::runtime::Deadline;
+        let index = test_index(16);
+        let plain = all_typical_cascades(&index, &MedianConfig::default(), 1);
+        let d = Deadline::ticks(10);
+        let out = all_typical_cascades_resumable(
+            &index,
+            &MedianConfig::default(),
+            1,
+            &EngineRunOpts {
+                deadline: &d,
+                checkpoint: None,
+                checkpoint_every: 5,
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert!(!out.is_complete());
+        let progress = out.progress().unwrap();
+        assert_eq!(progress.done, 10);
+        assert_eq!(progress.total, 40);
+        assert_same(&out.value(), &plain[..10]);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_output() {
+        use soi_util::runtime::Deadline;
+        let _g = soi_util::failpoint::test_guard();
+        let index = test_index(16);
+        let plain = all_typical_cascades(&index, &MedianConfig::default(), 2);
+        let dir = tmp_dir("resume");
+        let path = dir.join("tc.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let unlimited = Deadline::unlimited();
+        let opts = |resume| EngineRunOpts {
+            deadline: &unlimited,
+            checkpoint: Some(path.as_path()),
+            checkpoint_every: 6,
+            resume,
+        };
+
+        // Crash the third block: blocks 1 and 2 (12 nodes) are durable.
+        soi_util::failpoint::install("engine.block=error@3").unwrap();
+        let err = all_typical_cascades_resumable(&index, &MedianConfig::default(), 2, &opts(false))
+            .unwrap_err();
+        assert!(matches!(err, SoiError::Fault { .. }), "{err}");
+        soi_util::failpoint::clear();
+
+        let c = ckpt::read_checkpoint(&path, KIND_TYPICAL_CASCADES).unwrap();
+        assert_eq!(c.done_units, 12, "two 6-node blocks checkpointed");
+
+        let out = all_typical_cascades_resumable(&index, &MedianConfig::default(), 2, &opts(true))
+            .unwrap();
+        assert!(out.is_complete());
+        assert_same(&out.value(), &plain);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_mismatches_are_rejected() {
+        use soi_util::runtime::Deadline;
+        let index = test_index(16);
+        let dir = tmp_dir("mismatch");
+        let path = dir.join("tc.ckpt");
+        let unlimited = Deadline::unlimited();
+        let opts = |resume| EngineRunOpts {
+            deadline: &unlimited,
+            checkpoint: Some(path.as_path()),
+            checkpoint_every: 50,
+            resume,
+        };
+        all_typical_cascades_resumable(&index, &MedianConfig::default(), 1, &opts(false)).unwrap();
+
+        // Different median config: config fingerprint differs.
+        let other = MedianConfig {
+            local_search_rounds: 5,
+            ..MedianConfig::default()
+        };
+        let err = all_typical_cascades_resumable(&index, &other, 1, &opts(true)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SoiError::CkptMismatch {
+                    field: "config_fingerprint",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // Different index: graph fingerprint differs.
+        let other_index = test_index(8);
+        let err =
+            all_typical_cascades_resumable(&other_index, &MedianConfig::default(), 1, &opts(true))
+                .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SoiError::CkptMismatch {
+                    field: "graph_fingerprint",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

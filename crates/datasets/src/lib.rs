@@ -233,10 +233,10 @@ pub fn build(network: Network, source: ProbSource, scale: f64, seed: u64) -> Dat
                     seed: derive_seed(seed, 0x6974656d),
                 },
             );
-            let learned = match source {
-                ProbSource::Saito => learn_saito(truth.graph(), &log, &SaitoConfig::default()),
-                ProbSource::Goyal => learn_goyal(truth.graph(), &log, Some(1)),
-                _ => unreachable!(),
+            let learned = if matches!(source, ProbSource::Saito) {
+                learn_saito(truth.graph(), &log, &SaitoConfig::default())
+            } else {
+                learn_goyal(truth.graph(), &log, Some(1))
             };
             let graph = to_prob_graph(truth.graph(), &learned, 1e-4)
                 // xtask-allow: panic_policy — to_prob_graph floors at

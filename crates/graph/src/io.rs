@@ -42,8 +42,13 @@ pub enum ParsedGraph {
 }
 
 /// Reads an edge list produced by [`write_graph`] / [`write_prob_graph`]
-/// (or hand-written in the same format).
+/// (or hand-written in the same format). Malformed input — truncated
+/// lines, duplicate `# nodes:` headers, non-finite or out-of-range
+/// probabilities, node ids beyond a declared count — yields a
+/// line-numbered [`GraphError::Parse`]; this function never panics on
+/// untrusted input.
 pub fn read_graph<R: BufRead>(input: R) -> Result<ParsedGraph, GraphError> {
+    soi_util::failpoint!("graph.io.read");
     let mut declared_nodes: Option<usize> = None;
     let mut edges: Vec<(u32, u32, Option<f64>)> = Vec::new();
     let mut max_node: u32 = 0;
@@ -58,10 +63,25 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<ParsedGraph, GraphError> {
         }
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("nodes:") {
-                declared_nodes = Some(n.trim().parse().map_err(|e| GraphError::Parse {
+                if declared_nodes.is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: "duplicate `# nodes:` header".into(),
+                    });
+                }
+                let n: usize = n.trim().parse().map_err(|e| GraphError::Parse {
                     line: lineno,
                     message: format!("bad node count: {e}"),
-                })?);
+                })?;
+                if any && max_node as usize >= n {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "`# nodes: {n}` header contradicts earlier node id {max_node}"
+                        ),
+                    });
+                }
+                declared_nodes = Some(n);
             }
             continue;
         }
@@ -73,18 +93,37 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<ParsedGraph, GraphError> {
             });
         }
         let parse_node = |s: &str| -> Result<u32, GraphError> {
-            s.parse().map_err(|e| GraphError::Parse {
+            let id: u32 = s.parse().map_err(|e| GraphError::Parse {
                 line: lineno,
                 message: format!("bad node id {s:?}: {e}"),
-            })
+            })?;
+            if let Some(n) = declared_nodes {
+                if id as usize >= n {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!("node id {id} >= declared node count {n}"),
+                    });
+                }
+            }
+            Ok(id)
         };
         let u = parse_node(fields[0])?;
         let v = parse_node(fields[1])?;
         let p = if fields.len() == 3 {
-            Some(fields[2].parse::<f64>().map_err(|e| GraphError::Parse {
+            let p = fields[2].parse::<f64>().map_err(|e| GraphError::Parse {
                 line: lineno,
                 message: format!("bad probability {:?}: {e}", fields[2]),
-            })?)
+            })?;
+            // `parse::<f64>` happily accepts "NaN" and "inf"; reject them
+            // (and anything outside (0, 1]) here so the report carries the
+            // line number instead of a later edge index.
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("probability {p} not in (0, 1]"),
+                });
+            }
+            Some(p)
         } else {
             None
         };
@@ -182,6 +221,82 @@ mod tests {
             read_graph(bad_prob),
             Err(GraphError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn adversarial_probabilities_fail_with_line_numbers() {
+        // parse::<f64>() accepts all of these spellings; the reader must
+        // still reject them with the offending line, never panic.
+        for (bad, line) in [
+            ("0\t1\tNaN\n", 1),
+            ("0\t1\t0.5\n1\t0\tinf\n", 2),
+            ("0\t1\t-inf\n", 1),
+            ("0\t1\t1.5\n", 1),
+            ("0\t1\t0\n", 1),
+            ("0\t1\t-0.25\n", 1),
+        ] {
+            match read_graph(bad.as_bytes()) {
+                Err(GraphError::Parse { line: l, message }) => {
+                    assert_eq!(l, line, "{bad:?}");
+                    assert!(message.contains("probability"), "{bad:?}: {message}");
+                }
+                other => panic!("{bad:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_nodes_header_is_rejected() {
+        let input = b"# nodes: 5\n0\t1\n# nodes: 9\n" as &[u8];
+        match read_graph(input) {
+            Err(GraphError::Parse { line: 3, message }) => {
+                assert!(message.contains("duplicate"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_ids_beyond_declared_count_are_rejected() {
+        // Header first: the edge line is flagged.
+        let input = b"# nodes: 3\n0\t7\n" as &[u8];
+        match read_graph(input) {
+            Err(GraphError::Parse { line: 2, message }) => {
+                assert!(message.contains("declared node count"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+        // Header after the edges: the header line is flagged.
+        let input = b"0\t7\n# nodes: 3\n" as &[u8];
+        match read_graph(input) {
+            Err(GraphError::Parse { line: 2, message }) => {
+                assert!(message.contains("contradicts"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected() {
+        for (bad, line) in [("0\n", 1), ("0\t1\t0.5\n1\n", 2), ("0 1 0.5 7 9\n", 1)] {
+            match read_graph(bad.as_bytes()) {
+                Err(GraphError::Parse { line: l, message }) => {
+                    assert_eq!(l, line, "{bad:?}");
+                    assert!(message.contains("fields"), "{bad:?}: {message}");
+                }
+                other => panic!("{bad:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces_as_io_error() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::install("graph.io.read=error").unwrap();
+        let err = read_graph(b"0\t1\n" as &[u8]).unwrap_err();
+        assert!(err.to_string().contains("graph.io.read"), "{err}");
+        soi_util::failpoint::clear();
+        assert!(read_graph(b"0\t1\n" as &[u8]).is_ok());
     }
 
     #[test]

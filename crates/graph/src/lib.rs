@@ -103,3 +103,26 @@ impl From<std::io::Error> for GraphError {
         GraphError::Io(e.to_string())
     }
 }
+
+impl From<soi_util::failpoint::Fault> for GraphError {
+    fn from(fault: soi_util::failpoint::Fault) -> Self {
+        GraphError::Io(fault.to_string())
+    }
+}
+
+impl From<GraphError> for soi_util::SoiError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::Parse { line, message } => soi_util::SoiError::Parse {
+                context: String::new(),
+                line,
+                message,
+            },
+            GraphError::Io(m) => soi_util::SoiError::Io {
+                context: String::new(),
+                source: std::io::Error::other(m),
+            },
+            other => soi_util::SoiError::Invalid(other.to_string()),
+        }
+    }
+}

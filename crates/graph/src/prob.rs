@@ -142,6 +142,27 @@ impl ProbGraph {
             .map(|(&v, &p)| (v, p))
     }
 
+    /// A 64-bit fingerprint of this probabilistic graph (topology plus
+    /// exact probability bits), used to pin checkpoints and resumable
+    /// runs to the graph they were started on. Deterministic across
+    /// processes and platforms (little-endian byte hashing).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = soi_util::hash::Mix64Hasher::new();
+        h.update_u64(self.num_nodes() as u64);
+        h.update_u64(self.num_edges() as u64);
+        for u in self.graph.nodes() {
+            for &v in self.graph.out_neighbors(u) {
+                h.update_u64(v as u64);
+            }
+            // Degree boundaries distinguish e.g. 0->{1,2} from 0->{1}, 1->{2}.
+            h.update_u64(u64::MAX);
+        }
+        for &p in &self.probs {
+            h.update_u64(p.to_bits());
+        }
+        h.finish()
+    }
+
     /// Probability (Eq. 1) of one fully-specified possible world, given the
     /// set of surviving CSR edge positions. Exponentially small for big
     /// graphs — used by exact tests on tiny instances and by the Example 1

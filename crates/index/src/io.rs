@@ -60,6 +60,15 @@ impl From<io::Error> for LoadError {
     }
 }
 
+impl From<LoadError> for soi_util::SoiError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::Io(io) => soi_util::SoiError::io("cascade index", io),
+            other => soi_util::SoiError::Invalid(other.to_string()),
+        }
+    }
+}
+
 fn w_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }

@@ -184,6 +184,101 @@ impl CascadeIndex {
         index
     }
 
+    /// Budgeted [`build`](CascadeIndex::build): one tick per sampled
+    /// world, checked at block boundaries (blocks of [`BUILD_BLOCK`]
+    /// worlds, parallel within a block). On expiry the partial index
+    /// covers a *prefix* of the world ids — world `i` depends only on
+    /// `(seed, i)`, so the prefix is identical to the first worlds of an
+    /// uninterrupted build regardless of thread count. At least one block
+    /// is always built, so even an expired deadline yields a usable
+    /// (small-ℓ) index.
+    pub fn build_budgeted(
+        pg: &ProbGraph,
+        config: IndexConfig,
+        deadline: &soi_util::runtime::Deadline,
+    ) -> soi_util::runtime::Outcome<Self> {
+        assert!(config.num_worlds > 0, "need at least one world");
+        let _span = soi_obs::span("index.build");
+        let n = pg.num_nodes();
+        let ell = config.num_worlds;
+        let threads = effective_threads(config.threads, BUILD_BLOCK);
+
+        let mut built: Vec<(WorldIndex, Vec<u32>)> = Vec::with_capacity(ell);
+        let mut next = 0usize;
+        while next < ell {
+            let block_len = BUILD_BLOCK.min(ell - next);
+            // The first block runs unconditionally (its ticks still count)
+            // so a partial index is never empty.
+            let proceed = deadline.tick(block_len as u64);
+            if next > 0 && !proceed {
+                break;
+            }
+            let mut slots: Vec<Option<(WorldIndex, Vec<u32>)>> =
+                (0..block_len).map(|_| None).collect();
+            let chunk = block_len.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let config = &config;
+                    scope.spawn(move || {
+                        let mut sampler = WorldSampler::new();
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            let i = next + t * chunk + j;
+                            *slot = Some(build_world(pg, config, i, &mut sampler));
+                        }
+                    });
+                }
+            });
+            for slot in slots {
+                // Chunked scoped threads fill every slot before the scope
+                // joins. xtask-allow: panic_policy
+                built.push(slot.expect("world built"));
+            }
+            next += block_len;
+        }
+
+        let done = built.len();
+        let mut worlds = Vec::with_capacity(done);
+        let mut comp_matrix = vec![0u32; n * done];
+        let mut max_comps = 0usize;
+        for (i, (w, comp_of)) in built.into_iter().enumerate() {
+            max_comps = max_comps.max(w.num_comps());
+            for v in 0..n {
+                comp_matrix[v * done + i] = comp_of[v];
+            }
+            worlds.push(w);
+        }
+        let index = CascadeIndex {
+            num_nodes: n,
+            worlds,
+            comp_matrix,
+            max_comps,
+            // Record the ℓ actually built so the stored config matches
+            // the partial index's true dimensions.
+            config: IndexConfig {
+                num_worlds: done,
+                ..config
+            },
+        };
+        index.record_build_metrics();
+        deadline.outcome(index, done as u64, ell as u64)
+    }
+
+    /// A 64-bit fingerprint of the index identity: dimensions, build
+    /// configuration, and per-world structural summary. Used to pin
+    /// checkpoints to the index a run was started with.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = soi_util::hash::Mix64Hasher::new();
+        h.update_u64(self.num_nodes as u64);
+        h.update_u64(self.worlds.len() as u64);
+        h.update_u64(self.config.seed);
+        h.update_u64(self.config.transitive_reduction as u64);
+        for w in &self.worlds {
+            h.update_u64(w.num_comps() as u64);
+            h.update_u64(w.dag.num_edges() as u64);
+        }
+        h.finish()
+    }
+
     /// Reassembles an index from stored parts (used by [`io`]); inputs
     /// are assumed already validated.
     pub(crate) fn from_parts(
@@ -390,6 +485,11 @@ pub struct IndexQuery {
     comps: Vec<u32>,
 }
 
+/// Worlds per deadline check in [`CascadeIndex::build_budgeted`]. A fixed
+/// block size (independent of thread count) keeps the partial prefix
+/// deterministic across machines.
+pub const BUILD_BLOCK: usize = 16;
+
 fn effective_threads(requested: usize, work_items: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
     let t = if requested == 0 { hw } else { requested };
@@ -581,6 +681,59 @@ mod tests {
                 assert!(c.len() <= 60);
             }
         }
+    }
+
+    #[test]
+    fn budgeted_build_yields_a_world_prefix() {
+        use soi_util::runtime::Deadline;
+        let pg = test_graph(8);
+        let config = IndexConfig {
+            num_worlds: 40,
+            seed: 13,
+            transitive_reduction: true,
+            threads: 2,
+        };
+        let full = CascadeIndex::build(&pg, config);
+
+        let complete = CascadeIndex::build_budgeted(&pg, config, &Deadline::unlimited());
+        assert!(complete.is_complete());
+        let complete = complete.value();
+        assert_eq!(complete.num_worlds(), 40);
+        assert_eq!(complete.cascades_of(3), full.cascades_of(3));
+        assert_eq!(complete.fingerprint(), full.fingerprint());
+
+        // Budget for one block: the partial index is worlds 0..BUILD_BLOCK.
+        let partial = CascadeIndex::build_budgeted(&pg, config, &Deadline::ticks(1));
+        assert!(!partial.is_complete());
+        let progress = partial.progress().unwrap();
+        assert_eq!(progress.done, crate::BUILD_BLOCK as u64);
+        assert_eq!(progress.total, 40);
+        let partial = partial.value();
+        assert_eq!(partial.num_worlds(), crate::BUILD_BLOCK);
+        for v in (0..60).step_by(9) {
+            assert_eq!(
+                partial.cascades_of(v),
+                full.cascades_of(v)[..crate::BUILD_BLOCK].to_vec(),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_builds() {
+        let pg = test_graph(9);
+        let mk = |seed| {
+            CascadeIndex::build(
+                &pg,
+                IndexConfig {
+                    num_worlds: 4,
+                    seed,
+                    ..IndexConfig::default()
+                },
+            )
+        };
+        assert_eq!(mk(1).fingerprint(), mk(1).fingerprint());
+        assert_ne!(mk(1).fingerprint(), mk(2).fingerprint());
     }
 
     #[test]

@@ -19,8 +19,12 @@
 use crate::spread::SpreadOracle;
 use soi_graph::NodeId;
 use soi_index::CascadeIndex;
+use soi_util::ckpt::{self, ByteReader, Checkpoint, KIND_GREEDY};
+use soi_util::runtime::{Deadline, Outcome};
+use soi_util::SoiError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::path::Path;
 
 /// Which greedy implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +173,192 @@ fn celf(oracle: &mut SpreadOracle<'_>, k: usize) -> GreedyResult {
         spread_curve: curve,
         gain_rankings: Vec::new(),
     }
+}
+
+/// Runtime options for [`infmax_celf_resumable`].
+pub struct GreedyRunOpts<'a> {
+    /// Cooperative deadline, ticked once per oracle evaluation.
+    pub deadline: &'a Deadline,
+    /// Checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<&'a Path>,
+    /// Seeds committed between checkpoint writes (coerced to ≥ 1).
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint` when it exists (a fresh run otherwise).
+    pub resume: bool,
+}
+
+/// Fingerprint pinning a greedy checkpoint to its run configuration.
+fn greedy_config_fingerprint(k: usize) -> u64 {
+    let mut h = soi_util::hash::Mix64Hasher::new();
+    h.update_u64(u64::from(KIND_GREEDY));
+    h.update_u64(k as u64);
+    h.finish()
+}
+
+fn encode_greedy_payload(seeds: &[NodeId], curve: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + seeds.len() * 12);
+    out.extend_from_slice(&(seeds.len() as u32).to_le_bytes());
+    for (&s, &sigma) in seeds.iter().zip(curve) {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&sigma.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn decode_greedy_payload(
+    c: &Checkpoint,
+    num_nodes: usize,
+) -> Result<(Vec<NodeId>, Vec<f64>), SoiError> {
+    let mut r = ByteReader::new(&c.payload);
+    let count = r.u32("seed count")? as usize;
+    if count as u64 != c.done_units {
+        return Err(SoiError::invalid(format!(
+            "greedy checkpoint: payload holds {count} seeds but header claims {}",
+            c.done_units
+        )));
+    }
+    let mut seeds = Vec::with_capacity(count);
+    let mut curve = Vec::with_capacity(count);
+    for _ in 0..count {
+        let s = r.u32("seed")?;
+        if s as usize >= num_nodes {
+            return Err(SoiError::invalid(format!(
+                "greedy checkpoint: seed {s} out of range for {num_nodes} nodes"
+            )));
+        }
+        seeds.push(s);
+        curve.push(r.f64("spread")?);
+    }
+    r.expect_end("greedy checkpoint payload")?;
+    Ok((seeds, curve))
+}
+
+/// CELF with deadlines and checkpoint/resume — the fault-tolerant form of
+/// [`infmax_std`] with [`GreedyMode::Celf`].
+///
+/// Seed selection is checkpointed after every `checkpoint_every` commits
+/// (kind-2 checkpoint files pinned to the index fingerprint and `k`).
+/// Resuming restarts CELF from the committed prefix: gains are
+/// re-evaluated against that prefix, and since ties break identically
+/// (gain descending, node id ascending), the resumed run commits exactly
+/// the seeds an uninterrupted run would — outputs are byte-identical.
+///
+/// The deadline is ticked once per oracle evaluation; on expiry the
+/// committed prefix comes back as [`Outcome::Partial`] with
+/// `done = seeds committed`, `total = k`. A corrupt or mismatched
+/// checkpoint is a hard error (never silently ignored).
+pub fn infmax_celf_resumable(
+    index: &CascadeIndex,
+    k: usize,
+    opts: &GreedyRunOpts<'_>,
+) -> Result<Outcome<GreedyResult>, SoiError> {
+    let _span = soi_obs::span("influence.greedy");
+    let n = index.num_nodes();
+    let k = k.min(n);
+    let graph_fp = index.fingerprint();
+    let config_fp = greedy_config_fingerprint(k);
+    let every = opts.checkpoint_every.max(1);
+    let deadline = opts.deadline;
+
+    let mut seeds: Vec<NodeId> = Vec::new();
+    let mut curve: Vec<f64> = Vec::new();
+    if opts.resume {
+        if let Some(path) = opts.checkpoint {
+            if path.exists() {
+                let c = ckpt::read_checkpoint(path, KIND_GREEDY)?;
+                c.validate(KIND_GREEDY, graph_fp, config_fp)?;
+                (seeds, curve) = decode_greedy_payload(&c, n)?;
+                if seeds.len() > k {
+                    return Err(SoiError::invalid(format!(
+                        "greedy checkpoint holds {} seeds for a k={k} run",
+                        seeds.len()
+                    )));
+                }
+                soi_obs::counter_add!("influence.greedy_resumes", 1);
+                soi_obs::event!(
+                    soi_obs::Level::Info,
+                    "resumed greedy selection: {} of {k} seeds from checkpoint",
+                    seeds.len()
+                );
+            }
+        }
+    }
+
+    let mut oracle = SpreadOracle::new(index);
+    let mut in_solution = vec![false; n];
+    for &s in &seeds {
+        oracle.commit(s);
+        in_solution[s as usize] = true;
+    }
+
+    let result = |seeds: Vec<NodeId>, curve: Vec<f64>| GreedyResult {
+        seeds,
+        spread_curve: curve,
+        gain_rankings: Vec::new(),
+    };
+
+    // Initial heap: gains w.r.t. the committed prefix, marked stale (the
+    // same shape a from-scratch CELF starts with), so the round loop
+    // re-verifies the top exactly like an uninterrupted run.
+    let base = seeds.len();
+    let mut heap: BinaryHeap<CelfEntry> = BinaryHeap::with_capacity(n - base);
+    for v in 0..n as NodeId {
+        if in_solution[v as usize] {
+            continue;
+        }
+        if !deadline.tick(1) {
+            return Ok(deadline.outcome(result(seeds, curve), base as u64, k as u64));
+        }
+        heap.push(CelfEntry {
+            gain: oracle.marginal_gain(v),
+            node: v,
+            round: base,
+        });
+    }
+
+    for round in base + 1..=k {
+        soi_util::failpoint!("greedy.round");
+        loop {
+            let Some(top) = heap.pop() else {
+                return Ok(Outcome::Completed(result(seeds, curve)));
+            };
+            if top.round == round {
+                oracle.commit(top.node);
+                seeds.push(top.node);
+                curve.push(oracle.current_spread());
+                break;
+            }
+            if !deadline.tick(1) {
+                let done = seeds.len() as u64;
+                return Ok(deadline.outcome(result(seeds, curve), done, k as u64));
+            }
+            soi_obs::counter_add!("influence.celf_reevals", 1);
+            let fresh = oracle.marginal_gain(top.node);
+            heap.push(CelfEntry {
+                gain: fresh,
+                node: top.node,
+                round,
+            });
+        }
+        if let Some(path) = opts.checkpoint {
+            if seeds.len().is_multiple_of(every) || seeds.len() == k {
+                ckpt::write_checkpoint(
+                    path,
+                    &Checkpoint {
+                        kind: KIND_GREEDY,
+                        graph_fingerprint: graph_fp,
+                        config_fingerprint: config_fp,
+                        total_units: k as u64,
+                        done_units: seeds.len() as u64,
+                        payload: encode_greedy_payload(&seeds, &curve),
+                    },
+                )?;
+                soi_obs::counter_add!("influence.greedy_checkpoints", 1);
+            }
+        }
+    }
+    let done = seeds.len() as u64;
+    Ok(deadline.outcome(result(seeds, curve), done, k as u64))
 }
 
 /// CELF++ (Goyal, Lu & Lakshmanan, WWW 2011) — the optimization of the
@@ -626,6 +816,151 @@ mod tests {
         s.sort_unstable();
         s.dedup();
         assert_eq!(s.len(), 4, "no duplicates even under the eval cap");
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("soi-greedy-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resumable_matches_plain_celf_without_interruption() {
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(21);
+        let pg = ProbGraph::fixed(gen::gnm(40, 200, &mut rng), 0.2).unwrap();
+        let index = index_for(&pg, 64, 21);
+        let plain = infmax_std(&index, 6, GreedyMode::Celf);
+        let out = infmax_celf_resumable(
+            &index,
+            6,
+            &GreedyRunOpts {
+                deadline: &Deadline::unlimited(),
+                checkpoint: None,
+                checkpoint_every: 1,
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert!(out.is_complete());
+        let r = out.value();
+        assert_eq!(r.seeds, plain.seeds);
+        assert_eq!(r.spread_curve, plain.spread_curve);
+    }
+
+    #[test]
+    fn deadline_yields_a_partial_seed_prefix() {
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(22);
+        let pg = ProbGraph::fixed(gen::gnm(40, 200, &mut rng), 0.2).unwrap();
+        let index = index_for(&pg, 64, 22);
+        let full = infmax_std(&index, 6, GreedyMode::Celf);
+        // Enough budget for the initial pass plus a couple of rounds.
+        let d = Deadline::ticks(index.num_nodes() as u64 + 4);
+        let out = infmax_celf_resumable(
+            &index,
+            6,
+            &GreedyRunOpts {
+                deadline: &d,
+                checkpoint: None,
+                checkpoint_every: 1,
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert!(!out.is_complete());
+        let progress = out.progress().unwrap();
+        assert_eq!(progress.total, 6);
+        assert!(progress.done < 6);
+        assert!(progress.fraction() < 1.0);
+        let r = out.value();
+        assert_eq!(
+            r.seeds[..],
+            full.seeds[..r.seeds.len()],
+            "prefix of full run"
+        );
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_output() {
+        let _g = soi_util::failpoint::test_guard();
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(23);
+        let pg = ProbGraph::fixed(gen::gnm(40, 200, &mut rng), 0.2).unwrap();
+        let index = index_for(&pg, 64, 23);
+        let full = infmax_std(&index, 6, GreedyMode::Celf);
+        let dir = tmp_dir("resume");
+        let ckpt_path = dir.join("greedy.ckpt");
+
+        // Inject a fault on the 4th round: rounds 1-3 commit (and
+        // checkpoint), then the run dies.
+        soi_util::failpoint::install("greedy.round=error@4").unwrap();
+        let unlimited = Deadline::unlimited();
+        let opts = |resume| GreedyRunOpts {
+            deadline: &unlimited,
+            checkpoint: Some(&ckpt_path),
+            checkpoint_every: 1,
+            resume,
+        };
+        let err = infmax_celf_resumable(&index, 6, &opts(false)).unwrap_err();
+        assert!(matches!(err, SoiError::Fault { .. }), "{err:?}");
+        soi_util::failpoint::clear();
+
+        // Resume: identical seeds and spread curve to an uninterrupted run.
+        let resumed = infmax_celf_resumable(&index, 6, &opts(true)).unwrap();
+        assert!(resumed.is_complete());
+        let r = resumed.value();
+        assert_eq!(r.seeds, full.seeds);
+        assert_eq!(r.spread_curve, full.spread_curve);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_mismatches_are_rejected() {
+        let _g = soi_util::failpoint::test_guard();
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(24);
+        let pg = ProbGraph::fixed(gen::gnm(30, 150, &mut rng), 0.2).unwrap();
+        let index = index_for(&pg, 32, 24);
+        let dir = tmp_dir("mismatch");
+        let ckpt_path = dir.join("greedy.ckpt");
+        let run = |k, resume| {
+            infmax_celf_resumable(
+                &index,
+                k,
+                &GreedyRunOpts {
+                    deadline: &Deadline::unlimited(),
+                    checkpoint: Some(&ckpt_path),
+                    checkpoint_every: 1,
+                    resume,
+                },
+            )
+        };
+        run(4, false).unwrap();
+        // Different k: the config fingerprint no longer matches.
+        assert!(matches!(
+            run(5, true).unwrap_err(),
+            SoiError::CkptMismatch {
+                field: "config_fingerprint",
+                ..
+            }
+        ));
+        // Different index: the graph fingerprint no longer matches.
+        let other = index_for(&pg, 32, 99);
+        assert!(matches!(
+            infmax_celf_resumable(
+                &other,
+                4,
+                &GreedyRunOpts {
+                    deadline: &Deadline::unlimited(),
+                    checkpoint: Some(&ckpt_path),
+                    checkpoint_every: 1,
+                    resume: true,
+                },
+            )
+            .unwrap_err(),
+            SoiError::CkptMismatch {
+                field: "graph_fingerprint",
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub use baselines::{
     core_seeds, degree_discount_seeds, high_degree_seeds, pagerank_seeds, random_seeds,
 };
 pub use greedy::{
-    infmax_celfpp, infmax_std, infmax_std_mc, GreedyMode, GreedyResult, McGreedyConfig,
+    infmax_celf_resumable, infmax_celfpp, infmax_std, infmax_std_mc, GreedyMode, GreedyResult,
+    GreedyRunOpts, McGreedyConfig,
 };
-pub use ris::infmax_ris;
+pub use ris::{infmax_ris, infmax_ris_budgeted};
 pub use spread::SpreadOracle;
 pub use tc_cover::{infmax_tc, infmax_tc_budgeted, infmax_tc_weighted, TcResult};

@@ -44,24 +44,40 @@ fn transpose(pg: &ProbGraph) -> ProbGraph {
 /// Samples `num_rr` reverse-reachable sets. Exposed for tests and for the
 /// benchmark harness's cost accounting.
 pub fn sample_rr_sets(pg: &ProbGraph, num_rr: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    sample_rr_sets_budgeted(pg, num_rr, seed, &soi_util::runtime::Deadline::unlimited()).value()
+}
+
+/// Budgeted [`sample_rr_sets`]: one tick per RR set. On expiry returns
+/// the sets sampled so far — set `i` depends only on `(seed, i)`, so a
+/// partial result is exactly the prefix an uninterrupted run produces.
+pub fn sample_rr_sets_budgeted(
+    pg: &ProbGraph,
+    num_rr: usize,
+    seed: u64,
+    deadline: &soi_util::runtime::Deadline,
+) -> soi_util::runtime::Outcome<Vec<Vec<NodeId>>> {
     let tp = transpose(pg);
     let n = pg.num_nodes();
     let mut sampler = soi_sampling::CascadeSampler::new(n);
     let mut out = Vec::new();
-    (0..num_rr)
-        .map(|i| {
-            let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(derive_seed(seed, i as u64));
-            let target = rng.random_range(0..n as NodeId);
-            sampler.sample(&tp, target, &mut rng, &mut out);
-            // RR-set cost accounting: total width is the classic EPT-style
-            // cost measure of the Borgs et al. analysis.
-            soi_obs::counter_add!("influence.rr_sets_sampled", 1);
-            soi_obs::counter_add!("influence.rr_set_nodes", out.len());
-            let mut set = out.clone();
-            set.sort_unstable();
-            set
-        })
-        .collect()
+    let mut sets = Vec::with_capacity(num_rr);
+    for i in 0..num_rr {
+        if !deadline.tick(1) {
+            break;
+        }
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(derive_seed(seed, i as u64));
+        let target = rng.random_range(0..n as NodeId);
+        sampler.sample(&tp, target, &mut rng, &mut out);
+        // RR-set cost accounting: total width is the classic EPT-style
+        // cost measure of the Borgs et al. analysis.
+        soi_obs::counter_add!("influence.rr_sets_sampled", 1);
+        soi_obs::counter_add!("influence.rr_set_nodes", out.len());
+        let mut set = out.clone();
+        set.sort_unstable();
+        sets.push(set);
+    }
+    let done = sets.len() as u64;
+    deadline.outcome(sets, done, num_rr as u64)
 }
 
 #[derive(Debug)]
@@ -92,9 +108,40 @@ impl Ord for Entry {
 pub fn infmax_ris(pg: &ProbGraph, k: usize, num_rr: usize, seed: u64) -> RisResult {
     assert!(num_rr > 0, "need RR sets");
     let _span = soi_obs::span("influence.ris");
-    let n = pg.num_nodes();
-    let k = k.min(n);
     let rr = sample_rr_sets(pg, num_rr, seed);
+    greedy_max_cover(pg.num_nodes(), k, &rr)
+}
+
+/// Budgeted [`infmax_ris`]: the RR-sampling phase ticks the deadline once
+/// per set; on expiry max-cover runs over the sets sampled so far, so the
+/// partial result is a valid (coarser) RIS solution whose spread estimate
+/// simply carries more sampling noise.
+pub fn infmax_ris_budgeted(
+    pg: &ProbGraph,
+    k: usize,
+    num_rr: usize,
+    seed: u64,
+    deadline: &soi_util::runtime::Deadline,
+) -> soi_util::runtime::Outcome<RisResult> {
+    assert!(num_rr > 0, "need RR sets");
+    let _span = soi_obs::span("influence.ris");
+    let n = pg.num_nodes();
+    sample_rr_sets_budgeted(pg, num_rr, seed, deadline).map(|rr| {
+        if rr.is_empty() {
+            RisResult {
+                seeds: Vec::new(),
+                spread_curve: Vec::new(),
+            }
+        } else {
+            greedy_max_cover(n, k, &rr)
+        }
+    })
+}
+
+/// Lazy greedy max-cover over sampled RR sets (the selection phase shared
+/// by the full and budgeted entry points).
+fn greedy_max_cover(n: usize, k: usize, rr: &[Vec<NodeId>]) -> RisResult {
+    let k = k.min(n);
 
     // Inverted index: node -> RR set ids containing it.
     let mut containing: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -211,6 +258,32 @@ mod tests {
         let b = infmax_ris(&pg, 3, 500, 7);
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.spread_curve, b.spread_curve);
+    }
+
+    #[test]
+    fn budgeted_ris_degrades_to_fewer_rr_sets() {
+        use soi_util::runtime::Deadline;
+        let pg = ProbGraph::fixed(gen::cycle(20), 0.3).unwrap();
+        let full = infmax_ris(&pg, 3, 500, 7);
+
+        let complete = infmax_ris_budgeted(&pg, 3, 500, 7, &Deadline::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(complete.value_ref().seeds, full.seeds);
+
+        // Budget for 200 sets: identical to a 200-set run from scratch.
+        let d = Deadline::ticks(200);
+        let partial = infmax_ris_budgeted(&pg, 3, 500, 7, &d);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.progress().unwrap().done, 200);
+        let small = infmax_ris(&pg, 3, 200, 7);
+        let partial = partial.value();
+        assert_eq!(partial.seeds, small.seeds);
+        assert_eq!(partial.spread_curve, small.spread_curve);
+
+        // Zero budget: empty but well-formed.
+        let none = infmax_ris_budgeted(&pg, 3, 500, 7, &Deadline::ticks(0));
+        assert!(!none.is_complete());
+        assert!(none.value_ref().seeds.is_empty());
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod theory;
 
 pub use cost::empirical_cost;
 pub use distance::jaccard_distance;
-pub use median::{jaccard_median, MedianConfig, MedianResult};
+pub use median::{jaccard_median, jaccard_median_budgeted, MedianConfig, MedianResult};

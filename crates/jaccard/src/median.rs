@@ -16,6 +16,7 @@
 //! An exact exponential solver over tiny universes anchors the tests.
 
 use crate::cost::{empirical_cost, IncrementalCost};
+use soi_util::runtime::{Deadline, Outcome};
 
 /// Tuning for [`jaccard_median`].
 #[derive(Clone, Copy, Debug)]
@@ -70,11 +71,23 @@ pub fn jaccard_median(samples: &[Vec<u32>]) -> MedianResult {
 /// space, and rescues clustered instances where no frequency prefix is
 /// good); the best candidate is then polished by local search.
 pub fn jaccard_median_with(samples: &[Vec<u32>], config: &MedianConfig) -> MedianResult {
+    jaccard_median_budgeted(samples, config, &Deadline::unlimited()).value()
+}
+
+/// Budgeted [`jaccard_median_with`]: one tick per candidate evaluation
+/// (frequency prefix, input-set candidate, or local-search toggle). On
+/// expiry returns the best candidate found so far — always a valid
+/// median candidate with a verifiable cost, just possibly less polished.
+pub fn jaccard_median_budgeted(
+    samples: &[Vec<u32>],
+    config: &MedianConfig,
+    deadline: &Deadline,
+) -> Outcome<MedianResult> {
     if samples.is_empty() {
-        return MedianResult {
+        return Outcome::Completed(MedianResult {
             median: Vec::new(),
             cost: 0.0,
-        };
+        });
     }
     soi_obs::counter_add!("median.calls", 1);
     soi_obs::event!(
@@ -82,11 +95,24 @@ pub fn jaccard_median_with(samples: &[Vec<u32>], config: &MedianConfig) -> Media
         "median fit over {} sample sets",
         samples.len()
     );
-    let (mut inc, mut best) = frequency_sweep_inner(samples, config);
+    let mut done = 0u64;
+    let sweep = frequency_sweep_budgeted(samples, config, deadline, &mut done);
+    let (mut inc, mut best) = (sweep.inc, sweep.best);
+    let stride = samples.len().div_ceil(24).max(1);
+    let input_evals = samples.len().div_ceil(stride) as u64;
+    // Planned candidate evaluations; local search may converge early, so
+    // its contribution is an upper bound (the toggle pool is a subset of
+    // the sample universe).
+    let total = sweep.order_len as u64
+        + input_evals
+        + config.local_search_rounds as u64 * sweep.universe_size as u64;
 
     // Evaluate up to 24 evenly-spaced input sets as candidates.
-    let stride = samples.len().div_ceil(24).max(1);
     for s in samples.iter().step_by(stride) {
+        if !deadline.tick(1) {
+            return deadline.outcome(best, done, total);
+        }
+        done += 1;
         soi_obs::counter_add!("median.input_set_evals", 1);
         let cost = empirical_cost(s, samples);
         if cost < best.cost - 1e-15 {
@@ -108,9 +134,15 @@ pub fn jaccard_median_with(samples: &[Vec<u32>], config: &MedianConfig) -> Media
         for &e in &best.median {
             inc.insert(e);
         }
-        best = local_search_inner(&mut inc, best, config.local_search_rounds);
+        best = local_search_inner(
+            &mut inc,
+            best,
+            config.local_search_rounds,
+            deadline,
+            &mut done,
+        );
     }
-    best
+    deadline.outcome(best, done, total)
 }
 
 /// The majority median: every element present in at least half of the
@@ -136,13 +168,32 @@ pub fn frequency_sweep(samples: &[Vec<u32>]) -> MedianResult {
             cost: 0.0,
         };
     }
-    frequency_sweep_inner(samples, &MedianConfig::default()).1
+    let mut done = 0u64;
+    frequency_sweep_budgeted(
+        samples,
+        &MedianConfig::default(),
+        &Deadline::unlimited(),
+        &mut done,
+    )
+    .best
 }
 
-fn frequency_sweep_inner(
+/// Sweep state handed back to the full pipeline: the loaded evaluator,
+/// the best prefix, and the unit counts the budgeted caller folds into
+/// its progress accounting.
+struct SweepState {
+    inc: IncrementalCost,
+    best: MedianResult,
+    order_len: usize,
+    universe_size: usize,
+}
+
+fn frequency_sweep_budgeted(
     samples: &[Vec<u32>],
     config: &MedianConfig,
-) -> (IncrementalCost, MedianResult) {
+    deadline: &Deadline,
+    done: &mut u64,
+) -> SweepState {
     let mut inc = IncrementalCost::new(samples);
     // Elements ordered by descending frequency; ties by ascending id for
     // determinism.
@@ -160,27 +211,35 @@ fn frequency_sweep_inner(
     // Evaluate every prefix, starting with the empty set.
     let mut best_cost = inc.cost();
     let mut best_len = 0usize;
-    for (idx, &(e, _)) in order.iter().enumerate() {
+    let mut inserted = 0usize;
+    for &(e, _) in order.iter() {
+        if !deadline.tick(1) {
+            break;
+        }
         inc.insert(e);
+        inserted += 1;
+        *done += 1;
         let c = inc.cost();
         if c < best_cost - 1e-15 {
             best_cost = c;
-            best_len = idx + 1;
+            best_len = inserted;
         }
     }
     // Rewind to the best prefix.
-    for &(e, _) in order[best_len..].iter().rev() {
+    for &(e, _) in order[best_len..inserted].iter().rev() {
         inc.remove(e);
     }
     let median = inc.candidate();
     debug_assert!((empirical_cost(&median, samples) - best_cost).abs() < 1e-9);
-    (
+    SweepState {
         inc,
-        MedianResult {
+        best: MedianResult {
             median,
             cost: best_cost,
         },
-    )
+        order_len: order.len(),
+        universe_size,
+    }
 }
 
 /// Local search from an explicit starting candidate: repeatedly applies
@@ -195,13 +254,16 @@ pub fn local_search(initial: &[u32], samples: &[Vec<u32>], rounds: usize) -> Med
         median: inc.candidate(),
         cost: inc.cost(),
     };
-    local_search_inner(&mut inc, start, rounds)
+    let mut done = 0u64;
+    local_search_inner(&mut inc, start, rounds, &Deadline::unlimited(), &mut done)
 }
 
 fn local_search_inner(
     inc: &mut IncrementalCost,
     mut best: MedianResult,
     rounds: usize,
+    deadline: &Deadline,
+    done: &mut u64,
 ) -> MedianResult {
     // Pool: every element of every sample, plus whatever the starting
     // candidate already contains — elements outside the sample universe
@@ -210,10 +272,14 @@ fn local_search_inner(
     let mut pool: Vec<u32> = inc.universe().chain(best.median.iter().copied()).collect();
     pool.sort_unstable();
     pool.dedup();
-    for _ in 0..rounds {
+    'rounds: for _ in 0..rounds {
         soi_obs::counter_add!("median.local_search_rounds", 1);
         let mut improved = false;
         for &e in &pool {
+            if !deadline.tick(1) {
+                break 'rounds;
+            }
+            *done += 1;
             if inc.toggle_delta(e) < -1e-12 {
                 soi_obs::counter_add!("median.local_search_toggles", 1);
                 // Apply the improving toggle immediately (first-improvement
@@ -401,6 +467,36 @@ mod tests {
                 exact.cost
             );
         }
+    }
+
+    #[test]
+    fn budgeted_with_unlimited_deadline_matches_plain() {
+        for case in 0..16u64 {
+            let samples = sample_collection(case);
+            let plain = jaccard_median(&samples);
+            let budgeted =
+                jaccard_median_budgeted(&samples, &MedianConfig::default(), &Deadline::unlimited());
+            assert!(budgeted.is_complete());
+            assert_eq!(budgeted.value(), plain, "case {case}");
+        }
+    }
+
+    #[test]
+    fn budgeted_partial_result_is_still_valid() {
+        let samples = vec![vec![1, 2, 3], vec![2, 3, 4], vec![2, 3], vec![3, 4, 5]];
+        // One tick: only the first prefix evaluation happens.
+        let d = Deadline::ticks(1);
+        let out = jaccard_median_budgeted(&samples, &MedianConfig::default(), &d);
+        assert!(!out.is_complete());
+        let progress = out.progress().unwrap();
+        assert!(progress.done <= progress.total);
+        assert!(progress.fraction() < 1.0);
+        // The carried candidate still reports a verifiable cost.
+        let r = out.value();
+        assert!((r.cost - empirical_cost(&r.median, &samples)).abs() < 1e-9);
+        // Zero budget: the empty-prefix candidate comes back.
+        let out = jaccard_median_budgeted(&samples, &MedianConfig::default(), &Deadline::ticks(0));
+        assert!(!out.is_complete());
     }
 
     /// Reported cost always matches a direct recomputation.

@@ -10,6 +10,7 @@
 
 use soi_graph::{NodeId, ProbGraph};
 use soi_util::rng::Rng;
+use soi_util::runtime::{Deadline, Outcome};
 
 /// Power-of-two buckets for the `sampling.cascade_size` histogram
 /// (cascade sizes are counts, so bucket totals stay deterministic).
@@ -128,6 +129,34 @@ impl CascadeSampler {
                 set
             })
             .collect()
+    }
+
+    /// Budgeted [`sample_many`](CascadeSampler::sample_many): one tick per
+    /// cascade. On expiry returns the cascades sampled so far — cascade
+    /// `i` depends only on `(seed, i)`, so a partial result is exactly the
+    /// prefix an uninterrupted run would have produced.
+    pub fn sample_many_budgeted(
+        pg: &ProbGraph,
+        source: NodeId,
+        count: usize,
+        seed: u64,
+        deadline: &Deadline,
+    ) -> Outcome<Vec<Vec<NodeId>>> {
+        let mut sampler = CascadeSampler::new(pg.num_nodes());
+        let mut out = Vec::new();
+        let mut sets = Vec::with_capacity(count);
+        for i in 0..count {
+            if !deadline.tick(1) {
+                break;
+            }
+            let mut rng = crate::world::world_rng(seed, i);
+            sampler.sample(pg, source, &mut rng, &mut out);
+            let mut set = out.clone();
+            set.sort_unstable();
+            sets.push(set);
+        }
+        let done = sets.len() as u64;
+        deadline.outcome(sets, done, count as u64)
     }
 }
 
@@ -280,5 +309,23 @@ mod tests {
         // Determinism.
         let again = CascadeSampler::sample_many(&pg, 0, 20, 11);
         assert_eq!(sets, again);
+    }
+
+    #[test]
+    fn budgeted_sample_many_is_a_prefix_of_the_full_run() {
+        use soi_util::runtime::Deadline;
+        let pg = ProbGraph::fixed(gen::complete(8), 0.4).unwrap();
+        let full = CascadeSampler::sample_many(&pg, 0, 20, 11);
+
+        let complete = CascadeSampler::sample_many_budgeted(&pg, 0, 20, 11, &Deadline::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(complete.value(), full);
+
+        let d = Deadline::ticks(7);
+        let partial = CascadeSampler::sample_many_budgeted(&pg, 0, 20, 11, &d);
+        assert!(!partial.is_complete());
+        let progress = partial.progress().unwrap();
+        assert_eq!(progress, soi_util::runtime::Progress { done: 7, total: 20 });
+        assert_eq!(partial.value(), full[..7].to_vec());
     }
 }

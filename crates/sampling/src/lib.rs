@@ -25,5 +25,5 @@ pub mod spread;
 pub mod world;
 
 pub use cascade::CascadeSampler;
-pub use spread::estimate_spread;
+pub use spread::{estimate_spread, estimate_spread_budgeted};
 pub use world::WorldSampler;

@@ -34,6 +34,39 @@ pub fn estimate_spread(pg: &ProbGraph, seeds: &[NodeId], samples: usize, seed: u
     total as f64 / samples as f64
 }
 
+/// Budgeted [`estimate_spread`]: one tick per sampled cascade. On expiry
+/// returns the mean over the cascades completed so far (0.0 when none
+/// finished); sample `i` depends only on `(seed, i)`, so the partial mean
+/// is over the same prefix an uninterrupted run would average first.
+pub fn estimate_spread_budgeted(
+    pg: &ProbGraph,
+    seeds: &[NodeId],
+    samples: usize,
+    seed: u64,
+    deadline: &soi_util::runtime::Deadline,
+) -> soi_util::runtime::Outcome<f64> {
+    soi_obs::counter_add!("sampling.spread_estimates", 1);
+    let mut sampler = CascadeSampler::new(pg.num_nodes());
+    let mut out = Vec::new();
+    let mut total = 0usize;
+    let mut done = 0usize;
+    for i in 0..samples {
+        if !deadline.tick(1) {
+            break;
+        }
+        let mut rng = crate::world::world_rng(seed, i);
+        sampler.sample_multi(pg, seeds, &mut rng, &mut out);
+        total += out.len();
+        done += 1;
+    }
+    let mean = if done == 0 {
+        0.0
+    } else {
+        total as f64 / done as f64
+    };
+    deadline.outcome(mean, done as u64, samples as u64)
+}
+
 /// Exact expected spread by exhaustive world enumeration — `O(2^E)`, only
 /// for graphs with very few edges; anchors the estimator tests.
 pub fn exact_spread_bruteforce(pg: &ProbGraph, seeds: &[NodeId]) -> f64 {
@@ -109,6 +142,27 @@ mod tests {
         let s3 = estimate_spread(&pg, &[0, 1, 2], 2_000, 5);
         assert!(s2 >= s1 - 1e-9, "{s2} < {s1}");
         assert!(s3 >= s2 - 1e-9, "{s3} < {s2}");
+    }
+
+    #[test]
+    fn budgeted_spread_stops_at_the_sample_boundary() {
+        use soi_util::runtime::Deadline;
+        let pg = ProbGraph::fixed(gen::path(4), 0.5).unwrap();
+        let complete = estimate_spread_budgeted(&pg, &[0], 500, 42, &Deadline::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(complete.value(), estimate_spread(&pg, &[0], 500, 42));
+
+        let d = Deadline::ticks(100);
+        let partial = estimate_spread_budgeted(&pg, &[0], 500, 42, &d);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.progress().unwrap().done, 100);
+        // The partial mean is over the same first 100 samples an
+        // uninterrupted 100-sample run would draw.
+        assert_eq!(partial.value(), estimate_spread(&pg, &[0], 100, 42));
+
+        let none = estimate_spread_budgeted(&pg, &[0], 500, 42, &Deadline::ticks(0));
+        assert_eq!(none.value_ref(), &0.0);
+        assert!(!none.is_complete());
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The workspace error type.
+//!
+//! [`SoiError`] replaces ad-hoc `Result<_, String>` plumbing across the
+//! CLI and the persistence/runtime layers. Variants are deliberately
+//! flat and specific — checkpoint corruption modes each get their own
+//! variant so tests (and operators) can tell a truncated file from a
+//! bit flip from a checkpoint taken on a different graph.
+//!
+//! Library crates that own a richer domain error (`soi_graph::GraphError`,
+//! `soi_index::io::LoadError`) keep it and provide `From` conversions
+//! into `SoiError` at their boundary.
+
+use crate::failpoint::Fault;
+
+/// Unified error for CLI plumbing, checkpoints, and runtime persistence.
+#[derive(Debug)]
+pub enum SoiError {
+    /// Bad command-line usage (unknown flag, missing argument, bad
+    /// value). The CLI maps this to exit code 2 plus the usage text.
+    Usage(String),
+    /// An underlying I/O failure, with what was being touched.
+    Io {
+        /// What was being read/written (usually a path).
+        context: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A parse failure in a text input, with its location.
+    Parse {
+        /// The file (or stream description) being parsed.
+        context: String,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A semantically invalid input or state (validation failures that
+    /// are not parse or I/O errors).
+    Invalid(String),
+    /// Checkpoint file ends before the declared structure does.
+    CkptTruncated {
+        /// Which read hit the end.
+        context: String,
+    },
+    /// Checkpoint stream does not start with the checkpoint magic.
+    CkptBadMagic,
+    /// Checkpoint format version is not supported.
+    CkptBadVersion {
+        /// Version byte found in the file.
+        found: u8,
+        /// Version this build writes and reads.
+        expected: u8,
+    },
+    /// Checkpoint is of a different kind (e.g. a greedy checkpoint fed
+    /// to the typical-cascade pipeline).
+    CkptBadKind {
+        /// Kind byte found in the file.
+        found: u8,
+        /// Kind the caller required.
+        expected: u8,
+    },
+    /// Checkpoint checksum mismatch: the payload was altered (bit flip,
+    /// partial overwrite) after it was written.
+    CkptChecksum {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file contents.
+        computed: u64,
+    },
+    /// Checkpoint header field does not match the resuming run (wrong
+    /// graph, different seed/config).
+    CkptMismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// Value stored in the checkpoint.
+        stored: u64,
+        /// Value the resuming run expects.
+        expected: u64,
+    },
+    /// A deterministic fault injected through a failpoint site.
+    Fault {
+        /// The failpoint site that fired.
+        site: String,
+    },
+}
+
+impl SoiError {
+    /// Wraps an I/O error with context (usually the path involved).
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        SoiError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Builds a usage error (CLI exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        SoiError::Usage(message.into())
+    }
+
+    /// Builds a semantic-validation error.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SoiError::Invalid(message.into())
+    }
+
+    /// `true` for errors the CLI should report as bad usage (exit 2 with
+    /// the usage text) rather than as a runtime failure (exit 1).
+    pub fn is_usage(&self) -> bool {
+        matches!(self, SoiError::Usage(_))
+    }
+
+    /// Fills an empty `context` field (on [`SoiError::Io`] /
+    /// [`SoiError::Parse`]) with `context` — typically the path of the
+    /// file whose processing produced the error. An already-set context
+    /// is preserved.
+    pub fn with_context(self, context: &str) -> Self {
+        match self {
+            SoiError::Io { context: c, source } if c.is_empty() => SoiError::io(context, source),
+            SoiError::Parse {
+                context: c,
+                line,
+                message,
+            } if c.is_empty() => SoiError::Parse {
+                context: context.to_string(),
+                line,
+                message,
+            },
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for SoiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoiError::Usage(m) => write!(f, "{m}"),
+            SoiError::Io { context, source } if context.is_empty() => write!(f, "{source}"),
+            SoiError::Io { context, source } => write!(f, "{context}: {source}"),
+            SoiError::Parse {
+                context,
+                line,
+                message,
+            } => write!(f, "{context}:{line}: {message}"),
+            SoiError::Invalid(m) => write!(f, "{m}"),
+            SoiError::CkptTruncated { context } => {
+                write!(f, "checkpoint truncated ({context})")
+            }
+            SoiError::CkptBadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            SoiError::CkptBadVersion { found, expected } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads {expected})"
+            ),
+            SoiError::CkptBadKind { found, expected } => write!(
+                f,
+                "checkpoint kind {found} does not match pipeline kind {expected}"
+            ),
+            SoiError::CkptChecksum { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            SoiError::CkptMismatch {
+                field,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {field} mismatch (stored {stored:#018x}, this run {expected:#018x})"
+            ),
+            SoiError::Fault { site } => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for SoiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoiError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SoiError {
+    fn from(e: std::io::Error) -> Self {
+        SoiError::Io {
+            context: String::new(),
+            source: e,
+        }
+    }
+}
+
+impl From<Fault> for SoiError {
+    fn from(fault: Fault) -> Self {
+        SoiError::Fault { site: fault.site }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let e = SoiError::io("net.tsv", std::io::Error::other("boom"));
+        assert_eq!(e.to_string(), "net.tsv: boom");
+        let e = SoiError::Parse {
+            context: "net.tsv".into(),
+            line: 7,
+            message: "bad probability".into(),
+        };
+        assert_eq!(e.to_string(), "net.tsv:7: bad probability");
+        let e = SoiError::CkptBadVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = SoiError::CkptMismatch {
+            field: "graph_fingerprint",
+            stored: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("graph_fingerprint"));
+    }
+
+    #[test]
+    fn usage_classification() {
+        assert!(SoiError::usage("--k is required").is_usage());
+        assert!(!SoiError::invalid("source out of range").is_usage());
+    }
+
+    #[test]
+    fn fault_converts() {
+        let e: SoiError = Fault { site: "s".into() }.into();
+        assert!(matches!(e, SoiError::Fault { ref site } if site == "s"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        use std::error::Error;
+        let e = SoiError::io("f", std::io::Error::other("inner"));
+        assert!(e.source().is_some());
+    }
+}

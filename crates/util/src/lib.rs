@@ -8,17 +8,31 @@
 //! invariant checkers ([`invariant`]) for CSR graphs, edge probabilities,
 //! and condensation DAGs.
 //!
+//! It also hosts the fault-tolerant execution substrate: cooperative
+//! cancellation/deadline tokens and typed partial results ([`runtime`]),
+//! versioned checksummed checkpoint files ([`ckpt`]), streaming Mix64
+//! hashing for fingerprints and corruption detection ([`hash`]),
+//! deterministic fault injection ([`failpoint`]), and the workspace-wide
+//! error type ([`error`]).
+//!
 //! Nothing in this crate knows about graphs or cascades; it exists so the
 //! algorithmic crates stay focused and allocation-conscious.
 
 pub mod bitset;
+pub mod ckpt;
 pub mod cms;
+pub mod error;
+pub mod failpoint;
+pub mod hash;
 pub mod invariant;
 pub mod rng;
+pub mod runtime;
 pub mod stats;
 pub mod timer;
 pub mod tsv;
 
 pub use bitset::BitSet;
+pub use error::SoiError;
+pub use runtime::{Deadline, Outcome, Progress, StopReason};
 pub use stats::{RunningStats, Summary};
 pub use timer::Timer;

@@ -1,0 +1,318 @@
+//! Cooperative cancellation and deterministic time budgets.
+//!
+//! Long-running pipelines (index builds, batch typical cascades, greedy
+//! seed selection, Monte-Carlo estimation) accept a [`Deadline`] and call
+//! [`Deadline::tick`] once per *unit of work* (one sampled world, one
+//! node solved, one oracle evaluation, …). When the budget is exhausted —
+//! or another thread calls [`Deadline::cancel`] — the pipeline stops at
+//! the next unit boundary and returns [`Outcome::Partial`] carrying
+//! whatever it completed plus a [`Progress`] fraction, instead of
+//! aborting or discarding work.
+//!
+//! Budgets are counted in **ticks**, not wall-clock time, so tests and
+//! reproductions are deterministic: the same inputs and the same budget
+//! always stop at exactly the same unit. Callers that want wall-clock
+//! deadlines can size the tick budget from a measured tick rate.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a computation stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The tick budget ran out.
+    DeadlineExpired,
+    /// [`Deadline::cancel`] was called.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Completed-work accounting attached to a partial result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// Units of work completed.
+    pub done: u64,
+    /// Total units the full computation would have performed.
+    pub total: u64,
+}
+
+impl Progress {
+    /// Completed fraction in `[0, 1]` (1.0 for a zero-unit computation).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.done as f64 / self.total as f64).min(1.0)
+        }
+    }
+}
+
+/// Result of a budgeted computation: either the full value, or the value
+/// of the completed prefix plus progress accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome<T> {
+    /// The computation ran to completion.
+    Completed(T),
+    /// The computation stopped early; `value` covers the completed units.
+    Partial {
+        /// The (valid, usable) result of the completed prefix of work.
+        value: T,
+        /// How much of the computation finished.
+        progress: Progress,
+        /// Why it stopped.
+        reason: StopReason,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The carried value, complete or not.
+    pub fn value(self) -> T {
+        match self {
+            Outcome::Completed(v) | Outcome::Partial { value: v, .. } => v,
+        }
+    }
+
+    /// Borrow of the carried value, complete or not.
+    pub fn value_ref(&self) -> &T {
+        match self {
+            Outcome::Completed(v) | Outcome::Partial { value: v, .. } => v,
+        }
+    }
+
+    /// `true` for [`Outcome::Completed`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Completed(_))
+    }
+
+    /// Progress accounting: `None` when complete.
+    pub fn progress(&self) -> Option<Progress> {
+        match self {
+            Outcome::Completed(_) => None,
+            Outcome::Partial { progress, .. } => Some(*progress),
+        }
+    }
+
+    /// Maps the carried value, preserving completion status.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Completed(v) => Outcome::Completed(f(v)),
+            Outcome::Partial {
+                value,
+                progress,
+                reason,
+            } => Outcome::Partial {
+                value: f(value),
+                progress,
+                reason,
+            },
+        }
+    }
+}
+
+/// Shared state behind cloned deadline handles.
+#[derive(Debug)]
+struct DeadlineInner {
+    /// Tick budget; `u64::MAX` means unlimited.
+    limit: u64,
+    /// Ticks recorded so far (across all clones and threads).
+    spent: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+/// A cooperative cancellation/deadline token.
+///
+/// Cloning is cheap and shares the budget: ticks recorded through any
+/// clone count against the same limit, and [`cancel`](Deadline::cancel)
+/// through any clone stops them all. Hot loops should call
+/// [`tick`](Deadline::tick) once per unit of work and stop when it
+/// returns `false`.
+///
+/// ```
+/// use soi_util::runtime::Deadline;
+/// let d = Deadline::ticks(3);
+/// assert!(d.tick(1));
+/// assert!(d.tick(2));   // exactly exhausts the budget
+/// assert!(!d.tick(1));  // over budget
+/// assert!(d.expired());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (but can still be cancelled).
+    pub fn unlimited() -> Self {
+        Deadline::with_limit(u64::MAX)
+    }
+
+    /// A deadline allowing `limit` ticks of work.
+    pub fn ticks(limit: u64) -> Self {
+        Deadline::with_limit(limit)
+    }
+
+    fn with_limit(limit: u64) -> Self {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                limit,
+                spent: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Records `n` ticks of completed work. Returns `true` while the
+    /// computation may continue (budget not exhausted, not cancelled).
+    #[inline]
+    pub fn tick(&self, n: u64) -> bool {
+        let before = self.inner.spent.fetch_add(n, Ordering::Relaxed);
+        before.saturating_add(n) <= self.inner.limit
+            && !self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the budget is exhausted or the token was cancelled.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.spent.load(Ordering::Relaxed) > self.inner.limit
+    }
+
+    /// Requests cooperative cancellation of every holder of this token.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` when [`cancel`](Deadline::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Ticks recorded so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent.load(Ordering::Relaxed)
+    }
+
+    /// The tick budget (`u64::MAX` for unlimited tokens).
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// The stop reason an expired token implies (cancellation wins when
+    /// both apply; `None` while still running).
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self.expired() {
+            Some(StopReason::DeadlineExpired)
+        } else {
+            None
+        }
+    }
+
+    /// Packages `value` as [`Outcome::Partial`] when this token has
+    /// expired, [`Outcome::Completed`] otherwise. `done`/`total` are the
+    /// caller's unit accounting.
+    pub fn outcome<T>(&self, value: T, done: u64, total: u64) -> Outcome<T> {
+        match self.stop_reason() {
+            Some(reason) if done < total => Outcome::Partial {
+                value,
+                progress: Progress { done, total },
+                reason,
+            },
+            _ => Outcome::Completed(value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::unlimited();
+        for _ in 0..1000 {
+            assert!(d.tick(u32::MAX as u64));
+        }
+        assert!(!d.expired());
+        assert_eq!(d.stop_reason(), None);
+    }
+
+    #[test]
+    fn budget_is_exact_in_ticks() {
+        let d = Deadline::ticks(5);
+        assert!(d.tick(5), "exactly the budget is allowed");
+        assert!(!d.expired(), "spent == limit is not yet expired");
+        assert!(!d.tick(1));
+        assert!(d.expired());
+        assert_eq!(d.stop_reason(), Some(StopReason::DeadlineExpired));
+        assert_eq!(d.spent(), 6);
+    }
+
+    #[test]
+    fn cancel_stops_all_clones() {
+        let d = Deadline::unlimited();
+        let d2 = d.clone();
+        assert!(d2.tick(1));
+        d.cancel();
+        assert!(!d2.tick(1));
+        assert!(d2.expired());
+        assert_eq!(d2.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let d = Deadline::ticks(10);
+        let d2 = d.clone();
+        assert!(d.tick(6));
+        assert!(d2.tick(4));
+        assert!(!d2.tick(1));
+        assert_eq!(d.spent(), 11);
+    }
+
+    #[test]
+    fn ticks_are_shared_across_threads() {
+        let d = Deadline::ticks(1000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        d.tick(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.spent(), 400);
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn progress_fraction() {
+        assert_eq!(Progress { done: 0, total: 0 }.fraction(), 1.0);
+        assert_eq!(Progress { done: 1, total: 4 }.fraction(), 0.25);
+        assert_eq!(Progress { done: 9, total: 4 }.fraction(), 1.0, "clamped");
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let d = Deadline::ticks(1);
+        assert_eq!(d.outcome(7, 3, 3), Outcome::Completed(7));
+        assert!(!d.tick(5));
+        let partial = d.outcome(7, 1, 3);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.progress(), Some(Progress { done: 1, total: 3 }));
+        assert_eq!(partial.clone().value(), 7);
+        assert_eq!(partial.map(|v| v * 2).value(), 14);
+        // Expired but all units done => still Completed.
+        assert_eq!(d.outcome(7, 3, 3), Outcome::Completed(7));
+    }
+}

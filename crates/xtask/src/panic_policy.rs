@@ -38,6 +38,18 @@ const PATTERNS: &[(&str, &str, &str)] = &[
         "!",
         "`unimplemented!` left in library code",
     ),
+    (
+        "unreachable",
+        "!",
+        "`unreachable!` aborts if the invariant ever breaks; return a typed \
+         error or justify why the arm cannot be reached",
+    ),
+    (
+        "unwrap_unchecked",
+        "(",
+        "`.unwrap_unchecked(..)` is undefined behavior when wrong; use a \
+         checked form and propagate the error",
+    ),
 ];
 
 /// Runs the panic-policy pass over one file.
@@ -55,7 +67,7 @@ pub fn check(path: &Path, file: &SourceFile) -> Vec<Finding> {
                 // `.unwrap()`/`.expect(` must be method calls; the macro
                 // patterns must not be part of a longer path like
                 // `core::panic::Location`.
-                let is_method = matches!(needle, "unwrap" | "expect");
+                let is_method = matches!(needle, "unwrap" | "expect" | "unwrap_unchecked");
                 if is_method && !preceded_by_dot(&line.code, at) {
                     continue;
                 }
@@ -123,6 +135,19 @@ mod tests {
         assert_eq!(run("fn f() { panic!(\"boom\"); }\n").len(), 1);
         assert_eq!(run("fn f() { todo!() }\n").len(), 1);
         assert_eq!(run("fn f() { unimplemented!() }\n").len(), 1);
+        assert_eq!(
+            run("fn f(x: u8) { match x { 0 => {} _ => unreachable!() } }\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unchecked_unwrap_flagged_but_suffixed_idents_pass() {
+        assert_eq!(run("fn f() { unsafe { x.unwrap_unchecked() } }\n").len(), 1);
+        // A local named like the method is not a method call.
+        assert!(run("fn f() { let unwrap_unchecked = 1; g(unwrap_unchecked); }\n").is_empty());
+        // `unreachable_patterns` (the lint name) is not the macro.
+        assert!(run("#[allow(unreachable_patterns)]\nfn f() {}\n").is_empty());
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Fixture: an unjustified `unreachable!` arm in library code.
+
+pub fn parity(x: u32) -> &'static str {
+    match x % 2 {
+        0 => "even",
+        1 => "odd",
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -52,6 +52,11 @@ fn panic_policy_flags_library_unwrap() {
 }
 
 #[test]
+fn panic_policy_flags_unjustified_unreachable() {
+    assert_flags("panic_policy_unreachable", "src/lib.rs:7: [panic_policy]");
+}
+
+#[test]
 fn hermeticity_flags_registry_dependency() {
     assert_flags("hermeticity", "Cargo.toml:7: [hermeticity]");
 }
@@ -77,6 +82,7 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "determinism_rng",
         "determinism_hashmap",
         "panic_policy",
+        "panic_policy_unreachable",
         "hermeticity",
         "hygiene_docs",
         "hygiene_tests",
