@@ -1,0 +1,112 @@
+//! Micro-benchmarks for the serving path: per-request latency through
+//! the warmed query engine (p50 = `median_ns`, p90 = `p90_ns` in
+//! `BENCH_summary.json`) and batch throughput through the worker pool.
+//!
+//! Everything runs in-memory against `worker::execute_job` and
+//! `WorkerPool` — no sockets, so the numbers isolate compute + queue
+//! overhead from kernel networking, and the bench stays runnable in a
+//! fully sandboxed environment (the hermeticity lint confines `std::net`
+//! to `crates/server` itself).
+
+use soi_bench::microbench::Bencher;
+use soi_graph::{gen, ProbGraph};
+use soi_server::protocol::parse_request;
+use soi_server::worker::{execute_job, Job, WorkerPool};
+use soi_server::{EngineConfig, ServerEngine};
+use soi_util::rng::Xoshiro256pp;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+fn engine() -> Arc<ServerEngine> {
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
+    let pg = ProbGraph::fixed(gen::gnm(1_000, 5_000, &mut rng), 0.15).unwrap();
+    let mut engine = ServerEngine::new(EngineConfig {
+        num_worlds: 64,
+        seed: 2,
+        ..EngineConfig::default()
+    });
+    engine.add_graph("net", pg);
+    engine.warm();
+    Arc::new(engine)
+}
+
+fn request(kind: &str, id: u64, node: u32) -> soi_server::Envelope {
+    let line = match kind {
+        "typical-cascade" => format!(
+            "{{\"v\":1,\"id\":{id},\"type\":\"typical-cascade\",\"graph\":\"net\",\"source\":{node}}}"
+        ),
+        "spread-estimate" => format!(
+            "{{\"v\":1,\"id\":{id},\"type\":\"spread-estimate\",\"graph\":\"net\",\
+             \"seeds\":[{node}],\"samples\":64,\"seed\":7}}"
+        ),
+        other => panic!("unknown bench request kind {other}"),
+    };
+    parse_request(&line).unwrap()
+}
+
+/// Per-request latency through the warmed engine; `median_ns`/`p90_ns`
+/// in the summary are the serving p50/p90.
+fn bench_request_latency(engine: &Arc<ServerEngine>) {
+    let b = Bencher::group("serve_request_latency").sample_size(20);
+    for kind in ["typical-cascade", "spread-estimate"] {
+        let mut node = 0u32;
+        b.bench(kind, || {
+            node = (node + 1) % 1_000;
+            execute_job(engine, &request(kind, u64::from(node), node))
+        });
+    }
+}
+
+/// Batch throughput: 256 mixed requests through the bounded queue and a
+/// fixed worker pool; `median_ns / 256` is per-request wall time.
+fn bench_batch_throughput(engine: &Arc<ServerEngine>) {
+    let b = Bencher::group("serve_batch_256_mixed").sample_size(10);
+    for workers in [1usize, 4] {
+        b.bench(format!("{workers}_workers"), || {
+            let pool = WorkerPool::start(Arc::clone(engine), workers, 256);
+            let handle = pool.handle();
+            let (tx, rx) = mpsc::channel();
+            for id in 0..256u64 {
+                let kind = if id % 2 == 0 {
+                    "typical-cascade"
+                } else {
+                    "spread-estimate"
+                };
+                handle.submit(Job {
+                    envelope: request(kind, id, (id % 1_000) as u32),
+                    reply: tx.clone(),
+                });
+            }
+            drop(tx);
+            pool.shutdown();
+            rx.iter().count()
+        });
+    }
+
+    // Headline requests/sec from one measured batch on 4 workers.
+    let pool = WorkerPool::start(Arc::clone(engine), 4, 256);
+    let handle = pool.handle();
+    let (tx, rx) = mpsc::channel();
+    let started = Instant::now();
+    for id in 0..256u64 {
+        handle.submit(Job {
+            envelope: request("spread-estimate", id, (id % 1_000) as u32),
+            reply: tx.clone(),
+        });
+    }
+    drop(tx);
+    pool.shutdown();
+    let answered = rx.iter().count();
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "serve_batch_256_mixed/requests_per_sec\t{:.0}\t({answered} answered)",
+        answered as f64 / secs.max(1e-9)
+    );
+}
+
+fn main() {
+    let engine = engine();
+    bench_request_latency(&engine);
+    bench_batch_throughput(&engine);
+    soi_bench::microbench::write_summary();
+}

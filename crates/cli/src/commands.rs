@@ -39,8 +39,15 @@ commands:
   reliability GRAPH --source V [--target W] [--eta P] [--samples N] [--seed S]
   learn      GRAPH LOG [--method saito|goyal|goyal-jaccard] [--lag L]
              [--min-prob P] --out FILE
+  serve      NAME=GRAPH [NAME=GRAPH ...] [--port P] [--stdio] [--workers N]
+             [--queue-cap N] [--cache-cap N] [--worlds L] [--seed S]
+             [--max-line BYTES] [--default-deadline-ticks N]
+  query      [REQUEST ...] [--file FILE] --port P [--host H]
+             [--concurrency N] [--mask-wall]
 
 global options (valid on every command):
+  --threads N          worker threads for every parallel phase (default:
+             SOI_THREADS env var, then all available cores)
   --trace off|error|warn|info|debug|trace   event-log verbosity (default off);
              info and up also prints a per-phase timing summary on exit
   --metrics-out FILE   write a JSONL run report (counters, histograms,
@@ -173,6 +180,7 @@ struct RuntimeOpts {
     checkpoint_dir: Option<String>,
     checkpoint_every: usize,
     resume: bool,
+    threads: usize,
 }
 
 impl RuntimeOpts {
@@ -218,6 +226,7 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, ObsOpts, RuntimeOpts
         checkpoint_dir: None,
         checkpoint_every: 64,
         resume: false,
+        threads: 0,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
@@ -251,6 +260,12 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, ObsOpts, RuntimeOpts
                 rt.checkpoint_every = n;
             }
             "--resume" => rt.resume = true,
+            "--threads" => {
+                let v = value("--threads", &mut it)?;
+                rt.threads = v
+                    .parse()
+                    .map_err(|e| SoiError::usage(format!("--threads: {e}")))?;
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -294,6 +309,10 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, Soi
     let (args, obs, rt) = extract_globals(args)?;
     soi_obs::reset();
     soi_obs::event::set_max_level(obs.trace);
+    // One flag governs every parallel phase: pipelines called with
+    // `threads == 0` resolve through this override (then SOI_THREADS,
+    // then the hardware count). See `soi_util::pool`.
+    soi_util::pool::set_default_threads(rt.threads);
     let Some(cmd) = args.first() else {
         return Err(SoiError::usage("no command given"));
     };
@@ -306,6 +325,8 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, Soi
         "infmax" => cmd_infmax(rest, &rt, out),
         "reliability" => cmd_reliability(rest, out),
         "learn" => cmd_learn(rest, out),
+        "serve" => cmd_serve(rest, &rt, out),
+        "query" => cmd_query(rest, out),
         other => Err(SoiError::usage(format!("unknown command {other:?}"))),
     }?;
     // The metrics report carries how much of the run's budgeted phase
@@ -705,6 +726,100 @@ fn cmd_learn<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
     Ok(RunStatus::Complete)
 }
 
+/// Parses a `NAME=PATH` graph spec; a bare path uses its file stem as
+/// the served graph name.
+fn parse_graph_spec(spec: &str) -> Result<(String, String), SoiError> {
+    if let Some((name, path)) = spec.split_once('=') {
+        if name.is_empty() || path.is_empty() {
+            return Err(SoiError::usage(format!(
+                "bad graph spec {spec:?} (want NAME=PATH)"
+            )));
+        }
+        return Ok((name.to_string(), path.to_string()));
+    }
+    let stem = std::path::Path::new(spec)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| SoiError::usage(format!("cannot derive a graph name from {spec:?}")))?;
+    Ok((stem, spec.to_string()))
+}
+
+fn cmd_serve<W: Write>(
+    args: &[String],
+    rt: &RuntimeOpts,
+    out: &mut W,
+) -> Result<RunStatus, SoiError> {
+    let opts = Opts::parse(args, &["stdio"])?;
+    if opts.positional.is_empty() {
+        return Err(SoiError::usage("serve needs at least one NAME=GRAPH spec"));
+    }
+    // Parse every flag before touching the filesystem so bad numbers
+    // stay usage errors (exit 2) even when a graph path is also wrong.
+    let engine_config = soi_server::EngineConfig {
+        num_worlds: opts.get("worlds")?.unwrap_or(256),
+        seed: opts.get("seed")?.unwrap_or(42),
+        threads: rt.threads,
+        cache_cap: opts.get("cache-cap")?.unwrap_or(4),
+        default_deadline_ticks: opts.get("default-deadline-ticks")?.unwrap_or(0),
+        ..soi_server::EngineConfig::default()
+    };
+    let max_line: usize = opts
+        .get("max-line")?
+        .unwrap_or(soi_server::DEFAULT_MAX_LINE);
+    let serve_config = soi_server::ServeConfig {
+        port: opts.get("port")?.unwrap_or(0),
+        workers: opts.get("workers")?.unwrap_or(0),
+        queue_cap: opts.get("queue-cap")?.unwrap_or(64),
+        max_line,
+    };
+    let specs: Vec<(String, String)> = opts
+        .positional
+        .iter()
+        .map(|s| parse_graph_spec(s))
+        .collect::<Result<_, _>>()?;
+    let mut engine = soi_server::ServerEngine::new(engine_config);
+    for (name, path) in &specs {
+        engine.add_graph(name, load_prob_graph(path)?);
+    }
+    if opts.has("stdio") {
+        let stdin = std::io::stdin();
+        soi_server::run_stdio(&engine, max_line, &mut stdin.lock(), out)?;
+    } else {
+        soi_server::run_tcp(std::sync::Arc::new(engine), &serve_config, out)?;
+    }
+    Ok(RunStatus::Complete)
+}
+
+fn cmd_query<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
+    let opts = Opts::parse(args, &["mask-wall"])?;
+    let mut requests: Vec<String> = opts.positional.clone();
+    if let Some(path) = opts.get::<String>("file")? {
+        let text = std::fs::read_to_string(&path).map_err(|e| SoiError::io(path.as_str(), e))?;
+        requests.extend(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string),
+        );
+    }
+    if requests.is_empty() {
+        return Err(SoiError::usage(
+            "query needs request lines (positional or --file)",
+        ));
+    }
+    let config = soi_server::QueryConfig {
+        host: opts.get("host")?.unwrap_or_else(|| "127.0.0.1".to_string()),
+        port: opts.require("port")?,
+        concurrency: opts.get("concurrency")?.unwrap_or(1),
+        mask_wall: opts.has("mask-wall"),
+    };
+    // Response-level errors are visible in the printed lines; the batch
+    // itself completed, so the exit code stays 0.
+    soi_server::run_queries(&requests, &config, out)?;
+    Ok(RunStatus::Complete)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1053,6 +1168,68 @@ mod tests {
         // Runtime failures are NOT usage errors.
         let err = run(&["sphere", "/nonexistent/file", "--source", "0"]).unwrap_err();
         assert!(!err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn graph_specs_parse_names_and_stems() {
+        assert_eq!(
+            parse_graph_spec("wiki=/data/wiki.tsv").unwrap(),
+            ("wiki".to_string(), "/data/wiki.tsv".to_string())
+        );
+        assert_eq!(
+            parse_graph_spec("/data/epinions.tsv").unwrap(),
+            ("epinions".to_string(), "/data/epinions.tsv".to_string())
+        );
+        assert!(parse_graph_spec("=path").unwrap_err().is_usage());
+        assert!(parse_graph_spec("name=").unwrap_err().is_usage());
+    }
+
+    #[test]
+    fn serve_and_query_usage_errors() {
+        for args in [
+            &["serve"] as &[&str],                       // no graphs
+            &["query", "--port", "1"],                   // no requests
+            &["query", "{\"v\":1}"],                     // missing --port
+            &["serve", "g=missing.tsv", "--port", "xx"], // bad number
+        ] {
+            let err = run(args).unwrap_err();
+            assert!(err.is_usage(), "{args:?} -> {err}");
+        }
+        // A nonexistent graph file is a runtime failure, not usage.
+        let err = run(&["serve", "g=/nonexistent/graph.tsv", "--stdio"]).unwrap_err();
+        assert!(!err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn serve_config_flags_reach_the_engine() {
+        // Drive the engine through the same config path cmd_serve uses,
+        // then answer a stats request over the stdio front-end.
+        let gpath = tmp("g11.tsv");
+        run(&[
+            "generate", "--model", "gnm", "--nodes", "12", "--edges", "30", "--prob", "wc",
+            "--out", &gpath,
+        ])
+        .unwrap();
+        let spec = format!("net={gpath}");
+        // run_stdio reads real stdin in cmd_serve, so exercise the pieces
+        // directly: spec parsing + engine construction + protocol loop.
+        let (name, path) = parse_graph_spec(&spec).unwrap();
+        let mut engine = soi_server::ServerEngine::new(soi_server::EngineConfig {
+            num_worlds: 8,
+            seed: 7,
+            ..soi_server::EngineConfig::default()
+        });
+        engine.add_graph(&name, load_prob_graph(&path).unwrap());
+        let input = "{\"v\":1,\"id\":1,\"type\":\"health\"}\n\
+                     {\"v\":1,\"id\":2,\"type\":\"spread-estimate\",\"graph\":\"net\",\
+                      \"seeds\":[0],\"samples\":8,\"seed\":1}\n";
+        let mut reader = std::io::BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        soi_server::run_stdio(&engine, soi_server::DEFAULT_MAX_LINE, &mut reader, &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"graphs\":1"), "{text}");
+        assert!(text.contains("\"spread\":"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! End-to-end tests of the serving daemon over the real `soi` binary.
+//!
+//! Everything here goes through subprocesses — `soi serve` for the
+//! daemon and `soi query` for the client — because the hermeticity lint
+//! confines `std::net` to `crates/server`; this file proves the whole
+//! stack works from the shell, exactly as CI's `serve-e2e` job drives
+//! it. Covered end to end:
+//!
+//! * a mixed batch of 100+ concurrent queries whose masked responses
+//!   are byte-identical across two runs (determinism modulo wall-clock);
+//! * a deadline-limited query returning a well-formed `partial`;
+//! * admission control: a saturated one-worker daemon answers a typed
+//!   `queue-full` rejection while control requests stay responsive;
+//! * graceful drain on `shutdown` — queued work still answers, the
+//!   process exits 0, and the `--metrics-out` report is complete.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn soi() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_soi"));
+    c.env_remove(soi_util::failpoint::ENV_VAR);
+    c
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soi-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn make_graph(dir: &Path, nodes: usize) -> String {
+    let g = dir.join("net.tsv").to_string_lossy().into_owned();
+    let out = soi()
+        .args([
+            "generate",
+            "--model",
+            "gnm",
+            "--nodes",
+            &nodes.to_string(),
+            "--edges",
+            &(nodes * 4).to_string(),
+            "--prob",
+            "wc",
+            "--seed",
+            "11",
+            "--out",
+            &g,
+        ])
+        .output()
+        .expect("spawn soi generate");
+    assert!(out.status.success(), "generate failed");
+    g
+}
+
+/// A running `soi serve` child plus the port it announced.
+struct Daemon {
+    child: Child,
+    port: String,
+}
+
+impl Daemon {
+    /// Spawns `soi serve` with `extra` args and waits for the
+    /// `listening on HOST:PORT` announcement on its stdout.
+    fn spawn(graph_spec: &str, extra: &[&str]) -> Daemon {
+        let mut child = soi()
+            .arg("serve")
+            .arg(graph_spec)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn soi serve");
+        let stdout = child.stdout.take().expect("serve stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let announce = lines
+            .next()
+            .expect("daemon announced nothing")
+            .expect("read announce line");
+        let port = announce
+            .rsplit(':')
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        assert!(
+            announce.starts_with("listening on") && !port.is_empty(),
+            "bad announce line: {announce:?}"
+        );
+        Daemon { child, port }
+    }
+
+    /// Runs one `soi query` batch against this daemon.
+    fn query(&self, args: &[&str]) -> Output {
+        soi()
+            .arg("query")
+            .args(["--port", &self.port])
+            .args(args)
+            .output()
+            .expect("spawn soi query")
+    }
+
+    /// Sends `shutdown`, waits for the daemon to drain, asserts exit 0.
+    fn shutdown(mut self) {
+        let out = self.query(&["{\"v\":1,\"id\":9999,\"type\":\"shutdown\"}"]);
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("\"draining\":true"),
+            "shutdown not acknowledged"
+        );
+        let status = self.child.wait().expect("wait for daemon");
+        assert_eq!(status.code(), Some(0), "daemon exit code after drain");
+    }
+}
+
+fn stdout_str(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Builds the mixed batch: typical-cascade, spread-estimate, and health
+/// requests over every node, one deadline-limited query, one infmax-tc.
+fn mixed_requests(nodes: usize) -> Vec<String> {
+    let mut reqs = Vec::new();
+    let mut id = 0u64;
+    let mut next = |body: String| {
+        id += 1;
+        format!("{{\"v\":1,\"id\":{id},{body}}}")
+    };
+    for source in 0..nodes {
+        reqs.push(next(format!(
+            "\"type\":\"typical-cascade\",\"graph\":\"net\",\"source\":{source}"
+        )));
+        reqs.push(next(format!(
+            "\"type\":\"spread-estimate\",\"graph\":\"net\",\"seeds\":[{source}],\
+             \"samples\":64,\"seed\":7"
+        )));
+        reqs.push(next("\"type\":\"health\"".to_string()));
+    }
+    // Deadline shorter than the sample budget: answers `partial` with
+    // the deterministic 16-sample prefix.
+    reqs.push(next(
+        "\"type\":\"spread-estimate\",\"graph\":\"net\",\"seeds\":[0],\
+         \"samples\":64,\"seed\":7,\"deadline_ticks\":16"
+            .to_string(),
+    ));
+    reqs.push(next(
+        "\"type\":\"infmax-tc\",\"graph\":\"net\",\"k\":3".to_string(),
+    ));
+    reqs
+}
+
+#[test]
+fn concurrent_mixed_batch_is_deterministic_and_drains_cleanly() {
+    let dir = fresh_dir("mixed");
+    let graph = make_graph(&dir, 40);
+    let metrics = dir
+        .join("serve-metrics.jsonl")
+        .to_string_lossy()
+        .into_owned();
+    let daemon = Daemon::spawn(
+        &format!("net={graph}"),
+        &[
+            "--worlds",
+            "64",
+            "--queue-cap",
+            "128",
+            "--metrics-out",
+            &metrics,
+        ],
+    );
+
+    let requests = mixed_requests(40);
+    assert!(requests.len() >= 100, "batch too small: {}", requests.len());
+    let reqs_file = dir.join("reqs.jsonl").to_string_lossy().into_owned();
+    std::fs::write(&reqs_file, requests.join("\n") + "\n").unwrap();
+
+    let batch_args = [
+        "--file",
+        reqs_file.as_str(),
+        "--concurrency",
+        "8",
+        "--mask-wall",
+    ];
+    let first = stdout_str(&daemon.query(&batch_args));
+    let second = stdout_str(&daemon.query(&batch_args));
+    assert_eq!(
+        first, second,
+        "masked responses must be byte-identical across runs"
+    );
+
+    let lines: Vec<&str> = first.lines().collect();
+    assert_eq!(lines.len(), requests.len(), "one response per request");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"id\":{}", i + 1)),
+            "responses out of order at {i}: {line}"
+        );
+        assert!(
+            line.contains("\"wall_ns\":0"),
+            "unmasked wall clock: {line}"
+        );
+    }
+    // Every compute line is ok except the deadline-limited one, which
+    // must be a well-formed partial covering exactly its tick budget.
+    let partial = lines[lines.len() - 2];
+    for check in [
+        "\"status\":\"partial\"",
+        "\"reason\":\"deadline-expired\"",
+        "\"done\":",
+        "\"total\":64",
+        "\"spread\":",
+    ] {
+        assert!(partial.contains(check), "missing {check}: {partial}");
+    }
+    let oks = lines
+        .iter()
+        .filter(|l| l.contains("\"status\":\"ok\""))
+        .count();
+    assert_eq!(oks, lines.len() - 1, "everything else answers ok");
+    let infmax = lines[lines.len() - 1];
+    assert!(infmax.contains("\"seeds\":["), "{infmax}");
+
+    daemon.shutdown();
+
+    // The final metrics report flushed on drain and covers the serving
+    // counters plus the request-latency wall histogram.
+    let report = std::fs::read_to_string(&metrics).expect("metrics report written");
+    for needle in [
+        "\"name\":\"server.requests_total\"",
+        "\"type\":\"wall_hist\",\"name\":\"server.request_ns\"",
+        "\"name\":\"server.cache_misses\"",
+    ] {
+        assert!(report.contains(needle), "missing {needle} in:\n{report}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Polls `stats` until `pred` matches the response, or panics.
+fn await_stats(daemon: &Daemon, what: &str, pred: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let out = daemon.query(&["{\"v\":1,\"id\":1,\"type\":\"stats\"}"]);
+        let text = stdout_str(&out);
+        if pred(&text) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn saturated_daemon_rejects_typed_and_still_drains() {
+    let dir = fresh_dir("overflow");
+    let graph = make_graph(&dir, 16);
+    let daemon = Daemon::spawn(
+        &format!("net={graph}"),
+        &["--worlds", "8", "--workers", "1", "--queue-cap", "1"],
+    );
+
+    // A long-running estimate pins the single worker; a second one
+    // fills the queue (capacity 1); a third must bounce with the typed
+    // `queue-full` rejection. Stats are answered inline by connection
+    // threads, so polling them makes each step deterministic.
+    let slow = |id: u64| {
+        format!(
+            "{{\"v\":1,\"id\":{id},\"type\":\"spread-estimate\",\"graph\":\"net\",\
+             \"seeds\":[0],\"samples\":10000000,\"seed\":3}}"
+        )
+    };
+    let spawn_slow = |id: u64| {
+        soi()
+            .arg("query")
+            .args(["--port", &daemon.port, &slow(id)])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn slow query")
+    };
+    let mut pinned = spawn_slow(101);
+    await_stats(&daemon, "worker pinned", |s| s.contains("\"in_flight\":1"));
+    let mut queued = spawn_slow(102);
+    await_stats(&daemon, "queue full", |s| s.contains("\"queue_depth\":1"));
+
+    let bounced = stdout_str(&daemon.query(&[&slow(103)]));
+    assert!(bounced.contains("\"kind\":\"queue-full\""), "{bounced}");
+    assert!(bounced.contains("\"id\":103"), "{bounced}");
+
+    // Control plane stays responsive while every lane is saturated.
+    let health = stdout_str(&daemon.query(&["{\"v\":1,\"id\":104,\"type\":\"health\"}"]));
+    assert!(health.contains("\"ok\":true"), "{health}");
+
+    // Graceful drain answers both accepted slow queries with real
+    // results before the daemon exits.
+    daemon.shutdown();
+    for (child, id) in [(&mut pinned, 101), (&mut queued, 102)] {
+        let mut text = String::new();
+        child
+            .stdout
+            .take()
+            .expect("slow query stdout")
+            .read_to_string(&mut text)
+            .unwrap();
+        assert!(child.wait().unwrap().success(), "slow query {id} exit");
+        assert!(text.contains("\"status\":\"ok\""), "{id}: {text}");
+        assert!(text.contains(&format!("\"id\":{id}")), "{id}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stdio_front_end_serves_through_the_binary() {
+    let dir = fresh_dir("stdio");
+    let graph = make_graph(&dir, 12);
+    let mut child = soi()
+        .args(["serve", &format!("net={graph}"), "--stdio", "--worlds", "8"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn soi serve --stdio");
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            b"{\"v\":1,\"id\":1,\"type\":\"health\"}\n\
+              {\"v\":1,\"id\":2,\"type\":\"typical-cascade\",\"graph\":\"net\",\"source\":0}\n\
+              {\"v\":1,\"id\":3,\"type\":\"shutdown\"}\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().expect("wait for stdio serve");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].contains("\"ok\":true"));
+    assert!(lines[1].contains("\"sphere\":["));
+    assert!(lines[2].contains("\"draining\":true"));
+    std::fs::remove_dir_all(&dir).ok();
+}

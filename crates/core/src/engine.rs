@@ -194,10 +194,7 @@ pub fn all_typical_cascades(
     threads: usize,
 ) -> Vec<NodeTypicalCascade> {
     let n = index.num_nodes();
-    let threads = {
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        (if threads == 0 { hw } else { threads }).clamp(1, n.max(1))
-    };
+    let threads = soi_util::pool::effective_threads(threads, n);
     let mut results: Vec<Option<NodeTypicalCascade>> = (0..n).map(|_| None).collect();
     let solve = |v: NodeId| {
         // Per-node phase breakdown — the Figure 4 quantity: index lookup
@@ -218,22 +215,9 @@ pub fn all_typical_cascades(
             training_cost: fit.cost,
         }
     };
-    if threads <= 1 || n == 0 {
-        for (v, slot) in results.iter_mut().enumerate() {
-            *slot = Some(solve(v as NodeId));
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, chunk_slots) in results.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                        *slot = Some(solve((t * chunk + j) as NodeId));
-                    }
-                });
-            }
-        });
-    }
+    soi_util::pool::for_each_indexed(&mut results, threads, |v, slot| {
+        *slot = Some(solve(v as NodeId));
+    });
     soi_obs::event!(
         soi_obs::Level::Info,
         "typical cascades solved for {n} nodes on {threads} thread(s)"
@@ -360,10 +344,7 @@ pub fn all_typical_cascades_resumable(
     let graph_fp = index.fingerprint();
     let config_fp = engine_config_fingerprint(median);
     let every = opts.checkpoint_every.max(1);
-    let threads = {
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        (if threads == 0 { hw } else { threads }).clamp(1, n.max(1))
-    };
+    let threads = soi_util::pool::effective_threads(threads, n);
 
     let mut results: Vec<NodeTypicalCascade> = Vec::with_capacity(n);
     if opts.resume {
@@ -418,22 +399,9 @@ pub fn all_typical_cascades_resumable(
         }
         soi_util::failpoint!("engine.block");
         let mut block: Vec<Option<NodeTypicalCascade>> = (start..end).map(|_| None).collect();
-        if threads <= 1 || block.len() <= 1 {
-            for (j, slot) in block.iter_mut().enumerate() {
-                *slot = Some(solve((start + j) as NodeId));
-            }
-        } else {
-            let chunk = block.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (t, chunk_slots) in block.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                            *slot = Some(solve((start + t * chunk + j) as NodeId));
-                        }
-                    });
-                }
-            });
-        }
+        soi_util::pool::for_each_indexed(&mut block, threads, |j, slot| {
+            *slot = Some(solve((start + j) as NodeId));
+        });
         // Scoped threads fill every slot exactly once. xtask-allow: panic_policy
         results.extend(block.into_iter().map(|r| r.expect("filled")));
         if let Some(path) = opts.checkpoint {

@@ -133,30 +133,18 @@ impl CascadeIndex {
         let threads = effective_threads(config.threads, ell);
 
         // Each world is independent; distribute world ids across workers.
+        // Contiguous world-id chunks per worker, one sampler allocation
+        // per worker. World `i` depends only on `(seed, i)`, so the
+        // partition does not affect the result.
         let mut slots: Vec<Option<(WorldIndex, Vec<u32>)>> = (0..ell).map(|_| None).collect();
-        if threads <= 1 {
-            let mut sampler = WorldSampler::new();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(build_world(pg, &config, i, &mut sampler));
-            }
-        } else {
-            // Contiguous world-id chunks per worker: plain `&mut` slices,
-            // no synchronization needed. World `i` depends only on
-            // `(seed, i)`, so the partition does not affect the result.
-            let chunk = ell.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                    let config = &config;
-                    scope.spawn(move || {
-                        let mut sampler = WorldSampler::new();
-                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                            let i = t * chunk + j;
-                            *slot = Some(build_world(pg, config, i, &mut sampler));
-                        }
-                    });
-                }
-            });
-        }
+        soi_util::pool::for_each_indexed_with(
+            &mut slots,
+            threads,
+            WorldSampler::new,
+            |sampler, i, slot| {
+                *slot = Some(build_world(pg, &config, i, sampler));
+            },
+        );
 
         let mut worlds = Vec::with_capacity(ell);
         let mut comp_matrix = vec![0u32; n * ell];
@@ -215,19 +203,14 @@ impl CascadeIndex {
             }
             let mut slots: Vec<Option<(WorldIndex, Vec<u32>)>> =
                 (0..block_len).map(|_| None).collect();
-            let chunk = block_len.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                    let config = &config;
-                    scope.spawn(move || {
-                        let mut sampler = WorldSampler::new();
-                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                            let i = next + t * chunk + j;
-                            *slot = Some(build_world(pg, config, i, &mut sampler));
-                        }
-                    });
-                }
-            });
+            soi_util::pool::for_each_indexed_with(
+                &mut slots,
+                threads,
+                WorldSampler::new,
+                |sampler, j, slot| {
+                    *slot = Some(build_world(pg, &config, next + j, sampler));
+                },
+            );
             for slot in slots {
                 // Chunked scoped threads fill every slot before the scope
                 // joins. xtask-allow: panic_policy
@@ -276,6 +259,20 @@ impl CascadeIndex {
             h.update_u64(w.num_comps() as u64);
             h.update_u64(w.dag.num_edges() as u64);
         }
+        h.finish()
+    }
+
+    /// A 64-bit cache key identifying the index that [`build`](Self::build)
+    /// would produce for `(pg, config)`, computable **without** building
+    /// it. Combines the graph fingerprint with every config field that
+    /// changes index contents (`threads` is excluded: builds are
+    /// thread-count invariant). `soi serve` keys its index cache on this.
+    pub fn cache_key(pg: &ProbGraph, config: &IndexConfig) -> u64 {
+        let mut h = soi_util::hash::Mix64Hasher::new();
+        h.update_u64(pg.fingerprint());
+        h.update_u64(config.num_worlds as u64);
+        h.update_u64(config.seed);
+        h.update_u64(config.transitive_reduction as u64);
         h.finish()
     }
 
@@ -491,9 +488,7 @@ pub struct IndexQuery {
 pub const BUILD_BLOCK: usize = 16;
 
 fn effective_threads(requested: usize, work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let t = if requested == 0 { hw } else { requested };
-    t.min(work_items).max(1)
+    soi_util::pool::effective_threads(requested, work_items)
 }
 
 fn build_world(
@@ -568,6 +563,55 @@ mod tests {
                 assert_eq!(out, direct, "world {i}, node {v}");
             }
         }
+    }
+
+    #[test]
+    fn cache_key_tracks_content_inputs_only() {
+        let pg = test_graph(1);
+        let config = IndexConfig {
+            num_worlds: 8,
+            seed: 5,
+            transitive_reduction: true,
+            threads: 1,
+        };
+        let base = CascadeIndex::cache_key(&pg, &config);
+        // Thread count never changes index contents, so it never changes
+        // the key; every content-bearing input does.
+        assert_eq!(
+            base,
+            CascadeIndex::cache_key(
+                &pg,
+                &IndexConfig {
+                    threads: 4,
+                    ..config
+                }
+            )
+        );
+        assert_ne!(
+            base,
+            CascadeIndex::cache_key(
+                &pg,
+                &IndexConfig {
+                    num_worlds: 9,
+                    ..config
+                }
+            )
+        );
+        assert_ne!(
+            base,
+            CascadeIndex::cache_key(&pg, &IndexConfig { seed: 6, ..config })
+        );
+        assert_ne!(
+            base,
+            CascadeIndex::cache_key(
+                &pg,
+                &IndexConfig {
+                    transitive_reduction: false,
+                    ..config
+                }
+            )
+        );
+        assert_ne!(base, CascadeIndex::cache_key(&test_graph(2), &config));
     }
 
     #[test]

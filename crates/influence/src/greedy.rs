@@ -535,40 +535,11 @@ pub fn infmax_std_mc(pg: &soi_graph::ProbGraph, k: usize, config: &McGreedyConfi
     };
 
     // Initial pass: sigma({v}) for every node, parallel.
-    let threads = {
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        (if config.threads == 0 {
-            hw
-        } else {
-            config.threads
-        })
-        .clamp(1, n.max(1))
-    };
     let mut initial: Vec<f64> = vec![0.0; n];
-    if threads <= 1 {
-        for (v, slot) in initial.iter_mut().enumerate() {
-            soi_obs::counter_add!("influence.mc_spread_evals", 1);
-            *slot = estimate_spread(pg, &[v as NodeId], config.samples, fresh_seed());
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slots) in initial.chunks_mut(chunk).enumerate() {
-                let eval_counter = &eval_counter;
-                scope.spawn(move || {
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        let v = (t * chunk + j) as NodeId;
-                        soi_obs::counter_add!("influence.mc_spread_evals", 1);
-                        let seed = derive_seed(
-                            config.seed,
-                            eval_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-                        );
-                        *slot = estimate_spread(pg, &[v], config.samples, seed);
-                    }
-                });
-            }
-        });
-    }
+    soi_util::pool::for_each_indexed(&mut initial, config.threads, |v, slot| {
+        soi_obs::counter_add!("influence.mc_spread_evals", 1);
+        *slot = estimate_spread(pg, &[v as NodeId], config.samples, fresh_seed());
+    });
 
     let mut heap: BinaryHeap<CelfEntry> = initial
         .into_iter()

@@ -34,7 +34,10 @@ pub mod report;
 pub mod span;
 
 pub use event::Level;
-pub use metrics::{counter, gauge, histogram, Counter, Gauge, HistogramMetric};
+pub use metrics::{
+    counter, gauge, histogram, wall_hist, Counter, Gauge, HistogramMetric, WallHistStat,
+    WallHistogram,
+};
 pub use report::RunReport;
 pub use span::{span, SpanGuard, SpanStat};
 

@@ -120,12 +120,132 @@ impl HistogramMetric {
     }
 }
 
+/// A latency histogram over wall-clock nanoseconds, log2-bucketed.
+///
+/// Unlike [`HistogramMetric`], whose bucket counts are part of the
+/// deterministic report surface, a `WallHistogram` records *timings*:
+/// only its total observation count is deterministic; the quantiles it
+/// reports appear in `wall_`-prefixed fields that
+/// [`crate::report::mask_wall_clock`] zeroes. Bucket `b` holds
+/// observations with `ns` in `[2^(b-1), 2^b)`, so 64 buckets cover the
+/// full `u64` range with ≤ 2x quantile error — plenty for p50/p90
+/// service-latency reporting.
+#[derive(Clone, Debug)]
+pub struct WallHistogram {
+    inner: Arc<WallHistInner>,
+}
+
+#[derive(Debug)]
+struct WallHistInner {
+    /// counts[b] = observations with bucket(ns) == b; bucket 0 is ns == 0.
+    counts: Vec<AtomicU64>,
+    max_ns: AtomicU64,
+}
+
+/// A frozen quantile summary of one [`WallHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WallHistStat {
+    /// Total observations (deterministic given deterministic traffic).
+    pub count: u64,
+    /// Median latency upper bound in nanoseconds (wall clock).
+    pub p50_ns: u64,
+    /// 90th-percentile latency upper bound in nanoseconds (wall clock).
+    pub p90_ns: u64,
+    /// Largest single observation in nanoseconds (wall clock).
+    pub max_ns: u64,
+}
+
+impl WallHistogram {
+    fn new() -> WallHistogram {
+        WallHistogram {
+            inner: Arc::new(WallHistInner {
+                counts: (0..65).map(|_| AtomicU64::new(0)).collect(),
+                max_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// `ns == 0` lands in bucket 0; otherwise bucket `64 - leading_zeros`.
+    fn bucket(ns: u64) -> usize {
+        (64 - ns.leading_zeros()) as usize
+    }
+
+    /// Records one wall-clock observation.
+    pub fn observe_ns(&self, ns: u64) {
+        self.inner.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] observation.
+    pub fn observe(&self, d: std::time::Duration) {
+        self.observe_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q` in `[0,1]`,
+    /// clamped to the observed maximum. 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // Inclusive upper edge of bucket b: 2^b - 1 (bucket 0 is
+                // exactly 0).
+                let edge = if b == 0 {
+                    0
+                } else {
+                    (1u64 << b).wrapping_sub(1)
+                };
+                return edge.min(self.inner.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.inner.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// A frozen `{count, p50, p90, max}` summary.
+    pub fn snapshot(&self) -> WallHistStat {
+        WallHistStat {
+            count: self.count(),
+            p50_ns: self.quantile_ns(0.5),
+            p90_ns: self.quantile_ns(0.9),
+            max_ns: self.inner.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for c in self.inner.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
 /// The process-global metric tables.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, HistogramMetric>>,
+    wall_hists: Mutex<BTreeMap<String, WallHistogram>>,
 }
 
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -159,6 +279,14 @@ impl Registry {
             .clone()
     }
 
+    /// Returns the wall-clock latency histogram registered under `name`.
+    pub fn wall_hist(&self, name: &str) -> WallHistogram {
+        relock(&self.wall_hists)
+            .entry(name.to_string())
+            .or_insert_with(WallHistogram::new)
+            .clone()
+    }
+
     /// Zeroes every registered value in place. Entries (and therefore
     /// cached handles) are preserved.
     pub fn reset(&self) {
@@ -170,6 +298,9 @@ impl Registry {
         }
         for h in relock(&self.histograms).values() {
             h.reset();
+        }
+        for w in relock(&self.wall_hists).values() {
+            w.reset();
         }
     }
 
@@ -196,6 +327,14 @@ impl Registry {
             .map(|(k, v)| (k.clone(), (v.bounds().to_vec(), v.counts())))
             .collect()
     }
+
+    /// Wall-histogram names with quantile snapshots, sorted by name.
+    pub fn wall_hist_values(&self) -> BTreeMap<String, WallHistStat> {
+        relock(&self.wall_hists)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
 }
 
 /// The process-global registry.
@@ -217,6 +356,11 @@ pub fn gauge(name: &str) -> Gauge {
 /// Shorthand for `registry().histogram(name, bounds)`.
 pub fn histogram(name: &str, bounds: &[f64]) -> HistogramMetric {
     registry().histogram(name, bounds)
+}
+
+/// Shorthand for `registry().wall_hist(name)`.
+pub fn wall_hist(name: &str) -> WallHistogram {
+    registry().wall_hist(name)
 }
 
 #[cfg(test)]
@@ -282,6 +426,50 @@ mod tests {
         let a = histogram("test.metrics.hist_fixed", &[5.0]);
         let b = histogram("test.metrics.hist_fixed", &[99.0, 100.0]);
         assert_eq!(b.bounds(), a.bounds());
+    }
+
+    #[test]
+    fn wall_hist_quantiles_bracket_observations() {
+        let _g = lock();
+        crate::reset();
+        let w = wall_hist("test.metrics.wall");
+        // 9 fast observations and one slow outlier: p50 stays near the
+        // fast cluster, p90 reaches the outlier's bucket, max is exact.
+        for _ in 0..9 {
+            w.observe_ns(1_000);
+        }
+        w.observe_ns(1_000_000);
+        let s = w.snapshot();
+        assert_eq!(s.count, 10);
+        assert!(s.p50_ns >= 1_000 && s.p50_ns < 2_048, "p50 {}", s.p50_ns);
+        assert!(s.p90_ns >= 1_000 && s.p90_ns < 2_048, "p90 {}", s.p90_ns);
+        assert_eq!(s.max_ns, 1_000_000);
+        // The 95th percentile reaches the outlier.
+        assert!(w.quantile_ns(0.95) >= 524_288, "{}", w.quantile_ns(0.95));
+    }
+
+    #[test]
+    fn wall_hist_empty_and_zero() {
+        let _g = lock();
+        crate::reset();
+        let w = wall_hist("test.metrics.wall_empty");
+        assert_eq!(w.snapshot(), WallHistStat::default());
+        w.observe_ns(0);
+        let s = w.snapshot();
+        assert_eq!((s.count, s.p50_ns, s.max_ns), (1, 0, 0));
+    }
+
+    #[test]
+    fn wall_hist_resets_in_place() {
+        let _g = lock();
+        crate::reset();
+        let w = wall_hist("test.metrics.wall_reset");
+        w.observe_ns(500);
+        crate::reset();
+        assert_eq!(w.count(), 0);
+        w.observe(std::time::Duration::from_micros(2));
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.snapshot().max_ns, 2_000);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! rewrites every such value to `0`, after which two same-seed runs
 //! must produce byte-identical JSONL (golden-tested in `soi-cli`).
 
+use crate::metrics::WallHistStat;
 use crate::span::SpanStat;
 use soi_util::timer::format_duration;
 use std::collections::BTreeMap;
@@ -28,6 +29,10 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, (Vec<f64>, Vec<u64>)>,
     /// Span statistics keyed by path, name-sorted.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Wall-clock latency histogram snapshots, name-sorted. Only the
+    /// observation `count` is deterministic; quantiles are wall-clock
+    /// data and are emitted exclusively in `wall_`-prefixed fields.
+    pub wall_hists: BTreeMap<String, WallHistStat>,
 }
 
 impl RunReport {
@@ -43,6 +48,7 @@ impl RunReport {
             gauges: reg.gauge_values(),
             histograms: reg.histogram_values(),
             spans: crate::span::snapshot_spans(),
+            wall_hists: reg.wall_hist_values(),
         }
     }
 
@@ -94,6 +100,17 @@ impl RunReport {
                 s.max_ns
             )?;
         }
+        for (name, s) in &self.wall_hists {
+            writeln!(
+                w,
+                "{{\"type\":\"wall_hist\",\"name\":\"{}\",\"count\":{},\"wall_p50_ns\":{},\"wall_p90_ns\":{},\"wall_max_ns\":{}}}",
+                json_escape(name),
+                s.count,
+                s.p50_ns,
+                s.p90_ns,
+                s.max_ns
+            )?;
+        }
         Ok(())
     }
 
@@ -128,6 +145,12 @@ impl RunReport {
             writeln!(w, "span\t{path}\twall_ns_total\t{}", s.total_ns)?;
             writeln!(w, "span\t{path}\twall_ns_min\t{}", s.min_ns)?;
             writeln!(w, "span\t{path}\twall_ns_max\t{}", s.max_ns)?;
+        }
+        for (name, s) in &self.wall_hists {
+            writeln!(w, "wall_hist\t{name}\tcount\t{}", s.count)?;
+            writeln!(w, "wall_hist\t{name}\twall_p50_ns\t{}", s.p50_ns)?;
+            writeln!(w, "wall_hist\t{name}\twall_p90_ns\t{}", s.p90_ns)?;
+            writeln!(w, "wall_hist\t{name}\twall_max_ns\t{}", s.max_ns)?;
         }
         Ok(())
     }
@@ -235,6 +258,9 @@ mod tests {
             }
             let _inner = crate::span("phase_b");
         }
+        let w = crate::metrics::wall_hist("test.report.latency");
+        w.observe_ns(if sleep { 2_000_000 } else { 800 });
+        w.observe_ns(if sleep { 9_000_000 } else { 1_200 });
         RunReport::collect(&[("command", "test"), ("seed", "42")])
     }
 
@@ -249,6 +275,9 @@ mod tests {
         assert!(text
             .contains("{\"type\":\"histogram\",\"name\":\"test.report.sizes\",\"bounds\":[2,8],\"counts\":[0,1,0]}"));
         assert!(text.contains("\"type\":\"span\",\"path\":\"phase_a/phase_b\""));
+        assert!(text.contains(
+            "\"type\":\"wall_hist\",\"name\":\"test.report.latency\",\"count\":2,\"wall_p50_ns\":"
+        ));
     }
 
     #[test]
@@ -281,7 +310,7 @@ mod tests {
         for line in text.lines() {
             let fields: Vec<&str> = line.split('\t').collect();
             assert_eq!(fields.len(), 4, "bad row: {line}");
-            if fields[0] == "span" && fields[2] != "count" {
+            if (fields[0] == "span" || fields[0] == "wall_hist") && fields[2] != "count" {
                 assert!(fields[2].starts_with("wall_"), "unmarked timing: {line}");
             }
         }

@@ -1,0 +1,459 @@
+//! The long-lived daemon: TCP accept loop, per-connection protocol
+//! handling, and the stdio front-end for hermetic tests.
+//!
+//! One thread per connection reads newline-delimited requests. Control
+//! requests (`health`/`stats`/`shutdown`) are answered inline by the
+//! connection thread, so the server stays observable and stoppable
+//! while every worker is busy; compute requests go through the bounded
+//! queue to the worker pool and the connection thread blocks on the
+//! reply channel (one request in flight per connection).
+//!
+//! Shutdown sequence: a `shutdown` request is acknowledged, the accept
+//! loop is unblocked with a loop-back connection and exits, the worker
+//! pool drains every queued and in-flight job (their responses still
+//! reach their clients), read sides of open connections are shut down
+//! so their threads observe EOF, and all threads are joined. The CLI
+//! then flushes the final metrics report.
+
+use crate::engine::ServerEngine;
+use crate::protocol::{self, Envelope, Request, DEFAULT_MAX_LINE};
+use crate::worker::{self, Job, PoolHandle, WorkerPool};
+use soi_util::{ProtoErrorKind, SoiError};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Daemon options fixed at startup.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral; the bound address
+    /// is announced on stdout as `listening on HOST:PORT`).
+    pub port: u16,
+    /// Worker threads (0 = pool default).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `queue-full`.
+    pub queue_cap: usize,
+    /// Request-line length cap in bytes.
+    pub max_line: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 0,
+            queue_cap: 64,
+            max_line: DEFAULT_MAX_LINE,
+        }
+    }
+}
+
+/// One read from the capped line reader.
+enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded the cap; its remainder was discarded.
+    Oversized,
+    /// End of stream; `mid_line` when data arrived without a final
+    /// newline (a client that died mid-request).
+    Eof {
+        /// Whether the stream ended inside an unterminated line.
+        mid_line: bool,
+    },
+}
+
+/// Reads one newline-terminated line of at most `max_line` bytes.
+fn read_line_capped<R: BufRead>(r: &mut R, max_line: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() && !oversized {
+                LineRead::Eof { mid_line: false }
+            } else {
+                LineRead::Eof { mid_line: true }
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |at| at + 1);
+        if !oversized {
+            buf.extend_from_slice(&chunk[..take]);
+            if buf.len() > max_line + 1 {
+                oversized = true;
+                buf.clear();
+            }
+        }
+        r.consume(take);
+        if newline.is_some() {
+            if oversized {
+                return Ok(LineRead::Oversized);
+            }
+            while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
+}
+
+/// Builds the inline response for a control request.
+fn control_response(
+    engine: &ServerEngine,
+    id: u64,
+    req: &Request,
+    pool: Option<&PoolHandle>,
+) -> String {
+    match req {
+        Request::Health => protocol::encode_ok(
+            id,
+            &format!("\"ok\":true,\"graphs\":{}", engine.graph_names().len()),
+            0,
+        ),
+        Request::Stats => {
+            let (depth, in_flight) = pool.map_or((0, 0), |p| (p.queue_depth(), p.in_flight()));
+            let payload = format!(
+                "\"graphs\":{},\"queue_depth\":{depth},\"in_flight\":{in_flight},\
+                 \"requests_total\":{},\"rejected_queue_full\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                engine.graph_names().len(),
+                soi_obs::counter("server.requests_total").get(),
+                soi_obs::counter("server.rejected_queue_full").get(),
+                soi_obs::counter("server.cache_hits").get(),
+                soi_obs::counter("server.cache_misses").get(),
+            );
+            protocol::encode_ok(id, &payload, 0)
+        }
+        Request::Shutdown => protocol::encode_ok(id, "\"draining\":true", 0),
+        _ => protocol::encode_error(
+            Some(id),
+            &SoiError::protocol(ProtoErrorKind::BadField, "not a control request"),
+        ),
+    }
+}
+
+/// What the connection loop should do after handling one line.
+enum Step {
+    Continue,
+    Shutdown,
+    Disconnect,
+}
+
+/// Handles one raw request line end-to-end: parse, dispatch, respond.
+/// `submit` runs a compute envelope to its encoded response line.
+fn handle_line<W: Write>(
+    engine: &ServerEngine,
+    pool: Option<&PoolHandle>,
+    line: &str,
+    submit: &dyn Fn(Envelope) -> String,
+    writer: &mut W,
+) -> Step {
+    if line.trim().is_empty() {
+        return Step::Continue;
+    }
+    soi_obs::counter_add!("server.requests_total", 1);
+    let started = Instant::now();
+    let (response, shutdown) = match protocol::parse_request(line) {
+        Err(err) => (protocol::encode_error(None, &err), false),
+        Ok(envelope) if envelope.req.is_control() => {
+            let is_shutdown = envelope.req == Request::Shutdown;
+            let mut resp = control_response(engine, envelope.id, &envelope.req, pool);
+            // Control responses are cheap; stamp the measured wall time
+            // over the placeholder so every response carries one.
+            let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(stripped) = resp.strip_suffix("\"wall_ns\":0}") {
+                resp = format!("{stripped}\"wall_ns\":{wall_ns}}}");
+            }
+            (resp, is_shutdown)
+        }
+        Ok(envelope) => (submit(envelope), false),
+    };
+    if writeln!(writer, "{response}")
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        soi_obs::counter_add!("server.client_disconnects", 1);
+        return Step::Disconnect;
+    }
+    if shutdown {
+        Step::Shutdown
+    } else {
+        Step::Continue
+    }
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    engine: Arc<ServerEngine>,
+    pool: PoolHandle,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    max_line: usize,
+) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let submit = |envelope: Envelope| -> String {
+        let id = envelope.id;
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Job {
+            envelope,
+            reply: tx,
+        });
+        rx.recv().unwrap_or_else(|_| {
+            protocol::encode_error(
+                Some(id),
+                &SoiError::protocol(ProtoErrorKind::QueueFull, "worker pool unavailable"),
+            )
+        })
+    };
+    loop {
+        let read = match read_line_capped(&mut reader, max_line) {
+            Ok(read) => read,
+            Err(_) => {
+                soi_obs::counter_add!("server.client_disconnects", 1);
+                return;
+            }
+        };
+        let line = match read {
+            LineRead::Eof { mid_line } => {
+                if mid_line {
+                    soi_obs::counter_add!("server.client_disconnects", 1);
+                    soi_obs::event!(soi_obs::Level::Debug, "client disconnected mid-request");
+                }
+                return;
+            }
+            LineRead::Oversized => {
+                let err = SoiError::protocol(
+                    ProtoErrorKind::OversizedLine,
+                    format!("request line exceeds {max_line} bytes"),
+                );
+                let resp = protocol::encode_error(None, &err);
+                if writeln!(writer, "{resp}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    soi_obs::counter_add!("server.client_disconnects", 1);
+                    return;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        match handle_line(&engine, Some(&pool), &line, &submit, &mut writer) {
+            Step::Continue => {}
+            Step::Disconnect => return,
+            Step::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                // Keep reading: the client closes when satisfied.
+            }
+        }
+    }
+}
+
+/// Runs the daemon until a `shutdown` request arrives. Announces the
+/// bound address on `out` as `listening on HOST:PORT`, then serves.
+pub fn run_tcp<W: Write>(
+    engine: Arc<ServerEngine>,
+    config: &ServeConfig,
+    out: &mut W,
+) -> Result<(), SoiError> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port))
+        .map_err(|e| SoiError::io("bind 127.0.0.1", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SoiError::io("local_addr", e))?;
+    let built = engine.warm();
+    soi_obs::event!(soi_obs::Level::Info, "serving {built} graph(s) on {addr}");
+    writeln!(out, "listening on {addr}").map_err(|e| SoiError::io("stdout", e))?;
+    out.flush().map_err(|e| SoiError::io("stdout", e))?;
+
+    let workers = soi_util::pool::effective_threads(config.workers, usize::MAX);
+    let pool = WorkerPool::start(Arc::clone(&engine), workers, config.queue_cap);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut conn_threads = Vec::new();
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        if let Ok(clone) = stream.try_clone() {
+            conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(clone);
+        }
+        let engine = Arc::clone(&engine);
+        let handle = pool.handle();
+        let shutdown = Arc::clone(&shutdown);
+        let max_line = config.max_line;
+        conn_threads.push(std::thread::spawn(move || {
+            handle_conn(stream, engine, handle, shutdown, addr, max_line);
+        }));
+    }
+    drop(listener);
+
+    // Graceful drain: finish queued + in-flight jobs (responses still
+    // flow to their connections), then unblock idle readers and join.
+    pool.shutdown();
+    for stream in conns.lock().unwrap_or_else(PoisonError::into_inner).iter() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for thread in conn_threads {
+        let _ = thread.join();
+    }
+    soi_obs::event!(soi_obs::Level::Info, "drained; shutting down");
+    Ok(())
+}
+
+/// Serves the protocol over an arbitrary reader/writer pair, executing
+/// compute requests synchronously (no worker pool). This is the
+/// hermetic front-end used by `soi serve --stdio` and the protocol
+/// tests; semantics match the TCP daemon except for admission control
+/// (a single sequential lane cannot overflow).
+pub fn run_stdio<R: BufRead, W: Write>(
+    engine: &ServerEngine,
+    max_line: usize,
+    input: &mut R,
+    out: &mut W,
+) -> Result<(), SoiError> {
+    engine.warm();
+    loop {
+        let read = read_line_capped(input, max_line).map_err(|e| SoiError::io("stdin", e))?;
+        let line = match read {
+            LineRead::Eof { mid_line } => {
+                if mid_line {
+                    soi_obs::counter_add!("server.client_disconnects", 1);
+                }
+                return Ok(());
+            }
+            LineRead::Oversized => {
+                let err = SoiError::protocol(
+                    ProtoErrorKind::OversizedLine,
+                    format!("request line exceeds {max_line} bytes"),
+                );
+                writeln!(out, "{}", protocol::encode_error(None, &err))
+                    .map_err(|e| SoiError::io("stdout", e))?;
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        let submit = |envelope: Envelope| worker::execute_job(engine, &envelope);
+        match handle_line(engine, None, &line, &submit, out) {
+            Step::Continue => {}
+            Step::Disconnect => return Ok(()),
+            Step::Shutdown => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use soi_graph::{gen, ProbGraph};
+
+    fn engine() -> ServerEngine {
+        let pg = ProbGraph::fixed(gen::path(6), 1.0).expect("graph");
+        let mut engine = ServerEngine::new(EngineConfig {
+            num_worlds: 4,
+            ..EngineConfig::default()
+        });
+        engine.add_graph("g", pg);
+        engine
+    }
+
+    fn serve_lines(input: &str, max_line: usize) -> Vec<String> {
+        let engine = engine();
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        run_stdio(&engine, max_line, &mut reader, &mut out).expect("run_stdio");
+        String::from_utf8_lossy(&out)
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn stdio_serves_health_and_compute() {
+        let lines = serve_lines(
+            "{\"v\":1,\"id\":1,\"type\":\"health\"}\n\
+             {\"v\":1,\"id\":2,\"type\":\"typical-cascade\",\"graph\":\"g\",\"source\":0}\n",
+            DEFAULT_MAX_LINE,
+        );
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"sphere\":[0,1,2,3,4,5]"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn stdio_shutdown_stops_the_loop() {
+        let lines = serve_lines(
+            "{\"v\":1,\"id\":1,\"type\":\"shutdown\"}\n\
+             {\"v\":1,\"id\":2,\"type\":\"health\"}\n",
+            DEFAULT_MAX_LINE,
+        );
+        assert_eq!(lines.len(), 1, "requests after shutdown are not served");
+        assert!(lines[0].contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_skipped() {
+        let big = format!("{{\"v\":1,\"id\":1,\"pad\":\"{}\"}}", "x".repeat(300));
+        let input = format!("{big}\n{{\"v\":1,\"id\":2,\"type\":\"health\"}}\n");
+        let lines = serve_lines(&input, 128);
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"kind\":\"oversized-line\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"id\":null"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn capped_reader_classifies_eof() {
+        let mut r = BufReader::new(&b"whole line\npartial"[..]);
+        assert!(matches!(
+            read_line_capped(&mut r, 64).expect("read"),
+            LineRead::Line(l) if l == "whole line"
+        ));
+        assert!(matches!(
+            read_line_capped(&mut r, 64).expect("read"),
+            LineRead::Eof { mid_line: true }
+        ));
+        assert!(matches!(
+            read_line_capped(&mut r, 64).expect("read"),
+            LineRead::Eof { mid_line: false }
+        ));
+    }
+
+    #[test]
+    fn malformed_and_unknown_types_answered_inline() {
+        let lines = serve_lines(
+            "not json at all\n\
+             {\"v\":9,\"id\":3,\"type\":\"health\"}\n\
+             {\"v\":1,\"id\":4,\"type\":\"frobnicate\"}\n\
+             {\"v\":1,\"id\":5,\"type\":\"health\"}\n",
+            DEFAULT_MAX_LINE,
+        );
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"kind\":\"malformed-json\""));
+        assert!(lines[1].contains("\"kind\":\"version-mismatch\""));
+        assert!(lines[2].contains("\"kind\":\"unknown-type\""));
+        assert!(lines[3].contains("\"ok\":true"), "loop survives bad input");
+    }
+}

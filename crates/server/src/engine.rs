@@ -1,0 +1,414 @@
+//! The server-side query engine: loaded graphs, warm index cache, and
+//! request execution under a per-request deadline.
+//!
+//! Graphs are loaded once at startup and shared immutably. Cascade
+//! indexes are built on first use (or eagerly via
+//! [`ServerEngine::warm`]) and kept in an LRU cache keyed by
+//! [`CascadeIndex::cache_key`], so repeated queries against the same
+//! graph reuse the ℓ sampled worlds instead of resampling — the whole
+//! point of a long-lived daemon over one-shot CLI runs.
+//!
+//! Deadlines are deterministic tick budgets ([`Deadline`]): a query that
+//! runs out of budget returns a well-formed `partial` response covering
+//! the exact prefix of work completed, never a stalled worker.
+
+use crate::json::fmt_num;
+use crate::protocol::Request;
+use soi_core::EngineRunOpts;
+use soi_graph::ProbGraph;
+use soi_index::{CascadeIndex, IndexConfig};
+use soi_jaccard::median::MedianConfig;
+use soi_util::runtime::{Deadline, Outcome, StopReason};
+use soi_util::{ProtoErrorKind, SoiError};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Engine-level options fixed at startup.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worlds ℓ per cascade index.
+    pub num_worlds: usize,
+    /// Master sampling seed for index builds.
+    pub seed: u64,
+    /// Apply transitive reduction to indexed worlds.
+    pub transitive_reduction: bool,
+    /// Threads per index build / batch solve (0 = pool default).
+    pub threads: usize,
+    /// Jaccard-median tuning shared by all queries.
+    pub median: MedianConfig,
+    /// LRU capacity of the index cache.
+    pub cache_cap: usize,
+    /// Default per-request tick budget (0 = unlimited) applied when a
+    /// request carries no `deadline_ticks`.
+    pub default_deadline_ticks: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_worlds: 256,
+            seed: 42,
+            transitive_reduction: true,
+            threads: 0,
+            median: MedianConfig::default(),
+            cache_cap: 4,
+            default_deadline_ticks: 0,
+        }
+    }
+}
+
+/// The outcome of executing one compute request: a pre-encoded JSON
+/// payload fragment plus partial-progress accounting when a deadline
+/// cut the work short.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecOutput {
+    /// JSON fragment (`"key":value,...`) for the response body.
+    pub payload: String,
+    /// `Some((done, total, reason))` when the result covers a prefix.
+    pub partial: Option<(u64, u64, StopReason)>,
+}
+
+impl ExecOutput {
+    fn complete(payload: String) -> Self {
+        ExecOutput {
+            payload,
+            partial: None,
+        }
+    }
+
+    fn from_outcome<T>(outcome: &Outcome<T>, payload: String) -> Self {
+        match outcome {
+            Outcome::Completed(_) => ExecOutput::complete(payload),
+            Outcome::Partial {
+                progress, reason, ..
+            } => ExecOutput {
+                payload,
+                partial: Some((progress.done, progress.total, *reason)),
+            },
+        }
+    }
+}
+
+/// Loaded graphs plus the warm index cache.
+pub struct ServerEngine {
+    graphs: BTreeMap<String, Arc<ProbGraph>>,
+    cache: Mutex<crate::cache::LruCache<CascadeIndex>>,
+    config: EngineConfig,
+}
+
+impl ServerEngine {
+    /// An engine with no graphs loaded yet.
+    pub fn new(config: EngineConfig) -> Self {
+        ServerEngine {
+            graphs: BTreeMap::new(),
+            cache: Mutex::new(crate::cache::LruCache::new(config.cache_cap)),
+            config,
+        }
+    }
+
+    /// Registers a graph under `name` (replacing any previous binding —
+    /// the cache key includes the graph fingerprint, so stale indexes
+    /// can never serve the new graph).
+    pub fn add_graph(&mut self, name: impl Into<String>, pg: ProbGraph) {
+        self.graphs.insert(name.into(), Arc::new(pg));
+    }
+
+    /// Names of the loaded graphs, sorted.
+    pub fn graph_names(&self) -> Vec<&str> {
+        self.graphs.keys().map(String::as_str).collect()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Eagerly builds the index of every loaded graph so the first
+    /// query doesn't pay the build. Returns the number of indexes built.
+    pub fn warm(&self) -> usize {
+        let names: Vec<String> = self.graphs.keys().cloned().collect();
+        let mut built = 0;
+        for name in names {
+            if self.index_for(&name).is_ok() {
+                built += 1;
+            }
+        }
+        built
+    }
+
+    fn index_config(&self) -> IndexConfig {
+        IndexConfig {
+            num_worlds: self.config.num_worlds,
+            seed: self.config.seed,
+            transitive_reduction: self.config.transitive_reduction,
+            threads: self.config.threads,
+        }
+    }
+
+    fn graph(&self, name: &str) -> Result<&Arc<ProbGraph>, SoiError> {
+        self.graphs.get(name).ok_or_else(|| {
+            SoiError::protocol(
+                ProtoErrorKind::UnknownGraph,
+                format!("graph {name:?} is not loaded"),
+            )
+        })
+    }
+
+    /// The warm index for `name`, building (and caching) it on a miss.
+    pub fn index_for(&self, name: &str) -> Result<Arc<CascadeIndex>, SoiError> {
+        let pg = self.graph(name)?;
+        let config = self.index_config();
+        let key = CascadeIndex::cache_key(pg, &config);
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(index) = cache.get(key) {
+                soi_obs::counter_add!("server.cache_hits", 1);
+                return Ok(index);
+            }
+        }
+        soi_obs::counter_add!("server.cache_misses", 1);
+        // Built outside the cache lock: a slow build must not stall
+        // queries against already-cached graphs.
+        let _span = soi_obs::span("server.index_build");
+        let index = Arc::new(CascadeIndex::build(pg, config));
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        cache.insert(key, Arc::clone(&index));
+        Ok(index)
+    }
+
+    fn deadline(&self, requested: Option<u64>) -> Deadline {
+        match requested.unwrap_or(self.config.default_deadline_ticks) {
+            0 => Deadline::unlimited(),
+            ticks => Deadline::ticks(ticks),
+        }
+    }
+
+    /// Executes one compute request, producing the response payload.
+    /// Control requests ([`Request::is_control`]) are not handled here.
+    pub fn execute(&self, req: &Request) -> Result<ExecOutput, SoiError> {
+        match req {
+            Request::TypicalCascade {
+                graph,
+                source,
+                deadline_ticks,
+            } => {
+                let index = self.index_for(graph)?;
+                if (*source as usize) >= index.num_nodes() {
+                    return Err(SoiError::protocol(
+                        ProtoErrorKind::BadField,
+                        format!(
+                            "source {source} out of range (graph has {} nodes)",
+                            index.num_nodes()
+                        ),
+                    ));
+                }
+                let deadline = self.deadline(*deadline_ticks);
+                let samples = index.cascades_of(*source);
+                let outcome = soi_jaccard::median::jaccard_median_budgeted(
+                    &samples,
+                    &self.config.median,
+                    &deadline,
+                );
+                let fit = outcome.value_ref();
+                let payload = format!(
+                    "\"sphere\":{},\"cost\":{}",
+                    encode_nodes(&fit.median),
+                    fmt_num(fit.cost)
+                );
+                Ok(ExecOutput::from_outcome(&outcome, payload))
+            }
+            Request::SpreadEstimate {
+                graph,
+                seeds,
+                samples,
+                seed,
+                deadline_ticks,
+            } => {
+                let pg = self.graph(graph)?;
+                if let Some(&bad) = seeds.iter().find(|&&s| (s as usize) >= pg.num_nodes()) {
+                    return Err(SoiError::protocol(
+                        ProtoErrorKind::BadField,
+                        format!(
+                            "seed {bad} out of range (graph has {} nodes)",
+                            pg.num_nodes()
+                        ),
+                    ));
+                }
+                let deadline = self.deadline(*deadline_ticks);
+                let outcome =
+                    soi_sampling::estimate_spread_budgeted(pg, seeds, *samples, *seed, &deadline);
+                let payload = format!("\"spread\":{}", fmt_num(*outcome.value_ref()));
+                Ok(ExecOutput::from_outcome(&outcome, payload))
+            }
+            Request::InfmaxTc {
+                graph,
+                k,
+                deadline_ticks,
+            } => {
+                let index = self.index_for(graph)?;
+                let deadline = self.deadline(*deadline_ticks);
+                let opts = EngineRunOpts {
+                    deadline: &deadline,
+                    checkpoint: None,
+                    checkpoint_every: 64,
+                    resume: false,
+                };
+                let outcome = soi_core::all_typical_cascades_resumable(
+                    &index,
+                    &self.config.median,
+                    self.config.threads,
+                    &opts,
+                )?;
+                let spheres: Vec<Vec<u32>> = outcome
+                    .value_ref()
+                    .iter()
+                    .map(|tc| tc.median.clone())
+                    .collect();
+                let run = soi_influence::infmax_tc(&spheres, *k, 0);
+                let coverage: Vec<String> =
+                    run.coverage_curve.iter().map(|&c| fmt_num(c)).collect();
+                let payload = format!(
+                    "\"seeds\":{},\"coverage\":[{}]",
+                    encode_nodes(&run.seeds),
+                    coverage.join(",")
+                );
+                Ok(ExecOutput::from_outcome(&outcome, payload))
+            }
+            control => Err(SoiError::invalid(format!(
+                "control request {:?} routed to the compute engine",
+                control.type_name()
+            ))),
+        }
+    }
+}
+
+fn encode_nodes(nodes: &[u32]) -> String {
+    let items: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_graph::gen;
+
+    fn engine() -> ServerEngine {
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(7);
+        let pg = ProbGraph::fixed(gen::gnm(40, 160, &mut rng), 0.4).expect("graph");
+        let mut engine = ServerEngine::new(EngineConfig {
+            num_worlds: 16,
+            seed: 3,
+            cache_cap: 2,
+            ..EngineConfig::default()
+        });
+        engine.add_graph("g", pg);
+        engine
+    }
+
+    #[test]
+    fn typical_cascade_is_deterministic() {
+        let engine = engine();
+        let req = Request::TypicalCascade {
+            graph: "g".into(),
+            source: 5,
+            deadline_ticks: None,
+        };
+        let a = engine.execute(&req).expect("exec");
+        let b = engine.execute(&req).expect("exec");
+        assert_eq!(a, b);
+        assert!(a.partial.is_none());
+        assert!(a.payload.starts_with("\"sphere\":["), "{}", a.payload);
+    }
+
+    #[test]
+    fn spread_deadline_yields_partial_prefix() {
+        let engine = engine();
+        let full = Request::SpreadEstimate {
+            graph: "g".into(),
+            seeds: vec![0, 1],
+            samples: 64,
+            seed: 9,
+            deadline_ticks: None,
+        };
+        let capped = Request::SpreadEstimate {
+            graph: "g".into(),
+            seeds: vec![0, 1],
+            samples: 64,
+            seed: 9,
+            deadline_ticks: Some(8),
+        };
+        let full = engine.execute(&full).expect("full");
+        assert!(full.partial.is_none());
+        let capped = engine.execute(&capped).expect("capped");
+        let (done, total, reason) = capped.partial.expect("partial");
+        assert_eq!(total, 64);
+        assert!(done < total);
+        assert_eq!(reason, StopReason::DeadlineExpired);
+        // Partial value is the mean over the deterministic prefix.
+        let again = engine.execute(&Request::SpreadEstimate {
+            graph: "g".into(),
+            seeds: vec![0, 1],
+            samples: 64,
+            seed: 9,
+            deadline_ticks: Some(8),
+        });
+        assert_eq!(capped, again.expect("again"));
+    }
+
+    #[test]
+    fn infmax_selects_k_seeds() {
+        let engine = engine();
+        let out = engine
+            .execute(&Request::InfmaxTc {
+                graph: "g".into(),
+                k: 3,
+                deadline_ticks: None,
+            })
+            .expect("exec");
+        assert!(out.partial.is_none());
+        assert!(out.payload.contains("\"seeds\":["));
+        assert!(out.payload.contains("\"coverage\":["));
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_fields_are_typed() {
+        let engine = engine();
+        let err = engine
+            .execute(&Request::TypicalCascade {
+                graph: "missing".into(),
+                source: 0,
+                deadline_ticks: None,
+            })
+            .expect_err("unknown graph");
+        assert!(matches!(
+            err,
+            SoiError::Protocol {
+                kind: ProtoErrorKind::UnknownGraph,
+                ..
+            }
+        ));
+        let err = engine
+            .execute(&Request::TypicalCascade {
+                graph: "g".into(),
+                source: 40,
+                deadline_ticks: None,
+            })
+            .expect_err("out of range");
+        assert!(matches!(
+            err,
+            SoiError::Protocol {
+                kind: ProtoErrorKind::BadField,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn index_cache_hits_after_first_build() {
+        let engine = engine();
+        let _ = engine.index_for("g").expect("build");
+        let before = soi_obs::metrics::counter("server.cache_hits").get();
+        let _ = engine.index_for("g").expect("cached");
+        assert!(soi_obs::metrics::counter("server.cache_hits").get() > before);
+    }
+}

@@ -1,0 +1,362 @@
+//! The versioned line protocol: request parsing and response encoding.
+//!
+//! Every request and response is one line of JSON. Requests carry a
+//! protocol version `v`, a client-chosen `id` echoed back verbatim, and
+//! a `type` selecting the operation. Responses carry `status`
+//! (`ok` | `partial` | `error`); wall-clock time appears only in the
+//! `wall_ns` field so deterministic-output tests can mask it with
+//! `soi_obs::report::mask_wall_clock`.
+//!
+//! Violations map onto [`ProtoErrorKind`] — a distinct, stable wire code
+//! per failure class — so clients can react without parsing free-form
+//! messages. See `docs/SERVING.md` for the full message catalogue.
+
+use crate::json::{self, Value};
+use soi_graph::NodeId;
+use soi_util::runtime::StopReason;
+use soi_util::{ProtoErrorKind, SoiError};
+
+/// The protocol version this build speaks. Requests must carry
+/// `"v":1`; anything else is rejected with `version-mismatch`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default cap on request-line length (bytes, newline excluded).
+pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
+
+/// A parsed request: the echoed `id` plus the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// The requested operation.
+    pub req: Request,
+}
+
+/// The operations the server understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; always answered inline.
+    Health,
+    /// Server statistics snapshot; always answered inline.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain in-flight, exit.
+    Shutdown,
+    /// The typical cascade (sphere of influence) of one source node.
+    TypicalCascade {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Source node.
+        source: NodeId,
+        /// Optional tick budget for the median fit.
+        deadline_ticks: Option<u64>,
+    },
+    /// Monte-Carlo spread estimate of a seed set.
+    SpreadEstimate {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Seed set (all active at time 0).
+        seeds: Vec<NodeId>,
+        /// Number of Monte-Carlo samples.
+        samples: usize,
+        /// RNG seed for the estimate.
+        seed: u64,
+        /// Optional tick budget (one tick per sample).
+        deadline_ticks: Option<u64>,
+    },
+    /// `InfMax_TC`: greedy max-cover seed selection over spheres.
+    InfmaxTc {
+        /// Name of a loaded graph.
+        graph: String,
+        /// Number of seeds to select.
+        k: usize,
+        /// Optional tick budget (one tick per node solved).
+        deadline_ticks: Option<u64>,
+    },
+}
+
+impl Request {
+    /// Control requests are answered by the connection thread itself and
+    /// never enter the compute queue, so `health`/`stats`/`shutdown`
+    /// stay responsive while workers are saturated.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Request::Health | Request::Stats | Request::Shutdown)
+    }
+
+    /// The wire name of this request's type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::TypicalCascade { .. } => "typical-cascade",
+            Request::SpreadEstimate { .. } => "spread-estimate",
+            Request::InfmaxTc { .. } => "infmax-tc",
+        }
+    }
+}
+
+fn proto(kind: ProtoErrorKind, message: impl Into<String>) -> SoiError {
+    SoiError::protocol(kind, message)
+}
+
+fn req_str(obj: &Value, key: &str) -> Result<String, SoiError> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            proto(
+                ProtoErrorKind::BadField,
+                format!("missing string field {key:?}"),
+            )
+        })
+}
+
+fn req_u64(obj: &Value, key: &str) -> Result<u64, SoiError> {
+    obj.get(key).and_then(Value::as_u64).ok_or_else(|| {
+        proto(
+            ProtoErrorKind::BadField,
+            format!("missing non-negative integer field {key:?}"),
+        )
+    })
+}
+
+fn opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, SoiError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            proto(
+                ProtoErrorKind::BadField,
+                format!("field {key:?} must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn req_nodes(obj: &Value, key: &str) -> Result<Vec<NodeId>, SoiError> {
+    let arr = obj.get(key).and_then(Value::as_arr).ok_or_else(|| {
+        proto(
+            ProtoErrorKind::BadField,
+            format!("missing array field {key:?}"),
+        )
+    })?;
+    arr.iter()
+        .map(|v| {
+            v.as_u64()
+                .filter(|&n| n <= u64::from(u32::MAX))
+                .map(|n| n as NodeId)
+                .ok_or_else(|| {
+                    proto(
+                        ProtoErrorKind::BadField,
+                        format!("field {key:?} must hold node ids"),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Parses one request line. Errors carry the [`ProtoErrorKind`] the
+/// response should report.
+pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
+    let doc = json::parse(line).map_err(|e| proto(ProtoErrorKind::MalformedJson, e))?;
+    if doc.as_obj().is_none() {
+        return Err(proto(
+            ProtoErrorKind::MalformedJson,
+            "request is not an object",
+        ));
+    }
+    let version = req_u64(&doc, "v").map_err(|_| {
+        proto(
+            ProtoErrorKind::VersionMismatch,
+            "missing protocol version field v",
+        )
+    })?;
+    if version != PROTOCOL_VERSION {
+        return Err(proto(
+            ProtoErrorKind::VersionMismatch,
+            format!("protocol version {version} (this server speaks {PROTOCOL_VERSION})"),
+        ));
+    }
+    let id = req_u64(&doc, "id")?;
+    let type_name = req_str(&doc, "type")
+        .map_err(|_| proto(ProtoErrorKind::UnknownType, "missing type field"))?;
+    let req = match type_name.as_str() {
+        "health" => Request::Health,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "typical-cascade" => Request::TypicalCascade {
+            graph: req_str(&doc, "graph")?,
+            source: req_u64(&doc, "source")?
+                .try_into()
+                .map_err(|_| proto(ProtoErrorKind::BadField, "source exceeds u32"))?,
+            deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+        },
+        "spread-estimate" => {
+            let samples = req_u64(&doc, "samples")? as usize;
+            if samples == 0 {
+                return Err(proto(ProtoErrorKind::BadField, "samples must be >= 1"));
+            }
+            Request::SpreadEstimate {
+                graph: req_str(&doc, "graph")?,
+                seeds: req_nodes(&doc, "seeds")?,
+                samples,
+                seed: opt_u64(&doc, "seed")?.unwrap_or(0),
+                deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+            }
+        }
+        "infmax-tc" => {
+            let k = req_u64(&doc, "k")? as usize;
+            if k == 0 {
+                return Err(proto(ProtoErrorKind::BadField, "k must be >= 1"));
+            }
+            Request::InfmaxTc {
+                graph: req_str(&doc, "graph")?,
+                k,
+                deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+            }
+        }
+        other => {
+            return Err(proto(
+                ProtoErrorKind::UnknownType,
+                format!("unknown request type {other:?}"),
+            ))
+        }
+    };
+    Ok(Envelope { id, req })
+}
+
+/// Encodes a complete success response. `payload` is a pre-encoded JSON
+/// fragment (`"key":value,...`) or empty.
+pub fn encode_ok(id: u64, payload: &str, wall_ns: u64) -> String {
+    if payload.is_empty() {
+        format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"ok\",\"wall_ns\":{wall_ns}}}")
+    } else {
+        format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"ok\",{payload},\"wall_ns\":{wall_ns}}}"
+        )
+    }
+}
+
+/// Encodes a partial (deadline-limited) response: the payload covers the
+/// completed prefix of work, `done`/`total` say how much that was.
+pub fn encode_partial(
+    id: u64,
+    payload: &str,
+    done: u64,
+    total: u64,
+    reason: StopReason,
+    wall_ns: u64,
+) -> String {
+    let reason = match reason {
+        StopReason::DeadlineExpired => "deadline-expired",
+        StopReason::Cancelled => "cancelled",
+    };
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"partial\",\"reason\":\"{reason}\",\
+         \"done\":{done},\"total\":{total},{payload},\"wall_ns\":{wall_ns}}}"
+    )
+}
+
+/// Encodes an error response. `id` is `None` when the request never
+/// parsed far enough to recover one (encoded as `"id":null`).
+pub fn encode_error(id: Option<u64>, error: &SoiError) -> String {
+    let (kind, message) = match error {
+        SoiError::Protocol { kind, message } => (kind.code(), message.clone()),
+        other => (ProtoErrorKind::BadField.code(), other.to_string()),
+    };
+    let id = id.map_or_else(|| "null".to_string(), |id| id.to_string());
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"error\",\"error\":{{\"kind\":\"{kind}\",\"message\":\"{}\"}}}}",
+        json::escape(&message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind_of(err: SoiError) -> ProtoErrorKind {
+        match err {
+            SoiError::Protocol { kind, .. } => kind,
+            other => panic!("not a protocol error: {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_every_request_type() {
+        let e = parse_request(r#"{"v":1,"id":1,"type":"health"}"#).expect("health");
+        assert_eq!(e.req, Request::Health);
+        assert!(e.req.is_control());
+        let e = parse_request(r#"{"v":1,"id":2,"type":"typical-cascade","graph":"g","source":5}"#)
+            .expect("tc");
+        assert_eq!(e.id, 2);
+        assert!(!e.req.is_control());
+        assert_eq!(e.req.type_name(), "typical-cascade");
+        let e = parse_request(
+            r#"{"v":1,"id":3,"type":"spread-estimate","graph":"g","seeds":[0,1],"samples":8,"seed":9,"deadline_ticks":4}"#,
+        )
+        .expect("spread");
+        assert_eq!(
+            e.req,
+            Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0, 1],
+                samples: 8,
+                seed: 9,
+                deadline_ticks: Some(4),
+            }
+        );
+        let e = parse_request(r#"{"v":1,"id":4,"type":"infmax-tc","graph":"g","k":3}"#)
+            .expect("infmax");
+        assert_eq!(e.req.type_name(), "infmax-tc");
+    }
+
+    #[test]
+    fn violations_map_to_distinct_kinds() {
+        let k = kind_of(parse_request("{not json").expect_err("malformed"));
+        assert_eq!(k, ProtoErrorKind::MalformedJson);
+        let k = kind_of(parse_request(r#"{"v":2,"id":1,"type":"health"}"#).expect_err("version"));
+        assert_eq!(k, ProtoErrorKind::VersionMismatch);
+        let k = kind_of(parse_request(r#"{"id":1,"type":"health"}"#).expect_err("no version"));
+        assert_eq!(k, ProtoErrorKind::VersionMismatch);
+        let k = kind_of(parse_request(r#"{"v":1,"id":1,"type":"sigmoid"}"#).expect_err("type"));
+        assert_eq!(k, ProtoErrorKind::UnknownType);
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":1,"type":"infmax-tc","graph":"g","k":0}"#)
+                .expect_err("k=0"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+        let k = kind_of(
+            parse_request(
+                r#"{"v":1,"id":1,"type":"spread-estimate","graph":"g","seeds":[-1],"samples":2}"#,
+            )
+            .expect_err("negative node"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+    }
+
+    #[test]
+    fn responses_have_stable_shape() {
+        assert_eq!(
+            encode_ok(7, "\"spread\":2.5", 981),
+            "{\"v\":1,\"id\":7,\"status\":\"ok\",\"spread\":2.5,\"wall_ns\":981}"
+        );
+        assert_eq!(
+            encode_partial(7, "\"spread\":1.5", 3, 8, StopReason::DeadlineExpired, 44),
+            "{\"v\":1,\"id\":7,\"status\":\"partial\",\"reason\":\"deadline-expired\",\"done\":3,\"total\":8,\"spread\":1.5,\"wall_ns\":44}"
+        );
+        let err = SoiError::protocol(ProtoErrorKind::QueueFull, "cap 2 reached");
+        assert_eq!(
+            encode_error(Some(7), &err),
+            "{\"v\":1,\"id\":7,\"status\":\"error\",\"error\":{\"kind\":\"queue-full\",\"message\":\"cap 2 reached\"}}"
+        );
+        assert!(encode_error(None, &err).contains("\"id\":null"));
+    }
+
+    #[test]
+    fn masked_ok_responses_are_deterministic() {
+        let a = soi_obs::report::mask_wall_clock(&encode_ok(1, "\"spread\":2.5", 12345));
+        let b = soi_obs::report::mask_wall_clock(&encode_ok(1, "\"spread\":2.5", 99999));
+        assert_eq!(a, b);
+        assert!(a.ends_with("\"wall_ns\":0}"));
+    }
+}

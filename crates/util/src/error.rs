@@ -12,6 +12,49 @@
 
 use crate::failpoint::Fault;
 
+/// Classifies a serving-protocol violation. Each kind has a stable
+/// kebab-case wire code ([`ProtoErrorKind::code`]) that `soi serve`
+/// embeds in error responses, so clients and tests can distinguish a
+/// malformed request from an overloaded server without string-matching
+/// free-form messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoErrorKind {
+    /// The request line is not a well-formed JSON object.
+    MalformedJson,
+    /// The `type` field names no known request type.
+    UnknownType,
+    /// The request line exceeds the server's line-length cap.
+    OversizedLine,
+    /// The `v` field does not match the server's protocol version.
+    VersionMismatch,
+    /// The client closed the connection mid-request.
+    Disconnected,
+    /// The bounded request queue is full (admission control rejected
+    /// the request rather than letting it wait unboundedly).
+    QueueFull,
+    /// The request names a graph the server has not loaded.
+    UnknownGraph,
+    /// A request field is missing, has the wrong type, or holds an
+    /// out-of-range value.
+    BadField,
+}
+
+impl ProtoErrorKind {
+    /// The stable kebab-case wire code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ProtoErrorKind::MalformedJson => "malformed-json",
+            ProtoErrorKind::UnknownType => "unknown-type",
+            ProtoErrorKind::OversizedLine => "oversized-line",
+            ProtoErrorKind::VersionMismatch => "version-mismatch",
+            ProtoErrorKind::Disconnected => "disconnected",
+            ProtoErrorKind::QueueFull => "queue-full",
+            ProtoErrorKind::UnknownGraph => "unknown-graph",
+            ProtoErrorKind::BadField => "bad-field",
+        }
+    }
+}
+
 /// Unified error for CLI plumbing, checkpoints, and runtime persistence.
 #[derive(Debug)]
 pub enum SoiError {
@@ -82,6 +125,13 @@ pub enum SoiError {
         /// The failpoint site that fired.
         site: String,
     },
+    /// A serving-protocol violation (`soi serve` / `soi query`).
+    Protocol {
+        /// What class of violation this is.
+        kind: ProtoErrorKind,
+        /// Human-readable detail (offending field, limit value, …).
+        message: String,
+    },
 }
 
 impl SoiError {
@@ -101,6 +151,14 @@ impl SoiError {
     /// Builds a semantic-validation error.
     pub fn invalid(message: impl Into<String>) -> Self {
         SoiError::Invalid(message.into())
+    }
+
+    /// Builds a serving-protocol error of the given kind.
+    pub fn protocol(kind: ProtoErrorKind, message: impl Into<String>) -> Self {
+        SoiError::Protocol {
+            kind,
+            message: message.into(),
+        }
     }
 
     /// `true` for errors the CLI should report as bad usage (exit 2 with
@@ -167,6 +225,9 @@ impl std::fmt::Display for SoiError {
                 "checkpoint {field} mismatch (stored {stored:#018x}, this run {expected:#018x})"
             ),
             SoiError::Fault { site } => write!(f, "injected fault at {site}"),
+            SoiError::Protocol { kind, message } => {
+                write!(f, "protocol error [{}]: {message}", kind.code())
+            }
         }
     }
 }
@@ -232,6 +293,31 @@ mod tests {
     fn fault_converts() {
         let e: SoiError = Fault { site: "s".into() }.into();
         assert!(matches!(e, SoiError::Fault { ref site } if site == "s"));
+    }
+
+    #[test]
+    fn protocol_kinds_have_distinct_codes() {
+        let kinds = [
+            ProtoErrorKind::MalformedJson,
+            ProtoErrorKind::UnknownType,
+            ProtoErrorKind::OversizedLine,
+            ProtoErrorKind::VersionMismatch,
+            ProtoErrorKind::Disconnected,
+            ProtoErrorKind::QueueFull,
+            ProtoErrorKind::UnknownGraph,
+            ProtoErrorKind::BadField,
+        ];
+        let codes: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len(), "wire codes must be distinct");
+        for code in codes {
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "non-kebab code {code}"
+            );
+        }
+        let e = SoiError::protocol(ProtoErrorKind::QueueFull, "cap 8 reached");
+        assert_eq!(e.to_string(), "protocol error [queue-full]: cap 8 reached");
+        assert!(!e.is_usage());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! versioned checksummed checkpoint files ([`ckpt`]), streaming Mix64
 //! hashing for fingerprints and corruption detection ([`hash`]),
 //! deterministic fault injection ([`failpoint`]), and the workspace-wide
-//! error type ([`error`]).
+//! error type ([`error`]), plus worker-count resolution and chunked
+//! scoped fan-out shared by every parallel pipeline ([`pool`]).
 //!
 //! Nothing in this crate knows about graphs or cascades; it exists so the
 //! algorithmic crates stay focused and allocation-conscious.
@@ -25,6 +26,7 @@ pub mod error;
 pub mod failpoint;
 pub mod hash;
 pub mod invariant;
+pub mod pool;
 pub mod rng;
 pub mod runtime;
 pub mod stats;
@@ -32,7 +34,7 @@ pub mod timer;
 pub mod tsv;
 
 pub use bitset::BitSet;
-pub use error::SoiError;
+pub use error::{ProtoErrorKind, SoiError};
 pub use runtime::{Deadline, Outcome, Progress, StopReason};
 pub use stats::{RunningStats, Summary};
 pub use timer::Timer;

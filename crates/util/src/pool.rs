@@ -1,0 +1,200 @@
+//! Worker-count resolution and chunked scoped fan-out.
+//!
+//! Every parallel pipeline in the workspace used to hand-roll the same
+//! snippet: read `std::thread::available_parallelism`, substitute a
+//! requested override, clamp to the work size, then fan a mutable slice
+//! out over contiguous chunks with `std::thread::scope`. This module is
+//! that snippet, written once:
+//!
+//! * [`effective_threads`] resolves a worker count from (in priority
+//!   order) the caller's explicit request, the process-global override
+//!   set by the CLI's `--threads` flag ([`set_default_threads`]), the
+//!   `SOI_THREADS` environment variable, and finally the hardware
+//!   parallelism — always clamped to `[1, work_items]`.
+//! * [`for_each_indexed`] / [`for_each_indexed_with`] fill a slice of
+//!   slots in parallel, one contiguous chunk per worker. Slot `i` is
+//!   computed by `f(i, &mut slots[i])` exactly once, and the scope joins
+//!   before returning, so results are position-deterministic regardless
+//!   of the worker count.
+//!
+//! Thread-count resolution never affects *what* is computed — workspace
+//! pipelines derive per-unit seeds from `(seed, unit-id)` — only how the
+//! units are distributed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-global default worker count; 0 means "not set".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-global default worker count used when a pipeline is
+/// called with `requested == 0`. Pass 0 to clear the override. The CLI
+/// maps its global `--threads N` flag here so one flag governs every
+/// parallel phase of a command (index builds, batch typical cascades,
+/// greedy evaluation, server worker pools).
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-global default worker count (0 when unset).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// Resolves the worker count for `work_items` independent units.
+///
+/// Priority: `requested` when non-zero, then [`set_default_threads`],
+/// then the `SOI_THREADS` environment variable, then
+/// `std::thread::available_parallelism`. The result is clamped to
+/// `[1, max(work_items, 1)]` so callers can spawn exactly this many
+/// workers without empty chunks.
+pub fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let resolved = if requested != 0 {
+        requested
+    } else {
+        let global = default_threads();
+        if global != 0 {
+            global
+        } else if let Some(env) = env_threads() {
+            env
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    };
+    resolved.clamp(1, work_items.max(1))
+}
+
+/// `SOI_THREADS` as a positive worker count, when set and parseable.
+fn env_threads() -> Option<usize> {
+    let v = std::env::var("SOI_THREADS").ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Fills `slots` by calling `f(i, &mut slots[i])` for every index, fanned
+/// out over [`effective_threads`]`(requested, slots.len())` scoped
+/// workers in contiguous chunks. Runs inline when one worker suffices.
+pub fn for_each_indexed<T, F>(slots: &mut [T], requested: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    for_each_indexed_with(slots, requested, || (), |(), i, slot| f(i, slot));
+}
+
+/// [`for_each_indexed`] with per-worker scratch state: each worker calls
+/// `init()` once and threads the state through its chunk — the pattern
+/// index builds use to reuse a sampler allocation across worlds.
+pub fn for_each_indexed_with<T, S, I, F>(slots: &mut [T], requested: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let n = slots.len();
+    let threads = effective_threads(requested, n);
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(&mut state, i, slot);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let init = &init;
+    std::thread::scope(|scope| {
+        for (t, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let mut state = init();
+                for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                    f(&mut state, t * chunk + j, slot);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global override / environment.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn explicit_request_wins_and_is_clamped() {
+        let _g = lock();
+        set_default_threads(0);
+        assert_eq!(effective_threads(8, 3), 3, "clamped to work items");
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(5, 0), 1, "no work still needs 1");
+    }
+
+    #[test]
+    fn global_override_applies_when_unrequested() {
+        let _g = lock();
+        set_default_threads(3);
+        assert_eq!(effective_threads(0, 100), 3);
+        // An explicit request beats the override.
+        assert_eq!(effective_threads(7, 100), 7);
+        set_default_threads(0);
+        assert!(effective_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    fn env_var_parsing_is_defensive() {
+        let _g = lock();
+        set_default_threads(0);
+        // SAFETY-free path: we only exercise the parser on values that
+        // the environment could carry.
+        assert_eq!("4".trim().parse::<usize>().ok(), Some(4));
+        assert!(env_threads().is_none() || env_threads().unwrap() > 0);
+    }
+
+    #[test]
+    fn for_each_indexed_fills_every_slot_once() {
+        let _g = lock();
+        set_default_threads(0);
+        for threads in [1, 2, 3, 8] {
+            let mut slots = vec![0usize; 37];
+            for_each_indexed(&mut slots, threads, |i, slot| *slot = i * 2);
+            let expect: Vec<usize> = (0..37).map(|i| i * 2).collect();
+            assert_eq!(slots, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_isolated() {
+        let _g = lock();
+        set_default_threads(0);
+        // Each worker counts its own chunk; the slice must still be a
+        // per-index deterministic function.
+        let mut slots = vec![0usize; 64];
+        for_each_indexed_with(
+            &mut slots,
+            4,
+            || 0usize,
+            |seen, i, slot| {
+                *seen += 1;
+                *slot = i + 1;
+            },
+        );
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn empty_and_single_slices_run_inline() {
+        let _g = lock();
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_indexed(&mut empty, 4, |_, _| {});
+        let mut one = vec![0u32];
+        for_each_indexed(&mut one, 4, |i, slot| *slot = i as u32 + 9);
+        assert_eq!(one, vec![9]);
+    }
+}

@@ -1,23 +1,76 @@
-//! Hermeticity pass: the workspace builds with zero registry access.
+//! Hermeticity pass: the workspace builds with zero registry access and
+//! computes with zero network access.
 //!
-//! Parses every `Cargo.toml` and rejects dependency entries that would
-//! be fetched from an external registry — anything that is neither a
-//! `path` dependency nor `workspace = true` inheritance. The allowlist
-//! of permitted external crates is empty by default: the build is fully
-//! vendored-free and offline. A manifest line may also be acknowledged
-//! explicitly with `# xtask-allow: hermeticity`.
+//! **Manifests.** Parses every `Cargo.toml` and rejects dependency
+//! entries that would be fetched from an external registry — anything
+//! that is neither a `path` dependency nor `workspace = true`
+//! inheritance. The allowlist of permitted external crates is empty by
+//! default: the build is fully vendored-free and offline. A manifest
+//! line may also be acknowledged explicitly with
+//! `# xtask-allow: hermeticity`.
 //!
-//! The parser is a minimal line-oriented TOML reader covering the
-//! manifest shapes used here: `[.*dependencies]` sections with inline
+//! **Sources.** Flags `std::net` (and the socket types it exports) in
+//! every Rust file outside `crates/server/` — the serving daemon is the
+//! single sanctioned network boundary, so algorithms, pipelines, and
+//! their tests stay runnable in a fully sandboxed environment. Applies
+//! to test code too: integration tests elsewhere must drive the daemon
+//! through the `soi` binary, not open sockets of their own.
+//!
+//! The manifest parser is a minimal line-oriented TOML reader covering
+//! the shapes used here: `[.*dependencies]` sections with inline
 //! entries (`name = "1.0"`, `name = { .. }`, `name.workspace = true`)
 //! and expanded `[dependencies.name]` tables.
 
 use crate::report::{Finding, Pass};
+use crate::source::{ident_match, SourceFile};
 use std::path::Path;
 
 /// External crates permitted from a registry. Empty: the build is
 /// hermetic. Add names here (with a comment why) to open the gate.
 const ALLOWED_EXTERNAL: &[&str] = &[];
+
+/// The one path prefix where `std::net` is sanctioned: the query-serving
+/// daemon (`soi-server`) and its tests.
+const NET_ALLOWED_PREFIX: &str = "crates/server";
+
+/// Socket-type identifiers flagged even when imported without a
+/// `std::net` path in sight (`use std::net::*` or re-exports).
+const NET_IDENTS: &[&str] = &["TcpListener", "TcpStream", "UdpSocket", "SocketAddr"];
+
+/// Runs the source half of the hermeticity pass over one Rust file:
+/// no network primitives outside the serving crate.
+pub fn check_source(path: &Path, file: &SourceFile) -> Vec<Finding> {
+    if path.starts_with(NET_ALLOWED_PREFIX) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.allows(Pass::Hermeticity.name()) {
+            continue;
+        }
+        let hit = if line.code.contains("std::net") {
+            Some("std::net")
+        } else {
+            NET_IDENTS
+                .iter()
+                .find(|ident| ident_match(&line.code, ident).is_some())
+                .copied()
+        };
+        if let Some(what) = hit {
+            findings.push(Finding {
+                pass: Pass::Hermeticity,
+                path: path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "`{what}` outside `{NET_ALLOWED_PREFIX}/`; networking is confined to \
+                     the soi-server crate — talk to the daemon through the `soi` binary \
+                     instead, or justify with `xtask-allow: hermeticity`"
+                ),
+            });
+        }
+    }
+    findings
+}
 
 /// Runs the hermeticity pass over one manifest's text.
 pub fn check(path: &Path, text: &str) -> Vec<Finding> {
@@ -182,5 +235,48 @@ mod tests {
     fn non_dependency_sections_ignored() {
         let text = "[package]\nversion = \"0.1.0\"\n[features]\ndefault = []\n";
         assert!(run(text).is_empty());
+    }
+
+    fn run_src(path: &str, src: &str) -> Vec<Finding> {
+        check_source(&PathBuf::from(path), &crate::source::scan(src))
+    }
+
+    #[test]
+    fn net_use_flagged_outside_server() {
+        let src = "//! Doc.\nuse std::net::TcpListener;\nfn f() {}\n";
+        let f = run_src("crates/graph/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("std::net"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn socket_idents_flagged_without_a_path() {
+        let src = "fn f(l: TcpStream) {}\n";
+        let f = run_src("crates/cli/tests/e2e.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("TcpStream"));
+    }
+
+    #[test]
+    fn server_crate_is_exempt() {
+        let src = "use std::net::{TcpListener, TcpStream};\n";
+        assert!(run_src("crates/server/src/daemon.rs", src).is_empty());
+        assert!(run_src("crates/server/tests/robustness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_in_comments_strings_and_allows_passes() {
+        let src = "//! Talks about std::net in docs only.\n\
+                   // a TcpListener comment\n\
+                   fn f() -> &'static str { \"std::net\" }\n\
+                   use std::net::UdpSocket; // xtask-allow: hermeticity — justified\n";
+        assert!(run_src("crates/graph/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_applies_to_test_code_too() {
+        let src = "//! Doc.\n#[cfg(test)]\nmod tests {\n    use std::net::TcpStream;\n}\n";
+        assert_eq!(run_src("crates/core/src/lib.rs", src).len(), 1);
     }
 }

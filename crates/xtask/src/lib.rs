@@ -8,7 +8,7 @@
 //! |-----------------|-------------------------------------------------------|
 //! | `determinism`   | no entropy-seeded RNGs; no unordered-map emission     |
 //! | `panic_policy`  | library code returns `Result`, it does not abort      |
-//! | `hermeticity`   | no external registry dependencies (offline build)     |
+//! | `hermeticity`   | no registry dependencies; `std::net` only in `server` |
 //! | `hygiene`       | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
 //! | `observability` | library code logs via `soi-obs`, not println/eprintln |
 //!
@@ -53,6 +53,7 @@ pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(determinism::check(path, &scanned));
         findings.extend(panic_policy::check(path, &scanned));
         findings.extend(observability::check(path, &scanned));
+        findings.extend(hermeticity::check_source(path, &scanned));
     }
     for (path, text) in &manifests {
         findings.extend(hermeticity::check(path, text));

@@ -16,7 +16,8 @@ pub enum Pass {
     Determinism,
     /// `unwrap`/`expect`/`panic!`/`todo!` in library code.
     PanicPolicy,
-    /// External registry dependencies in a Cargo manifest.
+    /// External registry dependencies in a Cargo manifest, or network
+    /// primitives outside the serving crate.
     Hermeticity,
     /// Missing module docs or missing tests.
     Hygiene,

@@ -62,6 +62,22 @@ fn hermeticity_flags_registry_dependency() {
 }
 
 #[test]
+fn hermeticity_flags_net_outside_server() {
+    assert_flags("hermeticity_net", "src/lib.rs:3: [hermeticity]");
+}
+
+#[test]
+fn hermeticity_net_allowed_in_server_crate() {
+    let out = run_lint(&fixtures_dir().join("hermeticity_net_allow"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "server-crate net use flagged:\n{stdout}"
+    );
+    assert!(stdout.trim().is_empty(), "unexpected output:\n{stdout}");
+}
+
+#[test]
 fn hygiene_flags_missing_module_docs() {
     assert_flags("hygiene_docs", "src/lib.rs:1: [hygiene]");
 }
@@ -84,6 +100,7 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "panic_policy",
         "panic_policy_unreachable",
         "hermeticity",
+        "hermeticity_net",
         "hygiene_docs",
         "hygiene_tests",
         "observability",
