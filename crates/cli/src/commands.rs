@@ -43,7 +43,8 @@ commands:
              [--queue-cap N] [--cache-cap N] [--worlds L] [--seed S]
              [--max-line BYTES] [--default-deadline-ticks N]
   query      [REQUEST ...] [--file FILE] --port P [--host H]
-             [--concurrency N] [--mask-wall]
+             [--concurrency N] [--mask-wall] [--retries N]
+             [--backoff-ticks T] [--timeout-ms MS]
 
 global options (valid on every command):
   --threads N          worker threads for every parallel phase (default:
@@ -813,10 +814,21 @@ fn cmd_query<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
         port: opts.require("port")?,
         concurrency: opts.get("concurrency")?.unwrap_or(1),
         mask_wall: opts.has("mask-wall"),
+        retries: opts.get("retries")?.unwrap_or(0),
+        backoff_ticks: opts.get("backoff-ticks")?.unwrap_or(1),
+        timeout_ms: opts.get("timeout-ms")?.unwrap_or(0),
     };
     // Response-level errors are visible in the printed lines; the batch
-    // itself completed, so the exit code stays 0.
-    soi_server::run_queries(&requests, &config, out)?;
+    // itself completed, so the exit code stays 0. Requests the server
+    // never answered (synthesized connection-lost/timeout lines) make
+    // the batch partial: exit code 3 per the exit-code contract.
+    let report = soi_server::run_queries(&requests, &config, out)?;
+    if report.lost > 0 {
+        let answered = requests.len() - report.lost;
+        return Ok(RunStatus::Partial {
+            fraction: answered as f64 / requests.len() as f64,
+        });
+    }
     Ok(RunStatus::Complete)
 }
 

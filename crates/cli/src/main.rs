@@ -28,7 +28,8 @@ fn main() {
         Ok(RunStatus::Complete) => 0,
         Ok(RunStatus::Partial { fraction }) => {
             eprintln!(
-                "partial: deadline expired at {:.1}% complete (re-run with --resume to continue)",
+                "partial: {:.1}% complete (deadline expired or responses lost; \
+                 interrupted pipelines re-run with --resume)",
                 fraction * 100.0
             );
             3

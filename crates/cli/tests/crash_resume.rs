@@ -117,6 +117,12 @@ fn every_registered_site_crashes_then_resumes_byte_identical() {
     // Which pipeline exercises each site, and on which hit to fire so
     // at least one checkpoint usually exists before the crash.
     for &site in soi_util::failpoint::SITES {
+        // `server.*` sites crash mid-request inside the daemon; they are
+        // exercised by the serve-chaos matrix (tests/serve_chaos.rs),
+        // not by checkpoint/resume.
+        if site.starts_with("server.") {
+            continue;
+        }
         let tag = site.replace('.', "-");
         let ck = dir.join(format!("ck-{tag}"));
         let out_path = dir.join(format!("out-{tag}.tsv"));

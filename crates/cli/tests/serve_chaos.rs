@@ -1,0 +1,337 @@
+//! Chaos matrix for the serving daemon: the real `soi` binary run under
+//! `SOI_FAILPOINTS` crash/panic schedules (see `docs/ROBUSTNESS.md` §3
+//! and `docs/SERVING.md`).
+//!
+//! Two invariants hold across every schedule:
+//!
+//! 1. no request ends without a typed response — every id in the batch
+//!    gets exactly one line, either a real result or a typed error
+//!    (`internal-error`, `connection-lost`), never silence;
+//! 2. a retrying client converges — with `--retries`, the masked batch
+//!    output is byte-identical to a fault-free run, because every
+//!    injected failure is either retried to success or the daemon
+//!    answers deterministically around it.
+//!
+//! The matrix (one test per schedule):
+//!
+//! * `server.response.write=panic@K` — a connection thread dies mid
+//!   write; the daemon keeps serving, the client reconnects and resends.
+//! * `server.worker.dispatch=panic@1` — a worker panics mid request;
+//!   the in-flight request answers typed `internal-error`, the worker is
+//!   respawned, and the daemon serves every subsequent request.
+//! * `server.index.build=error` — index builds fail persistently; every
+//!   compute request answers a typed `internal-error`, control requests
+//!   stay healthy, and the drain is clean.
+//! * `server.response.write=exit(N)@K` — the daemon process dies mid
+//!   batch; the client synthesizes typed `connection-lost` lines for
+//!   every outstanding request and exits 3 instead of hanging.
+//!
+//! Masked transcripts and the metrics report land in
+//! `target/chaos-artifacts/` for CI upload.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+fn soi() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_soi"));
+    c.env_remove(soi_util::failpoint::ENV_VAR);
+    c
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soi-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Where CI picks up transcripts and metrics reports.
+fn artifacts_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn save_artifact(name: &str, contents: &str) {
+    std::fs::write(artifacts_dir().join(name), contents).unwrap();
+}
+
+fn make_graph(dir: &Path) -> String {
+    let g = dir.join("net.tsv").to_string_lossy().into_owned();
+    let out = soi()
+        .args([
+            "generate", "--model", "gnm", "--nodes", "16", "--edges", "64", "--prob", "wc",
+            "--seed", "11", "--out", &g,
+        ])
+        .output()
+        .expect("spawn soi generate");
+    assert!(out.status.success(), "generate failed");
+    g
+}
+
+/// A deterministic mixed batch of `n` compute/control requests, ids 1..=n.
+fn batch(n: u64) -> String {
+    let mut reqs = String::new();
+    for id in 1..=n {
+        let body = match id % 3 {
+            0 => "\"type\":\"health\"".to_string(),
+            1 => format!(
+                "\"type\":\"typical-cascade\",\"graph\":\"net\",\"source\":{}",
+                id % 16
+            ),
+            _ => format!(
+                "\"type\":\"spread-estimate\",\"graph\":\"net\",\"seeds\":[{}],\
+                 \"samples\":16,\"seed\":7",
+                id % 16
+            ),
+        };
+        reqs.push_str(&format!("{{\"v\":1,\"id\":{id},{body}}}\n"));
+    }
+    reqs
+}
+
+/// A running `soi serve` child (optionally with failpoints armed) plus
+/// the port it announced.
+struct Daemon {
+    child: Child,
+    port: String,
+}
+
+impl Daemon {
+    fn spawn(graph: &str, extra: &[&str], failpoints: Option<&str>) -> Daemon {
+        let mut cmd = soi();
+        cmd.arg("serve")
+            .arg(format!("net={graph}"))
+            .args(["--worlds", "16"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(spec) = failpoints {
+            cmd.env(soi_util::failpoint::ENV_VAR, spec);
+        }
+        let mut child = cmd.spawn().expect("spawn soi serve");
+        let stdout = child.stdout.take().expect("serve stdout");
+        let announce = BufReader::new(stdout)
+            .lines()
+            .next()
+            .expect("daemon announced nothing")
+            .expect("read announce line");
+        let port = announce
+            .rsplit(':')
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        assert!(
+            announce.starts_with("listening on") && !port.is_empty(),
+            "bad announce line: {announce:?}"
+        );
+        Daemon { child, port }
+    }
+
+    /// Runs the batch through `soi query` with retries enabled. The
+    /// failpoint variable is never inherited: faults live server-side.
+    fn query_batch(&self, reqs_file: &str, retries: &str) -> Output {
+        soi()
+            .arg("query")
+            .args(["--port", &self.port, "--file", reqs_file])
+            .args(["--retries", retries, "--backoff-ticks", "0"])
+            .args(["--concurrency", "1", "--mask-wall"])
+            .output()
+            .expect("spawn soi query")
+    }
+
+    fn query_one(&self, request: &str) -> Output {
+        soi()
+            .arg("query")
+            .args(["--port", &self.port, request])
+            .output()
+            .expect("spawn soi query")
+    }
+
+    fn shutdown(mut self) {
+        let out = self.query_one("{\"v\":1,\"id\":9999,\"type\":\"shutdown\"}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("\"draining\":true"),
+            "shutdown not acknowledged"
+        );
+        let status = self.child.wait().expect("wait for daemon");
+        assert_eq!(status.code(), Some(0), "daemon exit code after drain");
+    }
+}
+
+fn stdout_str(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Invariant 1: ids 1..=n each answered exactly once, in request order.
+fn assert_all_answered(text: &str, n: u64) {
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), n as usize, "one response per request:\n{text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"id\":{}", i + 1)),
+            "response {i} out of order: {line}"
+        );
+    }
+}
+
+fn write_batch(dir: &Path, n: u64) -> String {
+    let reqs_file = dir.join("reqs.jsonl").to_string_lossy().into_owned();
+    std::fs::write(&reqs_file, batch(n)).unwrap();
+    reqs_file
+}
+
+#[test]
+fn connection_thread_panic_is_survived_and_converges() {
+    let dir = fresh_dir("conn-panic");
+    let graph = make_graph(&dir);
+    let reqs = write_batch(&dir, 10);
+
+    // Fault-free baseline.
+    let clean = Daemon::spawn(&graph, &[], None);
+    let expected = stdout_str(&clean.query_batch(&reqs, "0"));
+    clean.shutdown();
+
+    // The 5th response write panics, killing that connection thread
+    // mid-batch. The retrying client reconnects and resends; the daemon
+    // keeps serving other connections.
+    let chaos = Daemon::spawn(&graph, &[], Some("server.response.write=panic@5"));
+    let got = stdout_str(&chaos.query_batch(&reqs, "2"));
+    save_artifact("conn-panic.transcript.jsonl", &got);
+    assert_all_answered(&got, 10);
+    assert_eq!(got, expected, "masked output must converge to fault-free");
+    // The daemon survived the thread death: it still drains cleanly.
+    chaos.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_answers_typed_respawns_and_keeps_serving() {
+    let dir = fresh_dir("worker-panic");
+    let graph = make_graph(&dir);
+    let reqs = write_batch(&dir, 10);
+
+    let clean = Daemon::spawn(&graph, &["--workers", "1"], None);
+    let expected = stdout_str(&clean.query_batch(&reqs, "0"));
+    clean.shutdown();
+
+    // The first dispatched job panics its (only) worker. Without
+    // retries the client must still see a typed internal-error line —
+    // never silence — and the respawned worker serves the rest.
+    let metrics = dir.join("metrics.jsonl").to_string_lossy().into_owned();
+    let chaos = Daemon::spawn(
+        &graph,
+        &["--workers", "1", "--metrics-out", &metrics],
+        Some("server.worker.dispatch=panic@1"),
+    );
+    let bare = stdout_str(&chaos.query_batch(&reqs, "0"));
+    assert_all_answered(&bare, 10);
+    assert!(
+        bare.contains("\"kind\":\"internal-error\""),
+        "panicked request must answer typed:\n{bare}"
+    );
+
+    // With retries, the internal-error is retried against the respawned
+    // worker and the batch converges byte-for-byte.
+    let got = stdout_str(&chaos.query_batch(&reqs, "2"));
+    save_artifact("worker-panic.transcript.jsonl", &got);
+    assert_all_answered(&got, 10);
+    assert_eq!(got, expected, "masked output must converge to fault-free");
+
+    // Supervision is visible: the panic and respawn are counted, and the
+    // daemon serves requests after the panic (the whole second batch).
+    let stats = stdout_str(&chaos.query_one("{\"v\":1,\"id\":77,\"type\":\"stats\"}"));
+    for needle in [
+        "\"worker_panics\":1",
+        "\"worker_respawns\":1",
+        "\"worker_generations\":2",
+    ] {
+        assert!(stats.contains(needle), "missing {needle}: {stats}");
+    }
+
+    chaos.shutdown();
+    let report = std::fs::read_to_string(&metrics).expect("metrics report written");
+    save_artifact("worker-panic.metrics.jsonl", &report);
+    for counter in [
+        "server.worker_panics",
+        "server.worker_respawns",
+        "server.requests_shed",
+        "server.requests_degraded",
+    ] {
+        assert!(
+            report.contains(&format!("\"name\":\"{counter}\"")),
+            "missing {counter} in:\n{report}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_build_faults_answer_typed_and_drain_cleanly() {
+    let dir = fresh_dir("build-fault");
+    let graph = make_graph(&dir);
+    let reqs = write_batch(&dir, 6);
+
+    let chaos = Daemon::spawn(&graph, &[], Some("server.index.build=error"));
+    let got = stdout_str(&chaos.query_batch(&reqs, "0"));
+    save_artifact("build-fault.transcript.jsonl", &got);
+    assert_all_answered(&got, 6);
+    for (i, line) in got.lines().enumerate() {
+        let id = i as u64 + 1;
+        if id % 3 == 1 {
+            // typical-cascade needs the index: fails typed, with the
+            // fault's site named so operators can trace it.
+            assert!(line.contains("\"kind\":\"internal-error\""), "{line}");
+            assert!(line.contains("server.index.build"), "{line}");
+        } else {
+            // spread-estimate samples the graph directly and health is
+            // control-plane: both keep working around the broken index.
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+        }
+    }
+    chaos.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_death_yields_typed_connection_lost_and_exit_3() {
+    let dir = fresh_dir("daemon-death");
+    let graph = make_graph(&dir);
+    let reqs = write_batch(&dir, 8);
+
+    // The 4th response write exits the process: a hard crash mid-batch.
+    let mut chaos = Daemon::spawn(&graph, &[], Some("server.response.write=exit(41)@4"));
+    let out = chaos.query_batch(&reqs, "1");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    save_artifact("daemon-death.transcript.jsonl", &text);
+
+    // Invariant 1 even across process death: every id answers exactly
+    // once — real results before the crash, typed connection-lost after.
+    assert_all_answered(&text, 8);
+    let lines: Vec<&str> = text.lines().collect();
+    for line in &lines[..3] {
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+    }
+    for line in &lines[3..] {
+        assert!(line.contains("\"kind\":\"connection-lost\""), "{line}");
+    }
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "lost responses must exit 3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        chaos.child.wait().expect("wait for daemon").code(),
+        Some(41),
+        "daemon simulated-crash status"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,11 +8,36 @@
 //! before printing, and `mask_wall` zeroes every `wall_*` field so two
 //! identical batches print byte-identical output — the hook the e2e
 //! determinism test hangs off.
+//!
+//! The client is resilient by construction:
+//!
+//! * **Retries with capped deterministic backoff** — connect failures,
+//!   mid-batch EOF, and retryable server errors (`queue-full`,
+//!   `internal-error`) are retried up to [`QueryConfig::retries`] times
+//!   per request, sleeping `min(backoff_ticks << attempt, cap)`
+//!   milliseconds between attempts ([`soi_util::backoff::delay_ticks`]);
+//!   a `queue-full` response's `retry_after_ticks` hint is honored when
+//!   backoff is enabled.
+//! * **No hangs, no holes** — when retries are exhausted (or the server
+//!   dies for good), every outstanding request in the lane gets a
+//!   synthesized, typed `connection-lost` error line instead of the
+//!   batch hanging or aborting; a per-request read timeout
+//!   ([`QueryConfig::timeout_ms`]) likewise synthesizes a typed
+//!   `timeout` line. The batch always prints one line per request, and
+//!   the caller learns how many were lost ([`BatchReport::lost`]) so it
+//!   can exit with the partial-result code.
 
-use soi_util::SoiError;
+use crate::json;
+use crate::protocol;
+use soi_util::{ProtoErrorKind, SoiError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Largest single backoff sleep (ticks ≈ milliseconds).
+const BACKOFF_CAP_TICKS: u64 = 1024;
 
 /// Client options.
 #[derive(Clone, Debug)]
@@ -25,6 +50,15 @@ pub struct QueryConfig {
     pub concurrency: usize,
     /// Zero `wall_*` fields in printed responses.
     pub mask_wall: bool,
+    /// Retry attempts per request for connect failures, mid-batch EOF,
+    /// and retryable (`queue-full`/`internal-error`) responses.
+    pub retries: u32,
+    /// Base backoff delay in ticks (1 tick = 1 ms); doubles per attempt,
+    /// capped. 0 disables sleeping (retries stay immediate).
+    pub backoff_ticks: u64,
+    /// Per-request read timeout in milliseconds (0 = wait forever). An
+    /// expired timeout yields a typed `timeout` line for that request.
+    pub timeout_ms: u64,
 }
 
 impl Default for QueryConfig {
@@ -34,8 +68,22 @@ impl Default for QueryConfig {
             port: 0,
             concurrency: 1,
             mask_wall: false,
+            retries: 0,
+            backoff_ticks: 1,
+            timeout_ms: 0,
         }
     }
+}
+
+/// What a finished batch looked like, beyond the printed lines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Lines with `status: error` (server-reported and synthesized).
+    pub errors: usize,
+    /// Requests that never got a server response: their printed lines
+    /// are client-synthesized `connection-lost`/`timeout` errors. The
+    /// CLI maps a non-zero count to the partial-result exit code.
+    pub lost: usize,
 }
 
 /// Sends one request line over a fresh connection and returns the raw
@@ -58,74 +106,212 @@ pub fn send_one(host: &str, port: u16, line: &str) -> Result<String, SoiError> {
     Ok(response.trim_end().to_string())
 }
 
-/// Runs a batch of request lines against the daemon, printing responses
-/// to `out` in request order. Returns the number of `error` responses.
+/// The client-chosen `id` of a request line, when it parses far enough
+/// to carry one (synthesized error lines echo it back).
+fn request_id(line: &str) -> Option<u64> {
+    json::parse(line).ok()?.get("id")?.as_u64()
+}
+
+/// A synthesized error line for a request the server never answered.
+fn synth_error(request_line: &str, kind: ProtoErrorKind, message: &str) -> String {
+    protocol::encode_error(request_id(request_line), &SoiError::protocol(kind, message))
+}
+
+/// When `line` is a retryable error response (`queue-full` or
+/// `internal-error`), the suggested extra wait in ticks (`queue-full`
+/// responses carry an explicit `retry_after_ticks` hint; otherwise 0).
+fn retryable_after(line: &str) -> Option<u64> {
+    let doc = json::parse(line).ok()?;
+    if doc.get("status")?.as_str()? != "error" {
+        return None;
+    }
+    let err = doc.get("error")?;
+    match err.get("kind")?.as_str()? {
+        "queue-full" => Some(
+            err.get("retry_after_ticks")
+                .and_then(json::Value::as_u64)
+                .unwrap_or(0),
+        ),
+        "internal-error" => Some(0),
+        _ => None,
+    }
+}
+
+/// One lane's connection state.
+struct Lane {
+    host: String,
+    port: u16,
+    retries: u32,
+    backoff_ticks: u64,
+    timeout_ms: u64,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    /// Set once retries are exhausted: every later request in the lane
+    /// is lost without further connection attempts.
+    dead: bool,
+}
+
+/// How one request in a lane ended.
+enum LaneAnswer {
+    /// A server response line.
+    Server(String),
+    /// A synthesized error line (no server response); counts as lost.
+    Synthesized(String),
+}
+
+impl Lane {
+    /// The backoff sleep before retry `attempt` (plus a server-supplied
+    /// hint, honored only when backoff is enabled so `--backoff-ticks 0`
+    /// keeps tests fast).
+    fn nap(&self, attempt: u32, hint_ticks: u64) {
+        let base = soi_util::backoff::delay_ticks(self.backoff_ticks, attempt, BACKOFF_CAP_TICKS);
+        let ticks = if base == 0 { 0 } else { base.max(hint_ticks) };
+        if ticks > 0 {
+            std::thread::sleep(Duration::from_millis(ticks));
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect((self.host.as_str(), self.port))?;
+        if self.timeout_ms > 0 {
+            stream.set_read_timeout(Some(Duration::from_millis(self.timeout_ms)))?;
+        }
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some((stream, reader));
+        Ok(())
+    }
+
+    /// Runs one request to a response line, retrying per the config.
+    fn run_request(&mut self, request: &str) -> LaneAnswer {
+        let mut attempt: u32 = 0;
+        loop {
+            if self.dead {
+                return LaneAnswer::Synthesized(synth_error(
+                    request,
+                    ProtoErrorKind::ConnectionLost,
+                    "server connection lost with the request outstanding",
+                ));
+            }
+            if self.conn.is_none() && self.connect().is_err() {
+                self.retry_or_die(&mut attempt, 0);
+                continue;
+            }
+            // Take the live connection for one write-then-read cycle;
+            // it is only put back after a successful exchange.
+            let Some((mut stream, mut reader)) = self.conn.take() else {
+                continue;
+            };
+            if writeln!(stream, "{request}")
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                self.retry_or_die(&mut attempt, 0);
+                continue;
+            }
+            let mut response = String::new();
+            match reader.read_line(&mut response) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The response may still arrive later on this
+                    // connection; it stays dropped so a stale line can
+                    // never be paired with the next request.
+                    return LaneAnswer::Synthesized(synth_error(
+                        request,
+                        ProtoErrorKind::Timeout,
+                        "no response within the request timeout",
+                    ));
+                }
+                Err(_) | Ok(0) => {
+                    // Mid-batch EOF / reset: the server (or just this
+                    // connection) died before answering.
+                    self.retry_or_die(&mut attempt, 0);
+                    continue;
+                }
+                Ok(_) => {
+                    let line = response.trim_end().to_string();
+                    if let Some(hint) = retryable_after(&line) {
+                        if attempt < self.retries {
+                            // Retryable server error: the connection is
+                            // still good, keep it for the retry.
+                            self.conn = Some((stream, reader));
+                            self.retry_or_die(&mut attempt, hint);
+                            continue;
+                        }
+                    }
+                    self.conn = Some((stream, reader));
+                    return LaneAnswer::Server(line);
+                }
+            }
+        }
+    }
+
+    /// Consumes one retry attempt (sleeping the backoff schedule) or
+    /// marks the lane dead when the budget is spent.
+    fn retry_or_die(&mut self, attempt: &mut u32, hint_ticks: u64) {
+        if *attempt >= self.retries {
+            self.dead = true;
+            return;
+        }
+        self.nap(*attempt, hint_ticks);
+        *attempt += 1;
+    }
+}
+
+/// Runs a batch of request lines against the daemon, printing one
+/// response line per request to `out`, in request order. Requests the
+/// server never answered print synthesized typed errors
+/// (`connection-lost`/`timeout`) and are tallied in
+/// [`BatchReport::lost`]; the batch neither hangs nor aborts on a
+/// mid-batch server death.
 pub fn run_queries<W: Write>(
     requests: &[String],
     config: &QueryConfig,
     out: &mut W,
-) -> Result<usize, SoiError> {
+) -> Result<BatchReport, SoiError> {
     let lanes = config.concurrency.max(1).min(requests.len().max(1));
     let slots: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; requests.len()]);
-    let first_error: Mutex<Option<SoiError>> = Mutex::new(None);
+    let lost = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for lane in 0..lanes {
+        for lane_idx in 0..lanes {
             let slots = &slots;
-            let first_error = &first_error;
-            let host = config.host.as_str();
-            let port = config.port;
+            let lost = &lost;
+            let mut lane = Lane {
+                host: config.host.clone(),
+                port: config.port,
+                retries: config.retries,
+                backoff_ticks: config.backoff_ticks,
+                timeout_ms: config.timeout_ms,
+                conn: None,
+                dead: false,
+            };
             s.spawn(move || {
-                let run = || -> Result<(), SoiError> {
-                    let stream = TcpStream::connect((host, port))
-                        .map_err(|e| SoiError::io(format!("connect {host}:{port}"), e))?;
-                    let mut writer = stream
-                        .try_clone()
-                        .map_err(|e| SoiError::io("clone stream", e))?;
-                    let mut reader = BufReader::new(stream);
-                    for idx in (lane..requests.len()).step_by(lanes) {
-                        writeln!(writer, "{}", requests[idx])
-                            .map_err(|e| SoiError::io("send request", e))?;
-                        writer
-                            .flush()
-                            .map_err(|e| SoiError::io("send request", e))?;
-                        let mut response = String::new();
-                        let n = reader
-                            .read_line(&mut response)
-                            .map_err(|e| SoiError::io("read response", e))?;
-                        if n == 0 {
-                            return Err(SoiError::invalid(
-                                "server closed the connection mid-batch",
-                            ));
+                for idx in (lane_idx..requests.len()).step_by(lanes) {
+                    let line = match lane.run_request(&requests[idx]) {
+                        LaneAnswer::Server(line) => line,
+                        LaneAnswer::Synthesized(line) => {
+                            lost.fetch_add(1, Ordering::SeqCst);
+                            line
                         }
-                        slots.lock().unwrap_or_else(PoisonError::into_inner)[idx] =
-                            Some(response.trim_end().to_string());
-                    }
-                    Ok(())
-                };
-                if let Err(err) = run() {
-                    let mut slot = first_error.lock().unwrap_or_else(PoisonError::into_inner);
-                    if slot.is_none() {
-                        *slot = Some(err);
-                    }
+                    };
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[idx] = Some(line);
                 }
             });
         }
     });
-    if let Some(err) = first_error
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take()
-    {
-        return Err(err);
-    }
-    let mut errors = 0;
+    let mut report = BatchReport {
+        errors: 0,
+        lost: lost.load(Ordering::SeqCst),
+    };
     let slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
     for slot in slots.iter() {
         let Some(line) = slot else {
             return Err(SoiError::invalid("missing response for a request"));
         };
         if line.contains("\"status\":\"error\"") {
-            errors += 1;
+            report.errors += 1;
         }
         let printed = if config.mask_wall {
             soi_obs::report::mask_wall_clock(line)
@@ -134,13 +320,13 @@ pub fn run_queries<W: Write>(
         };
         writeln!(out, "{printed}").map_err(|e| SoiError::io("stdout", e))?;
     }
-    Ok(errors)
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
-    // The full TCP round-trip (daemon + client) is covered by
-    // tests/protocol_robustness.rs; here we only test the pure pieces.
+    use super::*;
+    use std::net::TcpListener;
 
     #[test]
     fn lane_partition_covers_all_requests() {
@@ -163,6 +349,93 @@ mod tests {
         assert_eq!(
             soi_obs::report::mask_wall_clock(line),
             "{\"v\":1,\"id\":1,\"status\":\"ok\",\"wall_ns\":0}"
+        );
+    }
+
+    #[test]
+    fn retryable_classification_reads_the_hint() {
+        let full = protocol::encode_queue_full(1, 8, 32);
+        assert_eq!(retryable_after(&full), Some(32));
+        let internal = protocol::encode_error(
+            Some(1),
+            &SoiError::protocol(ProtoErrorKind::Internal, "worker panicked"),
+        );
+        assert_eq!(retryable_after(&internal), Some(0));
+        let ok = protocol::encode_ok(1, "", 5);
+        assert_eq!(retryable_after(&ok), None);
+        let bad = protocol::encode_error(
+            Some(1),
+            &SoiError::protocol(ProtoErrorKind::BadField, "k must be >= 1"),
+        );
+        assert_eq!(retryable_after(&bad), None, "client mistakes never retry");
+    }
+
+    /// A scripted server: answers the first request, then slams the
+    /// connection and stops listening — the mid-batch-death scenario.
+    #[test]
+    fn mid_batch_disconnect_synthesizes_typed_lines() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let port = listener.local_addr().expect("addr").port();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            let id = request_id(&line).expect("id");
+            writeln!(writer, "{}", protocol::encode_ok(id, "", 7)).expect("write");
+            writer.flush().expect("flush");
+            // Connection and listener drop here: requests 1 and 2 are
+            // outstanding forever.
+        });
+        let requests: Vec<String> = (0..3)
+            .map(|id| format!("{{\"v\":1,\"id\":{id},\"type\":\"health\"}}"))
+            .collect();
+        let config = QueryConfig {
+            port,
+            retries: 1,
+            backoff_ticks: 0,
+            ..QueryConfig::default()
+        };
+        let mut out = Vec::new();
+        let report = run_queries(&requests, &config, &mut out).expect("no hang, no abort");
+        server.join().expect("server thread");
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 3, "one line per request: {lines:?}");
+        assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+        for (id, line) in lines.iter().enumerate().skip(1) {
+            assert!(line.contains("\"kind\":\"connection-lost\""), "{line}");
+            assert!(line.contains(&format!("\"id\":{id}")), "{line}");
+        }
+        assert_eq!(report.lost, 2);
+        assert_eq!(report.errors, 2);
+    }
+
+    #[test]
+    fn unreachable_server_loses_every_request() {
+        // Bind-then-drop reserves a port with no listener behind it.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let requests: Vec<String> = (0..2)
+            .map(|id| format!("{{\"v\":1,\"id\":{id},\"type\":\"health\"}}"))
+            .collect();
+        let config = QueryConfig {
+            port,
+            retries: 0,
+            backoff_ticks: 0,
+            concurrency: 2,
+            ..QueryConfig::default()
+        };
+        let mut out = Vec::new();
+        let report = run_queries(&requests, &config, &mut out).expect("typed, not fatal");
+        assert_eq!(report.lost, 2);
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(
+            text.matches("\"kind\":\"connection-lost\"").count(),
+            2,
+            "{text}"
         );
     }
 }

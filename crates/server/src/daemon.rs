@@ -114,14 +114,21 @@ fn control_response(
         ),
         Request::Stats => {
             let (depth, in_flight) = pool.map_or((0, 0), |p| (p.queue_depth(), p.in_flight()));
+            let generations = pool.map_or(0, PoolHandle::generations);
             let payload = format!(
                 "\"graphs\":{},\"queue_depth\":{depth},\"in_flight\":{in_flight},\
-                 \"requests_total\":{},\"rejected_queue_full\":{},\"cache_hits\":{},\"cache_misses\":{}",
+                 \"requests_total\":{},\"rejected_queue_full\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"worker_generations\":{generations},\"worker_panics\":{},\"worker_respawns\":{},\
+                 \"requests_shed\":{},\"requests_degraded\":{}",
                 engine.graph_names().len(),
                 soi_obs::counter("server.requests_total").get(),
                 soi_obs::counter("server.rejected_queue_full").get(),
                 soi_obs::counter("server.cache_hits").get(),
                 soi_obs::counter("server.cache_misses").get(),
+                soi_obs::counter("server.worker_panics").get(),
+                soi_obs::counter("server.worker_respawns").get(),
+                soi_obs::counter("server.requests_shed").get(),
+                soi_obs::counter("server.requests_degraded").get(),
             );
             protocol::encode_ok(id, &payload, 0)
         }
@@ -169,6 +176,7 @@ fn handle_line<W: Write>(
         }
         Ok(envelope) => (submit(envelope), false),
     };
+    soi_util::failpoint_crash!("server.response.write");
     if writeln!(writer, "{response}")
         .and_then(|()| writer.flush())
         .is_err()
@@ -183,6 +191,20 @@ fn handle_line<W: Write>(
     }
 }
 
+/// Shuts the socket down when the connection thread exits — including
+/// by unwinding (an armed `server.response.write` panic failpoint). The
+/// accept loop keeps its own clone of every stream for drain, so merely
+/// dropping this thread's handles would leave the underlying socket
+/// open and the client blocked forever on a response that will never
+/// come; `shutdown(Both)` reaches the socket itself, past every clone.
+struct ConnGuard(TcpStream);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
 fn handle_conn(
     stream: TcpStream,
     engine: Arc<ServerEngine>,
@@ -194,6 +216,10 @@ fn handle_conn(
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
+    let Ok(guard_stream) = stream.try_clone() else {
+        return;
+    };
+    let _guard = ConnGuard(guard_stream);
     let mut reader = BufReader::new(stream);
     let submit = |envelope: Envelope| -> String {
         let id = envelope.id;
@@ -267,6 +293,12 @@ pub fn run_tcp<W: Write>(
     let addr = listener
         .local_addr()
         .map_err(|e| SoiError::io("local_addr", e))?;
+    // Touch the self-healing counters so they appear in the metrics
+    // report even when nothing failed (0 is an answer, not an absence).
+    soi_obs::counter_add!("server.worker_panics", 0);
+    soi_obs::counter_add!("server.worker_respawns", 0);
+    soi_obs::counter_add!("server.requests_shed", 0);
+    soi_obs::counter_add!("server.requests_degraded", 0);
     let built = engine.warm();
     soi_obs::event!(soi_obs::Level::Info, "serving {built} graph(s) on {addr}");
     writeln!(out, "listening on {addr}").map_err(|e| SoiError::io("stdout", e))?;
@@ -372,6 +404,9 @@ mod tests {
     }
 
     fn serve_lines(input: &str, max_line: usize) -> Vec<String> {
+        // Serialized with the tests that arm server.* failpoints: the
+        // registry is process-global and warm() hits the build site.
+        let _g = soi_util::failpoint::test_guard();
         let engine = engine();
         let mut reader = BufReader::new(input.as_bytes());
         let mut out = Vec::new();

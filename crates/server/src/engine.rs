@@ -93,6 +93,10 @@ impl ExecOutput {
 pub struct ServerEngine {
     graphs: BTreeMap<String, Arc<ProbGraph>>,
     cache: Mutex<crate::cache::LruCache<CascadeIndex>>,
+    /// Last successfully built index per graph *name*, regardless of
+    /// fingerprint: the stale fallback served (explicitly flagged) when
+    /// a fresh build fails and the request opted into degradation.
+    last_good: Mutex<BTreeMap<String, Arc<CascadeIndex>>>,
     config: EngineConfig,
 }
 
@@ -102,6 +106,7 @@ impl ServerEngine {
         ServerEngine {
             graphs: BTreeMap::new(),
             cache: Mutex::new(crate::cache::LruCache::new(config.cache_cap)),
+            last_good: Mutex::new(BTreeMap::new()),
             config,
         }
     }
@@ -156,6 +161,18 @@ impl ServerEngine {
 
     /// The warm index for `name`, building (and caching) it on a miss.
     pub fn index_for(&self, name: &str) -> Result<Arc<CascadeIndex>, SoiError> {
+        self.index_for_degraded(name, false).map(|(index, _)| index)
+    }
+
+    /// [`Self::index_for`] with opt-in degradation: when a fresh build
+    /// fails and `degrade` is set, the last successfully built index for
+    /// this graph name is served instead, flagged by the `true` half of
+    /// the return value — stale results are never silently substituted.
+    pub fn index_for_degraded(
+        &self,
+        name: &str,
+        degrade: bool,
+    ) -> Result<(Arc<CascadeIndex>, bool), SoiError> {
         let pg = self.graph(name)?;
         let config = self.index_config();
         let key = CascadeIndex::cache_key(pg, &config);
@@ -163,16 +180,53 @@ impl ServerEngine {
             let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(index) = cache.get(key) {
                 soi_obs::counter_add!("server.cache_hits", 1);
-                return Ok(index);
+                return Ok((index, false));
             }
         }
         soi_obs::counter_add!("server.cache_misses", 1);
+        match self.build_index(name, pg, config, key) {
+            Ok(index) => Ok((index, false)),
+            Err(err) => {
+                if degrade {
+                    let stale = {
+                        let last = self
+                            .last_good
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        last.get(name).cloned()
+                    };
+                    if let Some(index) = stale {
+                        soi_obs::counter_add!("server.requests_degraded", 1);
+                        return Ok((index, true));
+                    }
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn build_index(
+        &self,
+        name: &str,
+        pg: &Arc<ProbGraph>,
+        config: IndexConfig,
+        key: u64,
+    ) -> Result<Arc<CascadeIndex>, SoiError> {
+        soi_util::failpoint!("server.index.build");
         // Built outside the cache lock: a slow build must not stall
         // queries against already-cached graphs.
         let _span = soi_obs::span("server.index_build");
         let index = Arc::new(CascadeIndex::build(pg, config));
-        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        cache.insert(key, Arc::clone(&index));
+        soi_util::failpoint_crash!("server.cache.insert");
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            cache.insert(key, Arc::clone(&index));
+        }
+        let mut last = self
+            .last_good
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        last.insert(name.to_string(), Arc::clone(&index));
         Ok(index)
     }
 
@@ -191,8 +245,9 @@ impl ServerEngine {
                 graph,
                 source,
                 deadline_ticks,
+                degrade,
             } => {
-                let index = self.index_for(graph)?;
+                let (index, degraded) = self.index_for_degraded(graph, *degrade)?;
                 if (*source as usize) >= index.num_nodes() {
                     return Err(SoiError::protocol(
                         ProtoErrorKind::BadField,
@@ -211,9 +266,10 @@ impl ServerEngine {
                 );
                 let fit = outcome.value_ref();
                 let payload = format!(
-                    "\"sphere\":{},\"cost\":{}",
+                    "\"sphere\":{},\"cost\":{}{}",
                     encode_nodes(&fit.median),
-                    fmt_num(fit.cost)
+                    fmt_num(fit.cost),
+                    degraded_suffix(degraded, "stale-index")
                 );
                 Ok(ExecOutput::from_outcome(&outcome, payload))
             }
@@ -223,6 +279,7 @@ impl ServerEngine {
                 samples,
                 seed,
                 deadline_ticks,
+                degrade,
             } => {
                 let pg = self.graph(graph)?;
                 if let Some(&bad) = seeds.iter().find(|&&s| (s as usize) >= pg.num_nodes()) {
@@ -234,6 +291,28 @@ impl ServerEngine {
                         ),
                     ));
                 }
+                let budget = deadline_ticks.unwrap_or(self.config.default_deadline_ticks);
+                if *degrade && budget > 0 && (budget as usize) < *samples {
+                    // Degrade instead of going partial: answer with the
+                    // sample count the budget affords, run to completion.
+                    // Same seed + a prefix-sized count keeps the reduced
+                    // answer deterministic.
+                    let reduced = budget as usize;
+                    let outcome = soi_sampling::estimate_spread_budgeted(
+                        pg,
+                        seeds,
+                        reduced,
+                        *seed,
+                        &Deadline::unlimited(),
+                    );
+                    soi_obs::counter_add!("server.requests_degraded", 1);
+                    let payload = format!(
+                        "\"spread\":{},\"samples_used\":{reduced}{}",
+                        fmt_num(*outcome.value_ref()),
+                        degraded_suffix(true, "reduced-samples")
+                    );
+                    return Ok(ExecOutput::complete(payload));
+                }
                 let deadline = self.deadline(*deadline_ticks);
                 let outcome =
                     soi_sampling::estimate_spread_budgeted(pg, seeds, *samples, *seed, &deadline);
@@ -244,8 +323,9 @@ impl ServerEngine {
                 graph,
                 k,
                 deadline_ticks,
+                degrade,
             } => {
-                let index = self.index_for(graph)?;
+                let (index, degraded) = self.index_for_degraded(graph, *degrade)?;
                 let deadline = self.deadline(*deadline_ticks);
                 let opts = EngineRunOpts {
                     deadline: &deadline,
@@ -268,9 +348,10 @@ impl ServerEngine {
                 let coverage: Vec<String> =
                     run.coverage_curve.iter().map(|&c| fmt_num(c)).collect();
                 let payload = format!(
-                    "\"seeds\":{},\"coverage\":[{}]",
+                    "\"seeds\":{},\"coverage\":[{}]{}",
                     encode_nodes(&run.seeds),
-                    coverage.join(",")
+                    coverage.join(","),
+                    degraded_suffix(degraded, "stale-index")
                 );
                 Ok(ExecOutput::from_outcome(&outcome, payload))
             }
@@ -285,6 +366,16 @@ impl ServerEngine {
 fn encode_nodes(nodes: &[u32]) -> String {
     let items: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
     format!("[{}]", items.join(","))
+}
+
+/// The payload suffix flagging a degraded answer (empty when the answer
+/// is fresh): degradation is always explicit on the wire.
+fn degraded_suffix(degraded: bool, mode: &str) -> String {
+    if degraded {
+        format!(",\"degraded\":true,\"degraded_mode\":\"{mode}\"")
+    } else {
+        String::new()
+    }
 }
 
 #[cfg(test)]
@@ -307,11 +398,13 @@ mod tests {
 
     #[test]
     fn typical_cascade_is_deterministic() {
+        let _g = soi_util::failpoint::test_guard();
         let engine = engine();
         let req = Request::TypicalCascade {
             graph: "g".into(),
             source: 5,
             deadline_ticks: None,
+            degrade: false,
         };
         let a = engine.execute(&req).expect("exec");
         let b = engine.execute(&req).expect("exec");
@@ -329,6 +422,7 @@ mod tests {
             samples: 64,
             seed: 9,
             deadline_ticks: None,
+            degrade: false,
         };
         let capped = Request::SpreadEstimate {
             graph: "g".into(),
@@ -336,6 +430,7 @@ mod tests {
             samples: 64,
             seed: 9,
             deadline_ticks: Some(8),
+            degrade: false,
         };
         let full = engine.execute(&full).expect("full");
         assert!(full.partial.is_none());
@@ -351,18 +446,21 @@ mod tests {
             samples: 64,
             seed: 9,
             deadline_ticks: Some(8),
+            degrade: false,
         });
         assert_eq!(capped, again.expect("again"));
     }
 
     #[test]
     fn infmax_selects_k_seeds() {
+        let _g = soi_util::failpoint::test_guard();
         let engine = engine();
         let out = engine
             .execute(&Request::InfmaxTc {
                 graph: "g".into(),
                 k: 3,
                 deadline_ticks: None,
+                degrade: false,
             })
             .expect("exec");
         assert!(out.partial.is_none());
@@ -372,12 +470,14 @@ mod tests {
 
     #[test]
     fn unknown_graph_and_bad_fields_are_typed() {
+        let _g = soi_util::failpoint::test_guard();
         let engine = engine();
         let err = engine
             .execute(&Request::TypicalCascade {
                 graph: "missing".into(),
                 source: 0,
                 deadline_ticks: None,
+                degrade: false,
             })
             .expect_err("unknown graph");
         assert!(matches!(
@@ -392,6 +492,7 @@ mod tests {
                 graph: "g".into(),
                 source: 40,
                 deadline_ticks: None,
+                degrade: false,
             })
             .expect_err("out of range");
         assert!(matches!(
@@ -405,10 +506,115 @@ mod tests {
 
     #[test]
     fn index_cache_hits_after_first_build() {
+        let _g = soi_util::failpoint::test_guard();
         let engine = engine();
         let _ = engine.index_for("g").expect("build");
         let before = soi_obs::metrics::counter("server.cache_hits").get();
         let _ = engine.index_for("g").expect("cached");
         assert!(soi_obs::metrics::counter("server.cache_hits").get() > before);
+    }
+
+    #[test]
+    fn degraded_spread_reduces_samples_deterministically() {
+        let engine = engine();
+        let degraded = Request::SpreadEstimate {
+            graph: "g".into(),
+            seeds: vec![0, 1],
+            samples: 64,
+            seed: 9,
+            deadline_ticks: Some(8),
+            degrade: true,
+        };
+        let out = engine.execute(&degraded).expect("degraded");
+        assert!(out.partial.is_none(), "degraded answers are complete");
+        assert!(
+            out.payload
+                .contains("\"degraded\":true,\"degraded_mode\":\"reduced-samples\""),
+            "{}",
+            out.payload
+        );
+        assert!(
+            out.payload.contains("\"samples_used\":8"),
+            "{}",
+            out.payload
+        );
+        // Deterministic: same request, same degraded answer.
+        assert_eq!(out, engine.execute(&degraded).expect("again"));
+        // The reduced answer equals an honest 8-sample estimate.
+        let honest = engine
+            .execute(&Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0, 1],
+                samples: 8,
+                seed: 9,
+                deadline_ticks: None,
+                degrade: false,
+            })
+            .expect("honest");
+        let spread_of = |p: &str| p.split(',').next().map(str::to_string);
+        assert_eq!(spread_of(&out.payload), spread_of(&honest.payload));
+        // An affordable budget does not degrade.
+        let roomy = engine
+            .execute(&Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0, 1],
+                samples: 8,
+                seed: 9,
+                deadline_ticks: Some(64),
+                degrade: true,
+            })
+            .expect("roomy");
+        assert!(!roomy.payload.contains("degraded"), "{}", roomy.payload);
+    }
+
+    #[test]
+    fn stale_index_serves_flagged_when_build_fails() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::clear();
+        let engine = engine();
+        // Warm the last-known-good slot, then evict the cached entry by
+        // swapping the graph (new fingerprint → cold cache key).
+        let _ = engine.index_for("g").expect("first build");
+        let mut engine = engine;
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(11);
+        let pg2 = ProbGraph::fixed(gen::gnm(40, 120, &mut rng), 0.3).expect("graph2");
+        engine.add_graph("g", pg2);
+        // Fresh builds now fail; without degrade the error is typed…
+        soi_util::failpoint::install("server.index.build=error").expect("arm");
+        let err = engine
+            .execute(&Request::TypicalCascade {
+                graph: "g".into(),
+                source: 1,
+                deadline_ticks: None,
+                degrade: false,
+            })
+            .expect_err("build fails");
+        assert!(matches!(err, SoiError::Fault { .. }), "{err}");
+        // …with degrade the stale index answers, explicitly flagged.
+        let out = engine
+            .execute(&Request::TypicalCascade {
+                graph: "g".into(),
+                source: 1,
+                deadline_ticks: None,
+                degrade: true,
+            })
+            .expect("stale serve");
+        assert!(
+            out.payload
+                .contains("\"degraded\":true,\"degraded_mode\":\"stale-index\""),
+            "{}",
+            out.payload
+        );
+        soi_util::failpoint::clear();
+        // With the fault gone a fresh build wins again, unflagged.
+        let fresh = engine
+            .execute(&Request::TypicalCascade {
+                graph: "g".into(),
+                source: 1,
+                deadline_ticks: None,
+                degrade: true,
+            })
+            .expect("fresh");
+        assert!(!fresh.payload.contains("degraded"), "{}", fresh.payload);
     }
 }

@@ -39,7 +39,7 @@ pub mod protocol;
 pub mod queue;
 pub mod worker;
 
-pub use client::{run_queries, send_one, QueryConfig};
+pub use client::{run_queries, send_one, BatchReport, QueryConfig};
 pub use daemon::{run_stdio, run_tcp, ServeConfig};
 pub use engine::{EngineConfig, ServerEngine};
 pub use protocol::{Envelope, Request, DEFAULT_MAX_LINE, PROTOCOL_VERSION};

@@ -49,6 +49,9 @@ pub enum Request {
         source: NodeId,
         /// Optional tick budget for the median fit.
         deadline_ticks: Option<u64>,
+        /// Opt-in graceful degradation (serve a stale index rather than
+        /// fail when a fresh build is impossible).
+        degrade: bool,
     },
     /// Monte-Carlo spread estimate of a seed set.
     SpreadEstimate {
@@ -62,6 +65,9 @@ pub enum Request {
         seed: u64,
         /// Optional tick budget (one tick per sample).
         deadline_ticks: Option<u64>,
+        /// Opt-in graceful degradation (answer with a reduced sample
+        /// count under deadline pressure rather than go partial).
+        degrade: bool,
     },
     /// `InfMax_TC`: greedy max-cover seed selection over spheres.
     InfmaxTc {
@@ -71,6 +77,9 @@ pub enum Request {
         k: usize,
         /// Optional tick budget (one tick per node solved).
         deadline_ticks: Option<u64>,
+        /// Opt-in graceful degradation (serve a stale index rather than
+        /// fail when a fresh build is impossible).
+        degrade: bool,
     },
 }
 
@@ -127,6 +136,18 @@ fn opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, SoiError> {
             proto(
                 ProtoErrorKind::BadField,
                 format!("field {key:?} must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn opt_bool(obj: &Value, key: &str) -> Result<bool, SoiError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            proto(
+                ProtoErrorKind::BadField,
+                format!("field {key:?} must be a boolean"),
             )
         }),
     }
@@ -189,6 +210,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
                 .try_into()
                 .map_err(|_| proto(ProtoErrorKind::BadField, "source exceeds u32"))?,
             deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+            degrade: opt_bool(&doc, "degrade")?,
         },
         "spread-estimate" => {
             let samples = req_u64(&doc, "samples")? as usize;
@@ -201,6 +223,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
                 samples,
                 seed: opt_u64(&doc, "seed")?.unwrap_or(0),
                 deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+                degrade: opt_bool(&doc, "degrade")?,
             }
         }
         "infmax-tc" => {
@@ -212,6 +235,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
                 graph: req_str(&doc, "graph")?,
                 k,
                 deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
+                degrade: opt_bool(&doc, "degrade")?,
             }
         }
         other => {
@@ -261,12 +285,28 @@ pub fn encode_partial(
 pub fn encode_error(id: Option<u64>, error: &SoiError) -> String {
     let (kind, message) = match error {
         SoiError::Protocol { kind, message } => (kind.code(), message.clone()),
+        // Injected faults surface as retryable server-side failures, not
+        // as a client mistake.
+        fault @ SoiError::Fault { .. } => (ProtoErrorKind::Internal.code(), fault.to_string()),
         other => (ProtoErrorKind::BadField.code(), other.to_string()),
     };
     let id = id.map_or_else(|| "null".to_string(), |id| id.to_string());
     format!(
         "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"error\",\"error\":{{\"kind\":\"{kind}\",\"message\":\"{}\"}}}}",
         json::escape(&message)
+    )
+}
+
+/// Encodes the structured `queue-full` rejection: the generic error
+/// shape plus load-shedding detail — the queue depth observed at
+/// rejection and a deterministic retry hint
+/// ([`soi_util::backoff::retry_after_ticks`]). v1-compatible: only
+/// fields are added, the `kind`/`message` contract is unchanged.
+pub fn encode_queue_full(id: u64, queue_depth: usize, retry_after_ticks: u64) -> String {
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"error\",\"error\":{{\"kind\":\"queue-full\",\
+         \"message\":\"request queue is full; retry later\",\"queue_depth\":{queue_depth},\
+         \"retry_after_ticks\":{retry_after_ticks}}}}}"
     )
 }
 
@@ -303,11 +343,37 @@ mod tests {
                 samples: 8,
                 seed: 9,
                 deadline_ticks: Some(4),
+                degrade: false,
             }
         );
         let e = parse_request(r#"{"v":1,"id":4,"type":"infmax-tc","graph":"g","k":3}"#)
             .expect("infmax");
         assert_eq!(e.req.type_name(), "infmax-tc");
+    }
+
+    #[test]
+    fn degrade_field_is_optional_and_boolean() {
+        let e = parse_request(
+            r#"{"v":1,"id":5,"type":"spread-estimate","graph":"g","seeds":[0],"samples":4,"degrade":true}"#,
+        )
+        .expect("degrade");
+        assert!(matches!(
+            e.req,
+            Request::SpreadEstimate { degrade: true, .. }
+        ));
+        let e = parse_request(
+            r#"{"v":1,"id":6,"type":"typical-cascade","graph":"g","source":0,"degrade":false}"#,
+        )
+        .expect("explicit false");
+        assert!(matches!(
+            e.req,
+            Request::TypicalCascade { degrade: false, .. }
+        ));
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":7,"type":"infmax-tc","graph":"g","k":1,"degrade":1}"#)
+                .expect_err("non-boolean degrade"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
     }
 
     #[test]
@@ -350,6 +416,36 @@ mod tests {
             "{\"v\":1,\"id\":7,\"status\":\"error\",\"error\":{\"kind\":\"queue-full\",\"message\":\"cap 2 reached\"}}"
         );
         assert!(encode_error(None, &err).contains("\"id\":null"));
+    }
+
+    #[test]
+    fn queue_full_rejection_is_structured() {
+        let line = encode_queue_full(3, 8, 32);
+        assert_eq!(
+            line,
+            "{\"v\":1,\"id\":3,\"status\":\"error\",\"error\":{\"kind\":\"queue-full\",\
+             \"message\":\"request queue is full; retry later\",\"queue_depth\":8,\
+             \"retry_after_ticks\":32}}"
+        );
+        // The added fields are machine-readable through the client's
+        // own parser (v1 compatibility: shape extended, not changed).
+        let doc = json::parse(&line).expect("parse");
+        let err = doc.get("error").expect("error object");
+        assert_eq!(err.get("queue_depth").and_then(Value::as_u64), Some(8));
+        assert_eq!(
+            err.get("retry_after_ticks").and_then(Value::as_u64),
+            Some(32)
+        );
+    }
+
+    #[test]
+    fn injected_faults_encode_as_internal_error() {
+        let err = SoiError::Fault {
+            site: "server.index.build".into(),
+        };
+        let line = encode_error(Some(4), &err);
+        assert!(line.contains("\"kind\":\"internal-error\""), "{line}");
+        assert!(line.contains("server.index.build"), "{line}");
     }
 
     #[test]

@@ -1,18 +1,33 @@
-//! The fixed worker pool: N threads draining the bounded job queue.
+//! The supervised worker pool: N threads draining the bounded job queue.
 //!
 //! Each job carries a parsed request plus a one-shot reply channel back
 //! to the connection thread that submitted it. Workers never die on a
 //! bad request — every failure path encodes a typed error response and
-//! moves on — and [`WorkerPool::shutdown`] closes the queue, drains
-//! every queued job, waits for in-flight work, and joins the threads:
-//! the graceful-drain half of the daemon's shutdown sequence.
+//! moves on — and a worker that *panics* mid-job is supervised:
+//! `catch_unwind` converts the panic into a typed `internal-error`
+//! response for the in-flight request, and the dying thread spawns its
+//! own replacement under a fresh, monotonically increasing generation id
+//! before exiting (counters `server.worker_panics` /
+//! `server.worker_respawns`). The daemon therefore never loses capacity
+//! to a poisoned request.
+//!
+//! Admission control is load-shedding, not queueing: a full queue
+//! rejects immediately with a structured `queue-full` error carrying the
+//! observed depth and a deterministic `retry_after_ticks` hint
+//! ([`soi_util::backoff::retry_after_ticks`]).
+//!
+//! [`WorkerPool::shutdown`] closes the queue, drains every queued job,
+//! waits for in-flight work, and joins the threads (including any
+//! respawned generations): the graceful-drain half of the daemon's
+//! shutdown sequence.
 
 use crate::engine::ServerEngine;
 use crate::protocol::{self, Envelope};
 use crate::queue::{Bounded, PushError};
 use soi_util::{ProtoErrorKind, SoiError};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -26,18 +41,31 @@ pub struct Job {
     pub reply: mpsc::Sender<String>,
 }
 
+/// State shared by the pool owner, every submission handle, and every
+/// worker thread — including workers spawned as panic replacements.
+struct Shared {
+    engine: Arc<ServerEngine>,
+    queue: Bounded<Job>,
+    queue_cap: usize,
+    in_flight: AtomicU64,
+    /// Next worker generation id; strictly increasing across respawns.
+    next_generation: AtomicU64,
+    /// Join handles of live workers. A dying worker registers its
+    /// replacement's handle here before exiting, so shutdown can always
+    /// join the current generation.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
 /// A cloneable submission handle onto a running pool's queue; held by
 /// every connection thread.
 #[derive(Clone)]
 pub struct PoolHandle {
-    queue: Arc<Bounded<Job>>,
-    in_flight: Arc<AtomicU64>,
+    shared: Arc<Shared>,
 }
 
 /// The pool itself, held by the daemon (owns the worker threads).
 pub struct WorkerPool {
     handle: PoolHandle,
-    handles: Vec<JoinHandle<()>>,
 }
 
 /// Executes one job to an encoded response line; shared by the pool
@@ -59,29 +87,78 @@ pub fn execute_job(engine: &ServerEngine, envelope: &Envelope) -> String {
     }
 }
 
+/// The worker loop for one generation. Returns normally on queue close;
+/// on a panic mid-job the unwind is caught, the in-flight request gets a
+/// typed `internal-error` response, and a replacement generation is
+/// spawned before this thread exits.
+fn worker_loop(shared: Arc<Shared>, generation: u64) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        // AssertUnwindSafe: engine state is either immutable (graphs,
+        // config) or lock-guarded with poison recovery (caches), so a
+        // half-finished job cannot leave it inconsistent.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            soi_util::failpoint_crash!("server.worker.dispatch");
+            execute_job(&shared.engine, &job.envelope)
+        }));
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match outcome {
+            Ok(line) => {
+                let _ = job.reply.send(line);
+            }
+            Err(_panic) => {
+                soi_obs::counter_add!("server.worker_panics", 1);
+                let err = SoiError::protocol(
+                    ProtoErrorKind::Internal,
+                    format!("worker generation {generation} panicked executing the request"),
+                );
+                let _ = job
+                    .reply
+                    .send(protocol::encode_error(Some(job.envelope.id), &err));
+                respawn(&shared);
+                return;
+            }
+        }
+    }
+}
+
+/// Spawns the replacement for a panicked worker under a fresh generation
+/// id, registering its join handle for shutdown.
+fn respawn(shared: &Arc<Shared>) {
+    soi_obs::counter_add!("server.worker_respawns", 1);
+    let generation = shared.next_generation.fetch_add(1, Ordering::SeqCst);
+    let clone = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop(clone, generation));
+    shared
+        .threads
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
+}
+
 impl WorkerPool {
     /// Starts `workers` threads (min 1) over a queue of `queue_cap`.
     pub fn start(engine: Arc<ServerEngine>, workers: usize, queue_cap: usize) -> Self {
-        let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(queue_cap));
-        let in_flight = Arc::new(AtomicU64::new(0));
-        let handles = (0..workers.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let engine = Arc::clone(&engine);
-                let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || {
-                    while let Some(job) = queue.pop() {
-                        in_flight.fetch_add(1, Ordering::SeqCst);
-                        let line = execute_job(&engine, &job.envelope);
-                        let _ = job.reply.send(line);
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                })
-            })
-            .collect();
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Bounded::new(queue_cap),
+            queue_cap,
+            in_flight: AtomicU64::new(0),
+            next_generation: AtomicU64::new(workers as u64),
+            threads: Mutex::new(Vec::with_capacity(workers)),
+        });
+        for generation in 0..workers as u64 {
+            let clone = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || worker_loop(clone, generation));
+            shared
+                .threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+        }
         WorkerPool {
-            handle: PoolHandle { queue, in_flight },
-            handles,
+            handle: PoolHandle { shared },
         }
     }
 
@@ -91,48 +168,69 @@ impl WorkerPool {
     }
 
     /// Graceful drain: rejects future submissions, finishes every
-    /// queued and in-flight job, and joins the worker threads.
+    /// queued and in-flight job, and joins the worker threads — looping
+    /// because a panicking worker may have registered a replacement
+    /// generation while earlier handles were being joined.
     pub fn shutdown(self) {
-        self.handle.queue.close();
-        for handle in self.handles {
-            let _ = handle.join();
+        let shared = &self.handle.shared;
+        shared.queue.close();
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut threads = shared
+                    .threads
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut *threads)
+            };
+            if batch.is_empty() {
+                return;
+            }
+            for handle in batch {
+                let _ = handle.join();
+            }
         }
     }
 }
 
 impl PoolHandle {
-    /// Submits a job; on a full (or closing) queue the job is rejected
-    /// immediately with a typed `queue-full` error sent on its own
-    /// reply channel.
+    /// Submits a job; on a full (or closing) queue the job is shed
+    /// immediately with a structured `queue-full` error carrying the
+    /// observed queue depth and a deterministic retry hint, sent on its
+    /// own reply channel.
     pub fn submit(&self, job: Job) {
-        match self.queue.push(job) {
+        match self.shared.queue.push(job) {
             Ok(()) => {}
             Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
                 soi_obs::counter_add!("server.rejected_queue_full", 1);
-                let err = SoiError::protocol(
-                    ProtoErrorKind::QueueFull,
-                    "request queue is full; retry later",
-                );
+                soi_obs::counter_add!("server.requests_shed", 1);
+                let depth = self.shared.queue.depth();
+                let hint = soi_util::backoff::retry_after_ticks(depth, self.shared.queue_cap);
                 let _ = job
                     .reply
-                    .send(protocol::encode_error(Some(job.envelope.id), &err));
+                    .send(protocol::encode_queue_full(job.envelope.id, depth, hint));
             }
         }
     }
 
     /// Jobs waiting in the queue (racy snapshot, for stats).
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.shared.queue.depth()
     }
 
     /// Jobs currently executing (racy snapshot, for stats).
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::SeqCst)
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Worker generations spawned so far (initial + respawned); the
+    /// next respawn takes this id.
+    pub fn generations(&self) -> u64 {
+        self.shared.next_generation.load(Ordering::SeqCst)
     }
 
     #[cfg(test)]
     pub(crate) fn close_for_test(&self) {
-        self.queue.close();
+        self.shared.queue.close();
     }
 }
 
@@ -163,6 +261,7 @@ mod tests {
                     samples: 4,
                     seed: 1,
                     deadline_ticks: None,
+                    degrade: false,
                 },
             },
             reply,
@@ -171,6 +270,7 @@ mod tests {
 
     #[test]
     fn pool_executes_and_drains_on_shutdown() {
+        let _g = soi_util::failpoint::test_guard();
         let pool = WorkerPool::start(engine(), 2, 16);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
@@ -188,6 +288,7 @@ mod tests {
 
     #[test]
     fn overflow_is_rejected_typed_not_dropped() {
+        let _g = soi_util::failpoint::test_guard();
         // No workers draining: start the pool, saturate the queue faster
         // than 1 worker can drain a slow-ish job mix, using cap 1 and
         // submissions back-to-back. To make it deterministic, close the
@@ -200,11 +301,14 @@ mod tests {
         let line = rx.recv().expect("rejection response");
         assert!(line.contains("\"kind\":\"queue-full\""), "{line}");
         assert!(line.contains("\"id\":9"), "{line}");
+        assert!(line.contains("\"queue_depth\":"), "{line}");
+        assert!(line.contains("\"retry_after_ticks\":"), "{line}");
         pool.shutdown();
     }
 
     #[test]
     fn bad_request_does_not_kill_worker() {
+        let _g = soi_util::failpoint::test_guard();
         let pool = WorkerPool::start(engine(), 1, 4);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
@@ -215,6 +319,7 @@ mod tests {
                     graph: "missing".into(),
                     source: 0,
                     deadline_ticks: None,
+                    degrade: false,
                 },
             },
             reply: tx.clone(),
@@ -227,5 +332,51 @@ mod tests {
             .expect("ok response")
             .contains("\"status\":\"ok\""));
         pool.shutdown();
+    }
+
+    #[test]
+    fn panicked_worker_answers_typed_and_is_respawned() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::install("server.worker.dispatch=panic@1").expect("arm");
+        let pool = WorkerPool::start(engine(), 1, 4);
+        let handle = pool.handle();
+        assert_eq!(handle.generations(), 1);
+        let (tx, rx) = mpsc::channel();
+        // First job panics the sole worker: the request still gets a
+        // typed internal-error response.
+        handle.submit(spread_job(1, tx.clone()));
+        let line = rx.recv().expect("panic response");
+        assert!(line.contains("\"kind\":\"internal-error\""), "{line}");
+        assert!(line.contains("\"id\":1"), "{line}");
+        // The replacement generation serves subsequent requests.
+        handle.submit(spread_job(2, tx));
+        let line = rx.recv().expect("post-respawn response");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert_eq!(handle.generations(), 2, "one respawn");
+        pool.shutdown();
+        soi_util::failpoint::clear();
+    }
+
+    #[test]
+    fn shutdown_joins_respawned_generations() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::install("server.worker.dispatch=panic@1").expect("arm");
+        let pool = WorkerPool::start(engine(), 2, 16);
+        let handle = pool.handle();
+        let (tx, rx) = mpsc::channel();
+        for id in 0..6 {
+            handle.submit(spread_job(id, tx.clone()));
+        }
+        drop(tx);
+        pool.shutdown();
+        let responses: Vec<String> = rx.iter().collect();
+        assert_eq!(responses.len(), 6, "every accepted job is answered");
+        let errors = responses
+            .iter()
+            .filter(|l| l.contains("internal-error"))
+            .count();
+        assert_eq!(errors, 1, "exactly the panicked job errors: {responses:?}");
+        assert_eq!(handle.generations(), 3, "2 initial + 1 respawn");
+        soi_util::failpoint::clear();
     }
 }

@@ -282,8 +282,9 @@ fn client_batch_is_ordered_and_deterministic_under_masking() {
         ..QueryConfig::default()
     };
     let mut out_a = Vec::new();
-    let errors = soi_server::run_queries(&requests, &config, &mut out_a).expect("batch a");
-    assert_eq!(errors, 0);
+    let report = soi_server::run_queries(&requests, &config, &mut out_a).expect("batch a");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.lost, 0);
     let mut out_b = Vec::new();
     soi_server::run_queries(&requests, &config, &mut out_b).expect("batch b");
     assert_eq!(

@@ -1,0 +1,101 @@
+//! Deterministic capped exponential backoff.
+//!
+//! Retry delays across the workspace are expressed in abstract *ticks*
+//! (the same unit `soi_util::runtime::Deadline` budgets use), not wall
+//! time: callers decide how a tick maps onto sleeping, which keeps every
+//! retry schedule reproducible in tests. Two helpers live here:
+//!
+//! * [`delay_ticks`] — the classic capped doubling schedule
+//!   `min(base << attempt, cap)`, saturating instead of overflowing, so
+//!   a retry loop can compute its `k`-th delay without carrying state;
+//! * [`retry_after_ticks`] — the server-side load-shedding hint embedded
+//!   in structured `queue-full` rejections: a deterministic function of
+//!   the observed queue depth and capacity, so identical overload states
+//!   always advertise identical hints (and tests can assert them).
+
+/// Largest delay either helper will ever return. Keeps schedules sane
+/// even with absurd attempt counts or caller-supplied caps.
+pub const MAX_DELAY_TICKS: u64 = 1 << 16;
+
+/// The `attempt`-th delay (0-based) of a capped doubling schedule:
+/// `min(base << attempt, cap)`, saturating on shift overflow. A zero
+/// `base` disables backoff (every delay is 0); `cap` is itself clamped
+/// to [`MAX_DELAY_TICKS`].
+pub fn delay_ticks(base: u64, attempt: u32, cap: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let cap = cap.min(MAX_DELAY_TICKS);
+    let scaled = base.checked_shl(attempt).unwrap_or(u64::MAX);
+    scaled.min(cap)
+}
+
+/// The retry hint a server embeds in a `queue-full` rejection: how many
+/// ticks a well-behaved client should wait before retrying, as a
+/// deterministic function of queue state. The hint grows linearly with
+/// how full the queue is — `16 · ceil(depth+1 / cap)` per slot of
+/// pressure — so a barely-full queue advertises a short wait and a
+/// deeply backed-up one advertises proportionally more, capped at
+/// [`MAX_DELAY_TICKS`]. A zero `cap` (closed/degenerate queue) yields
+/// the maximum hint.
+pub fn retry_after_ticks(depth: usize, cap: usize) -> u64 {
+    if cap == 0 {
+        return MAX_DELAY_TICKS;
+    }
+    let depth = depth as u64;
+    let cap = cap as u64;
+    // Pressure in [1, ..]: 1 when the queue just filled, higher when
+    // depth (a racy snapshot) exceeds the nominal capacity.
+    let pressure = depth.saturating_add(cap) / cap;
+    (16u64.saturating_mul(pressure)).min(MAX_DELAY_TICKS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_schedule_is_capped_and_saturating() {
+        assert_eq!(delay_ticks(1, 0, 64), 1);
+        assert_eq!(delay_ticks(1, 3, 64), 8);
+        assert_eq!(delay_ticks(1, 6, 64), 64);
+        assert_eq!(delay_ticks(1, 7, 64), 64, "capped");
+        assert_eq!(delay_ticks(3, 2, 100), 12);
+        // Shift far past 64 bits must saturate, not panic or wrap.
+        assert_eq!(delay_ticks(1, 200, 64), 64);
+        assert_eq!(delay_ticks(u64::MAX, 1, MAX_DELAY_TICKS), MAX_DELAY_TICKS);
+    }
+
+    #[test]
+    fn zero_base_disables_backoff() {
+        for attempt in [0, 1, 17, 63, 200] {
+            assert_eq!(delay_ticks(0, attempt, 1024), 0);
+        }
+    }
+
+    #[test]
+    fn cap_is_clamped_to_global_maximum() {
+        assert_eq!(delay_ticks(1, 63, u64::MAX), MAX_DELAY_TICKS);
+    }
+
+    #[test]
+    fn retry_hint_is_deterministic_and_monotone_in_depth() {
+        let cap = 8;
+        let mut last = 0;
+        for depth in 0..64 {
+            let hint = retry_after_ticks(depth, cap);
+            assert!(hint >= last, "hint must not shrink as depth grows");
+            assert_eq!(hint, retry_after_ticks(depth, cap), "deterministic");
+            last = hint;
+        }
+        // A just-full queue advertises the base hint.
+        assert_eq!(retry_after_ticks(8, 8), 32);
+        assert_eq!(retry_after_ticks(0, 8), 16);
+    }
+
+    #[test]
+    fn retry_hint_edge_cases() {
+        assert_eq!(retry_after_ticks(0, 0), MAX_DELAY_TICKS);
+        assert_eq!(retry_after_ticks(usize::MAX, 1), MAX_DELAY_TICKS);
+    }
+}

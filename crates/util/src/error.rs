@@ -37,6 +37,14 @@ pub enum ProtoErrorKind {
     /// A request field is missing, has the wrong type, or holds an
     /// out-of-range value.
     BadField,
+    /// The server failed internally while executing the request (e.g. a
+    /// worker panicked); the request may be retried.
+    Internal,
+    /// The server connection was lost with the request still
+    /// outstanding (client-side synthesized error).
+    ConnectionLost,
+    /// The request exceeded the client-side per-request timeout.
+    Timeout,
 }
 
 impl ProtoErrorKind {
@@ -51,6 +59,9 @@ impl ProtoErrorKind {
             ProtoErrorKind::QueueFull => "queue-full",
             ProtoErrorKind::UnknownGraph => "unknown-graph",
             ProtoErrorKind::BadField => "bad-field",
+            ProtoErrorKind::Internal => "internal-error",
+            ProtoErrorKind::ConnectionLost => "connection-lost",
+            ProtoErrorKind::Timeout => "timeout",
         }
     }
 }
@@ -306,6 +317,9 @@ mod tests {
             ProtoErrorKind::QueueFull,
             ProtoErrorKind::UnknownGraph,
             ProtoErrorKind::BadField,
+            ProtoErrorKind::Internal,
+            ProtoErrorKind::ConnectionLost,
+            ProtoErrorKind::Timeout,
         ];
         let codes: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), kinds.len(), "wire codes must be distinct");

@@ -45,6 +45,14 @@ pub const SITES: &[&str] = &[
     "engine.block",
     "greedy.round",
     "cli.spheres.write",
+    // Server-side sites: exercised by the serve-chaos subprocess matrix
+    // (crates/cli/tests/serve_chaos.rs), not by the crash-resume matrix
+    // (those sites crash mid-pipeline and resume from a checkpoint;
+    // these crash mid-request and the daemon must keep serving).
+    "server.worker.dispatch",
+    "server.index.build",
+    "server.cache.insert",
+    "server.response.write",
 ];
 
 /// What an armed failpoint does when it fires.

@@ -14,11 +14,13 @@
 //! hashing for fingerprints and corruption detection ([`hash`]),
 //! deterministic fault injection ([`failpoint`]), and the workspace-wide
 //! error type ([`error`]), plus worker-count resolution and chunked
-//! scoped fan-out shared by every parallel pipeline ([`pool`]).
+//! scoped fan-out shared by every parallel pipeline ([`pool`]) and
+//! deterministic capped-exponential retry schedules ([`backoff`]).
 //!
 //! Nothing in this crate knows about graphs or cascades; it exists so the
 //! algorithmic crates stay focused and allocation-conscious.
 
+pub mod backoff;
 pub mod bitset;
 pub mod ckpt;
 pub mod cms;

@@ -13,6 +13,12 @@
 //! A justified panic — e.g. an infallible-by-construction `expect` — is
 //! acknowledged with `// xtask-allow: panic_policy` plus a comment
 //! explaining why it cannot fire.
+//!
+//! `catch_unwind` is the inverse hazard: instead of aborting, it lets a
+//! bug masquerade as a handled condition. It is permitted only in the
+//! supervised-worker loops ([`CATCH_UNWIND_ALLOWED`]) whose entire job
+//! is converting a panic into a typed `internal-error` response and
+//! respawning; anywhere else it must be flagged.
 
 use crate::report::{Finding, Pass};
 use crate::source::SourceFile;
@@ -52,6 +58,12 @@ const PATTERNS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// The only library files (relative to the lint root) permitted to call
+/// `catch_unwind`: the supervision points that turn a worker panic into
+/// a typed `internal-error` response and respawn the worker. Everywhere
+/// else, swallowing an unwind hides the bug — return an error instead.
+const CATCH_UNWIND_ALLOWED: &[&str] = &["crates/server/src/worker.rs", "crates/util/src/pool.rs"];
+
 /// Runs the panic-policy pass over one file.
 pub fn check(path: &Path, file: &SourceFile) -> Vec<Finding> {
     if !is_library_source(path) {
@@ -61,6 +73,18 @@ pub fn check(path: &Path, file: &SourceFile) -> Vec<Finding> {
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test || line.allows(Pass::PanicPolicy.name()) {
             continue;
+        }
+        if find_call(&line.code, "catch_unwind", "(").is_some()
+            && !CATCH_UNWIND_ALLOWED.iter().any(|p| path == Path::new(p))
+        {
+            findings.push(Finding {
+                pass: Pass::PanicPolicy,
+                path: path.to_path_buf(),
+                line: idx + 1,
+                message: "`catch_unwind` outside a supervised worker loop hides bugs; \
+                          propagate the panic or return a typed error"
+                    .to_string(),
+            });
         }
         for &(needle, follow, msg) in PATTERNS {
             if let Some(at) = find_call(&line.code, needle, follow) {
@@ -170,6 +194,20 @@ mod tests {
                    // xtask-allow: panic_policy\n\
                    let dag = from_edges(nc, &arcs).expect(\"in range\");\n";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_flagged_outside_supervision_points() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| {}); }\n";
+        assert_eq!(run(src).len(), 1);
+        for allowed in super::CATCH_UNWIND_ALLOWED {
+            assert!(
+                check(&PathBuf::from(allowed), &scan(src)).is_empty(),
+                "{allowed} is a sanctioned supervision point"
+            );
+        }
+        // A lookalike identifier is not the call.
+        assert!(run("fn f() { let catch_unwind_count = 1; g(catch_unwind_count); }\n").is_empty());
     }
 
     #[test]

@@ -57,6 +57,22 @@ fn panic_policy_flags_unjustified_unreachable() {
 }
 
 #[test]
+fn panic_policy_flags_catch_unwind_outside_supervisors() {
+    assert_flags("catch_unwind", "src/lib.rs:5: [panic_policy]");
+}
+
+#[test]
+fn catch_unwind_allowed_in_supervision_points() {
+    let out = run_lint(&fixtures_dir().join("catch_unwind_allow"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "supervision-point catch_unwind flagged:\n{stdout}"
+    );
+    assert!(stdout.trim().is_empty(), "unexpected output:\n{stdout}");
+}
+
+#[test]
 fn hermeticity_flags_registry_dependency() {
     assert_flags("hermeticity", "Cargo.toml:7: [hermeticity]");
 }
@@ -99,6 +115,7 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "determinism_hashmap",
         "panic_policy",
         "panic_policy_unreachable",
+        "catch_unwind",
         "hermeticity",
         "hermeticity_net",
         "hygiene_docs",
