@@ -1,0 +1,128 @@
+//! Thread-scaling curves for the three parallel pipelines, the baseline
+//! the ROADMAP's pool refactor is measured against.
+//!
+//! Each group runs the same fixed workload at 1/2/4/8 workers and lands
+//! in `BENCH_summary.json` as `scaling_*/t{n}` entries, so a future
+//! change to `soi_util::pool` (or the server's worker loop) shows up as
+//! a shift in the t1→t8 curve rather than an anecdote:
+//!
+//! * `scaling_cascade` — Algorithm 2 batch typical cascades over a
+//!   shared index (`all_typical_cascades`);
+//! * `scaling_index_build` — Algorithm 1 world sampling
+//!   (`CascadeIndex::build`);
+//! * `scaling_serve_batch` — 128 mixed requests through the bounded
+//!   queue and worker pool (no sockets; hermeticity confines `std::net`
+//!   to `crates/server`).
+//!
+//! Thread counts never change *what* is computed — per-unit seeds come
+//! from `(seed, unit-id)` — so every entry measures distribution
+//! overhead only.
+
+use soi_bench::microbench::Bencher;
+use soi_core::all_typical_cascades;
+use soi_graph::{gen, ProbGraph};
+use soi_index::{CascadeIndex, IndexConfig};
+use soi_jaccard::MedianConfig;
+use soi_server::protocol::parse_request;
+use soi_server::worker::{Job, WorkerPool};
+use soi_server::{EngineConfig, ServerEngine};
+use soi_util::rng::Xoshiro256pp;
+use std::hint::black_box;
+use std::sync::{mpsc, Arc};
+
+/// The worker counts every group sweeps.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn pg(seed: u64, nodes: usize, edges: usize) -> ProbGraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    ProbGraph::fixed(gen::gnm(nodes, edges, &mut rng), 0.15).unwrap()
+}
+
+/// Algorithm 2 over a shared 64-world index: one median per node.
+fn bench_cascade_scaling() {
+    let pg = pg(21, 1_000, 5_000);
+    let index = CascadeIndex::build(
+        &pg,
+        IndexConfig {
+            num_worlds: 64,
+            seed: 2,
+            ..IndexConfig::default()
+        },
+    );
+    let median = MedianConfig::default();
+    let b = Bencher::group("scaling_cascade").sample_size(5);
+    for threads in THREADS {
+        b.bench(format!("t{threads}"), || {
+            all_typical_cascades(black_box(&index), &median, threads)
+        });
+    }
+}
+
+/// Algorithm 1: ℓ sampled worlds, fanned out world-per-worker.
+fn bench_index_build_scaling() {
+    let pg = pg(22, 2_000, 10_000);
+    let b = Bencher::group("scaling_index_build").sample_size(5);
+    for threads in THREADS {
+        b.bench(format!("t{threads}"), || {
+            CascadeIndex::build(
+                black_box(&pg),
+                IndexConfig {
+                    num_worlds: 64,
+                    seed: 4,
+                    transitive_reduction: true,
+                    threads,
+                },
+            )
+        });
+    }
+}
+
+/// 128 mixed requests through the bounded queue at each pool width.
+fn bench_serve_batch_scaling() {
+    let engine = {
+        let mut engine = ServerEngine::new(EngineConfig {
+            num_worlds: 64,
+            seed: 2,
+            ..EngineConfig::default()
+        });
+        engine.add_graph("net", pg(23, 1_000, 5_000));
+        engine.warm();
+        Arc::new(engine)
+    };
+    let b = Bencher::group("scaling_serve_batch").sample_size(5);
+    for threads in THREADS {
+        b.bench(format!("t{threads}"), || {
+            let pool = WorkerPool::start(Arc::clone(&engine), threads, 128);
+            let handle = pool.handle();
+            let (tx, rx) = mpsc::channel();
+            for id in 0..128u64 {
+                let node = (id % 1_000) as u32;
+                let line = if id % 2 == 0 {
+                    format!(
+                        "{{\"v\":1,\"id\":{id},\"type\":\"typical-cascade\",\
+                         \"graph\":\"net\",\"source\":{node}}}"
+                    )
+                } else {
+                    format!(
+                        "{{\"v\":1,\"id\":{id},\"type\":\"spread-estimate\",\
+                         \"graph\":\"net\",\"seeds\":[{node}],\"samples\":64,\"seed\":7}}"
+                    )
+                };
+                handle.submit(Job {
+                    envelope: parse_request(&line).unwrap(),
+                    reply: tx.clone(),
+                });
+            }
+            drop(tx);
+            pool.shutdown();
+            rx.iter().count()
+        });
+    }
+}
+
+fn main() {
+    bench_cascade_scaling();
+    bench_index_build_scaling();
+    bench_serve_batch_scaling();
+    soi_bench::microbench::write_summary();
+}

@@ -61,11 +61,15 @@ static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the most verbose level that emits; `None` disables all events.
 pub fn set_max_level(level: Option<Level>) {
+    // ordering: independent config cell consulted per event; no event
+    // payload is published through it, so a late level flip only
+    // delays filtering by a few events.
     MAX_LEVEL.store(level.map_or(0, |l| l as usize), Ordering::Relaxed);
 }
 
 /// The currently enabled level, if any.
 pub fn max_level() -> Option<Level> {
+    // ordering: config read; see `set_max_level`.
     match MAX_LEVEL.load(Ordering::Relaxed) {
         1 => Some(Level::Error),
         2 => Some(Level::Warn),
@@ -79,6 +83,7 @@ pub fn max_level() -> Option<Level> {
 /// True when events at `level` would be emitted. One relaxed load.
 #[inline]
 pub fn enabled(level: Level) -> bool {
+    // ordering: hot-path config read; see `set_max_level`.
     level as usize <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 

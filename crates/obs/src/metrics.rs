@@ -28,10 +28,14 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: self-contained stats cell; readers tolerate a stale
+        // count and no other memory is published through it.
         self.0.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
+        // ordering: report-boundary reset of a stats cell; callers
+        // serialize phases themselves (see `Registry::reset`).
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -43,15 +47,19 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, value: f64) {
+        // ordering: last-write-wins stats cell; the bits are the whole
+        // payload, so no Release fence is needed to publish them.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ordering: stats read; staleness is acceptable.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     fn reset(&self) {
+        // ordering: report-boundary reset of a stats cell.
         self.0.store(0f64.to_bits(), Ordering::Relaxed);
     }
 }
@@ -104,6 +112,8 @@ impl HistogramMetric {
         self.inner
             .counts
             .iter()
+            // ordering: each bucket is an independent stats cell; a
+            // snapshot taken mid-observation is acceptable.
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
@@ -115,6 +125,7 @@ impl HistogramMetric {
 
     fn reset(&self) {
         for c in self.inner.counts.iter() {
+            // ordering: report-boundary reset of independent stats cells.
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -186,6 +197,8 @@ impl WallHistogram {
         self.inner
             .counts
             .iter()
+            // ordering: independent stats cells; a mid-observation
+            // snapshot is acceptable for latency reporting.
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
@@ -197,6 +210,8 @@ impl WallHistogram {
             .inner
             .counts
             .iter()
+            // ordering: stats snapshot; quantiles already carry ≤ 2x
+            // bucket error, so torn cross-bucket reads are in budget.
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
@@ -215,9 +230,11 @@ impl WallHistogram {
                 } else {
                     (1u64 << b).wrapping_sub(1)
                 };
+                // ordering: stats read of a fetch_max cell.
                 return edge.min(self.inner.max_ns.load(Ordering::Relaxed));
             }
         }
+        // ordering: stats read of a fetch_max cell.
         self.inner.max_ns.load(Ordering::Relaxed)
     }
 
@@ -227,14 +244,17 @@ impl WallHistogram {
             count: self.count(),
             p50_ns: self.quantile_ns(0.5),
             p90_ns: self.quantile_ns(0.9),
+            // ordering: stats read of a fetch_max cell.
             max_ns: self.inner.max_ns.load(Ordering::Relaxed),
         }
     }
 
     fn reset(&self) {
         for c in self.inner.counts.iter() {
+            // ordering: report-boundary reset of independent stats cells.
             c.store(0, Ordering::Relaxed);
         }
+        // ordering: report-boundary reset of a stats cell.
         self.inner.max_ns.store(0, Ordering::Relaxed);
     }
 }

@@ -292,7 +292,10 @@ pub fn run_queries<W: Write>(
                     let line = match lane.run_request(&requests[idx]) {
                         LaneAnswer::Server(line) => line,
                         LaneAnswer::Synthesized(line) => {
-                            lost.fetch_add(1, Ordering::SeqCst);
+                            // ordering: lane-local counting; the scope
+                            // join below publishes the total, so
+                            // Relaxed RMW is exact.
+                            lost.fetch_add(1, Ordering::Relaxed);
                             line
                         }
                     };
@@ -303,7 +306,9 @@ pub fn run_queries<W: Write>(
     });
     let mut report = BatchReport {
         errors: 0,
-        lost: lost.load(Ordering::SeqCst),
+        // ordering: read after `thread::scope` returns; the implicit
+        // join already supplies the happens-before edge.
+        lost: lost.load(Ordering::Relaxed),
     };
     let slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
     for slot in slots.iter() {

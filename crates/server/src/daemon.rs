@@ -272,6 +272,9 @@ fn handle_conn(
             Step::Continue => {}
             Step::Disconnect => return,
             Step::Shutdown => {
+                // ordering: SeqCst on a once-per-process control flag —
+                // the flag is the whole payload and the path is cold,
+                // so clarity wins over saved cycles.
                 shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it observes the flag.
                 let _ = TcpStream::connect(addr);
@@ -311,6 +314,8 @@ pub fn run_tcp<W: Write>(
     let mut conn_threads = Vec::new();
 
     for stream in listener.incoming() {
+        // ordering: SeqCst pairs with the store in the shutdown step;
+        // one load per accepted connection is not a hot path.
         if shutdown.load(Ordering::SeqCst) {
             break;
         }

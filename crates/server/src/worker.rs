@@ -93,7 +93,10 @@ pub fn execute_job(engine: &ServerEngine, envelope: &Envelope) -> String {
 /// spawned before this thread exits.
 fn worker_loop(shared: Arc<Shared>, generation: u64) {
     while let Some(job) = shared.queue.pop() {
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        // ordering: in_flight is a stats counter read only through racy
+        // snapshots; Relaxed RMW keeps it exact without fencing the
+        // hot dispatch path.
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         // AssertUnwindSafe: engine state is either immutable (graphs,
         // config) or lock-guarded with poison recovery (caches), so a
         // half-finished job cannot leave it inconsistent.
@@ -101,7 +104,8 @@ fn worker_loop(shared: Arc<Shared>, generation: u64) {
             soi_util::failpoint_crash!("server.worker.dispatch");
             execute_job(&shared.engine, &job.envelope)
         }));
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // ordering: see the matching fetch_add above.
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         match outcome {
             Ok(line) => {
                 let _ = job.reply.send(line);
@@ -126,7 +130,9 @@ fn worker_loop(shared: Arc<Shared>, generation: u64) {
 /// id, registering its join handle for shutdown.
 fn respawn(shared: &Arc<Shared>) {
     soi_obs::counter_add!("server.worker_respawns", 1);
-    let generation = shared.next_generation.fetch_add(1, Ordering::SeqCst);
+    // ordering: uniqueness of generation ids comes from RMW atomicity
+    // alone; nothing is published through the counter, so Relaxed.
+    let generation = shared.next_generation.fetch_add(1, Ordering::Relaxed);
     let clone = Arc::clone(shared);
     let handle = std::thread::spawn(move || worker_loop(clone, generation));
     shared
@@ -219,13 +225,16 @@ impl PoolHandle {
 
     /// Jobs currently executing (racy snapshot, for stats).
     pub fn in_flight(&self) -> u64 {
-        self.shared.in_flight.load(Ordering::SeqCst)
+        // ordering: racy stats snapshot by contract (see doc comment).
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// Worker generations spawned so far (initial + respawned); the
     /// next respawn takes this id.
     pub fn generations(&self) -> u64 {
-        self.shared.next_generation.load(Ordering::SeqCst)
+        // ordering: monotonic-counter snapshot; callers that need the
+        // post-respawn value synchronize through the reply channel.
+        self.shared.next_generation.load(Ordering::Relaxed)
     }
 
     #[cfg(test)]

@@ -167,6 +167,9 @@ pub fn clear() {
 /// fires; `panic`/`exit` actions do not return. Disarmed sites and
 /// release builds cost nothing (the macros compile the call out).
 pub fn trigger(site: &str) -> Option<Fault> {
+    // Every site hit is also a schedule-perturbation point (before the
+    // registry lock, so an injected yield/sleep never holds it).
+    crate::schedule::perturb(site);
     // A poisoned registry only ever holds test state. xtask-allow: panic_policy
     let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
     let map = guard.get_or_insert_with(|| {

@@ -12,7 +12,8 @@
 //! cancellation/deadline tokens and typed partial results ([`runtime`]),
 //! versioned checksummed checkpoint files ([`ckpt`]), streaming Mix64
 //! hashing for fingerprints and corruption detection ([`hash`]),
-//! deterministic fault injection ([`failpoint`]), and the workspace-wide
+//! deterministic fault injection ([`failpoint`]), seeded schedule
+//! perturbation at the same sites ([`schedule`]), and the workspace-wide
 //! error type ([`error`]), plus worker-count resolution and chunked
 //! scoped fan-out shared by every parallel pipeline ([`pool`]) and
 //! deterministic capped-exponential retry schedules ([`backoff`]).
@@ -31,6 +32,7 @@ pub mod invariant;
 pub mod pool;
 pub mod rng;
 pub mod runtime;
+pub mod schedule;
 pub mod stats;
 pub mod timer;
 pub mod tsv;

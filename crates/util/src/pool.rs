@@ -32,11 +32,15 @@ static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// parallel phase of a command (index builds, batch typical cascades,
 /// greedy evaluation, server worker pools).
 pub fn set_default_threads(n: usize) {
+    // ordering: a self-contained config cell — the count is the whole
+    // payload, nothing else is published through it, and thread-count
+    // resolution never affects what is computed (see module docs).
     DEFAULT_THREADS.store(n, Ordering::Relaxed);
 }
 
 /// The process-global default worker count (0 when unset).
 pub fn default_threads() -> usize {
+    // ordering: config read; see `set_default_threads`.
     DEFAULT_THREADS.load(Ordering::Relaxed)
 }
 
@@ -65,8 +69,15 @@ pub fn effective_threads(requested: usize, work_items: usize) -> usize {
 
 /// `SOI_THREADS` as a positive worker count, when set and parseable.
 fn env_threads() -> Option<usize> {
-    let v = std::env::var("SOI_THREADS").ok()?;
-    match v.trim().parse::<usize>() {
+    parse_threads(&std::env::var("SOI_THREADS").ok()?)
+}
+
+/// Parses a `SOI_THREADS`-style value: a positive integer, surrounding
+/// whitespace tolerated. Zero, negatives, and garbage are rejected
+/// (`None`), falling back to the next resolution tier rather than
+/// crashing a pipeline over a typo'd environment.
+fn parse_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
         Ok(n) if n > 0 => Some(n),
         _ => None,
     }
@@ -151,10 +162,71 @@ mod tests {
     fn env_var_parsing_is_defensive() {
         let _g = lock();
         set_default_threads(0);
-        // SAFETY-free path: we only exercise the parser on values that
-        // the environment could carry.
-        assert_eq!("4".trim().parse::<usize>().ok(), Some(4));
         assert!(env_threads().is_none() || env_threads().unwrap() > 0);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_with_whitespace() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16\n"), Some(16));
+        assert_eq!(parse_threads("1"), Some(1));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_negatives_and_garbage() {
+        for bad in ["0", "-2", "four", "", "  ", "3.5", "8x", "+-1"] {
+            assert_eq!(parse_threads(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_work_items_still_resolves_one_worker() {
+        let _g = lock();
+        set_default_threads(0);
+        // Every resolution tier must clamp up to 1 for empty work so
+        // callers can divide by the result.
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(64, 0), 1);
+        set_default_threads(9);
+        assert_eq!(effective_threads(0, 0), 1);
+        set_default_threads(0);
+    }
+
+    #[test]
+    fn fewer_work_items_than_threads_clamps_to_the_work() {
+        let _g = lock();
+        set_default_threads(0);
+        assert_eq!(effective_threads(8, 3), 3);
+        set_default_threads(8);
+        assert_eq!(effective_threads(0, 3), 3, "global override clamped too");
+        set_default_threads(0);
+    }
+
+    #[test]
+    fn requests_beyond_hardware_parallelism_are_honored() {
+        let _g = lock();
+        set_default_threads(0);
+        // An explicit request is a contract, not a hint: the resolver
+        // clamps to the work size only, never to the core count (chunked
+        // fan-out stays correct with oversubscribed workers).
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let oversubscribed = cores * 4;
+        assert_eq!(
+            effective_threads(oversubscribed, usize::MAX),
+            oversubscribed
+        );
+    }
+
+    #[test]
+    fn results_are_position_deterministic_under_oversubscription() {
+        let _g = lock();
+        set_default_threads(0);
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let mut serial = vec![0u64; 53];
+        for_each_indexed(&mut serial, 1, |i, slot| *slot = (i as u64) * 3 + 1);
+        let mut wide = vec![0u64; 53];
+        for_each_indexed(&mut wide, cores * 4, |i, slot| *slot = (i as u64) * 3 + 1);
+        assert_eq!(serial, wide, "worker count leaked into slot contents");
     }
 
     #[test]

@@ -173,30 +173,38 @@ impl Deadline {
     /// computation may continue (budget not exhausted, not cancelled).
     #[inline]
     pub fn tick(&self, n: u64) -> bool {
+        // ordering: the budget only needs an exact count (RMW
+        // atomicity), and cancellation is advisory — observing the
+        // flag a few ticks late just means a few extra units of work.
         let before = self.inner.spent.fetch_add(n, Ordering::Relaxed);
         before.saturating_add(n) <= self.inner.limit
-            && !self.inner.cancelled.load(Ordering::Relaxed)
+            && !self.inner.cancelled.load(Ordering::Relaxed) // ordering: advisory flag, see above
     }
 
     /// `true` once the budget is exhausted or the token was cancelled.
     #[inline]
     pub fn expired(&self) -> bool {
+        // ordering: advisory cancellation/budget check; see `tick`.
         self.inner.cancelled.load(Ordering::Relaxed)
-            || self.inner.spent.load(Ordering::Relaxed) > self.inner.limit
+            || self.inner.spent.load(Ordering::Relaxed) > self.inner.limit // ordering: as above
     }
 
     /// Requests cooperative cancellation of every holder of this token.
     pub fn cancel(&self) {
+        // ordering: the flag is the whole payload — no data rides on
+        // the cancellation edge, so no Release fence is needed.
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// `true` when [`cancel`](Deadline::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
+        // ordering: advisory flag read; see `cancel`.
         self.inner.cancelled.load(Ordering::Relaxed)
     }
 
     /// Ticks recorded so far.
     pub fn spent(&self) -> u64 {
+        // ordering: monotonic-counter snapshot for progress reporting.
         self.inner.spent.load(Ordering::Relaxed)
     }
 

@@ -1,7 +1,7 @@
 //! # xtask
 //!
 //! Workspace static analysis for the Spheres-of-Influence repo, run as
-//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Five
+//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Six
 //! passes enforce the contracts the experiments depend on:
 //!
 //! | pass            | contract                                              |
@@ -11,6 +11,8 @@
 //! | `hermeticity`   | no registry dependencies; `std::net` only in `server` |
 //! | `hygiene`       | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
 //! | `observability` | library code logs via `soi-obs`, not println/eprintln |
+//! | `concurrency`   | one global lock order; no guard across blocking calls;|
+//! |                 | justified atomic orderings; scoped spawns only        |
 //!
 //! Findings can be suppressed per line with `// xtask-allow: <pass>`
 //! (`#` comments in manifests), which is expected to sit next to a
@@ -18,6 +20,7 @@
 //! in `soi_util::invariant`. See `docs/STATIC_ANALYSIS.md` for the full
 //! policy.
 
+pub mod concurrency;
 pub mod determinism;
 pub mod hermeticity;
 pub mod hygiene;
@@ -47,14 +50,22 @@ pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
         manifests.insert(rel.clone(), std::fs::read_to_string(root.join(rel))?);
     }
 
+    // Scan every source once; the concurrency pass's lock-order check
+    // is cross-file, so the scanned forms are kept for a second walk.
+    let scanned: BTreeMap<PathBuf, source::SourceFile> = sources
+        .iter()
+        .map(|(path, text)| (path.clone(), source::scan(text)))
+        .collect();
+
     let mut findings = Vec::new();
-    for (path, text) in &sources {
-        let scanned = source::scan(text);
-        findings.extend(determinism::check(path, &scanned));
-        findings.extend(panic_policy::check(path, &scanned));
-        findings.extend(observability::check(path, &scanned));
-        findings.extend(hermeticity::check_source(path, &scanned));
+    for (path, file) in &scanned {
+        findings.extend(determinism::check(path, file));
+        findings.extend(panic_policy::check(path, file));
+        findings.extend(observability::check(path, file));
+        findings.extend(hermeticity::check_source(path, file));
+        findings.extend(concurrency::check_source(path, file));
     }
+    findings.extend(concurrency::check_lock_order(&scanned));
     for (path, text) in &manifests {
         findings.extend(hermeticity::check(path, text));
     }

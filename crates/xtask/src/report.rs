@@ -23,6 +23,9 @@ pub enum Pass {
     Hygiene,
     /// Direct console writes in library code instead of `soi-obs`.
     Observability,
+    /// Lock-order inversions, guards held across blocking calls,
+    /// unjustified atomic orderings, or unscoped thread spawns.
+    Concurrency,
 }
 
 impl Pass {
@@ -34,17 +37,19 @@ impl Pass {
             Pass::Hermeticity => "hermeticity",
             Pass::Hygiene => "hygiene",
             Pass::Observability => "observability",
+            Pass::Concurrency => "concurrency",
         }
     }
 
     /// All passes, in report order.
-    pub fn all() -> [Pass; 5] {
+    pub fn all() -> [Pass; 6] {
         [
             Pass::Determinism,
             Pass::PanicPolicy,
             Pass::Hermeticity,
             Pass::Hygiene,
             Pass::Observability,
+            Pass::Concurrency,
         ]
     }
 }

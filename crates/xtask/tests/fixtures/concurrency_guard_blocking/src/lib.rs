@@ -1,0 +1,21 @@
+//! Fixture: a mutex guard held across a blocking channel receive.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+/// Adds the next received value while (wrongly) holding the lock.
+pub fn drain(total: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    if let Ok(g) = total.lock() {
+        let v = rx.recv().unwrap_or(0);
+        return *g + v;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the guard's scope closes before the blocking receive.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+/// Snapshots the total, then blocks with the lock released.
+pub fn drain(total: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let mut base = 0;
+    if let Ok(g) = total.lock() {
+        base = *g;
+    }
+    rx.recv().unwrap_or(0) + base
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture: two locks acquired in both orders (deadlock candidate).
+
+use std::sync::Mutex;
+
+/// Shared pipeline state with two independent locks.
+pub struct Pair {
+    /// Protects the queue.
+    pub queue: Mutex<u32>,
+    /// Protects the stats.
+    pub stats: Mutex<u32>,
+}
+
+/// Takes `queue` then `stats`.
+pub fn enqueue(p: &Pair) -> u32 {
+    if let Ok(q) = p.queue.lock() {
+        if let Ok(s) = p.stats.lock() {
+            return *q + *s;
+        }
+    }
+    0
+}
+
+/// Takes `stats` then `queue` — the inversion.
+pub fn report(p: &Pair) -> u32 {
+    if let Ok(s) = p.stats.lock() {
+        if let Ok(q) = p.queue.lock() {
+            return *s + *q;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

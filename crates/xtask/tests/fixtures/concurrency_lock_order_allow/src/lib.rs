@@ -1,0 +1,39 @@
+//! Fixture: nested locks that follow one global order everywhere.
+
+use std::sync::Mutex;
+
+/// Shared pipeline state with two independent locks.
+pub struct Pair {
+    /// Protects the queue.
+    pub queue: Mutex<u32>,
+    /// Protects the stats.
+    pub stats: Mutex<u32>,
+}
+
+/// Takes `queue` then `stats`.
+pub fn enqueue(p: &Pair) -> u32 {
+    if let Ok(q) = p.queue.lock() {
+        if let Ok(s) = p.stats.lock() {
+            return *q + *s;
+        }
+    }
+    0
+}
+
+/// Also takes `queue` then `stats` — consistent with [`enqueue`].
+pub fn report(p: &Pair) -> u32 {
+    if let Ok(q) = p.queue.lock() {
+        if let Ok(s) = p.stats.lock() {
+            return *q * 2 + *s;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

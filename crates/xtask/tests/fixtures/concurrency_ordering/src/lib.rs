@@ -1,0 +1,24 @@
+//! Fixture: a memory-ordering literal with no justification.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A readiness flag shared across threads.
+pub struct Flag {
+    /// Set once initialization completes.
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Marks the flag ready.
+    pub fn set(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a raw thread spawn outside the sanctioned crates.
+
+/// Spawns a detached worker (fan-out should go through the pool).
+pub fn run() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: the serving crate owns its worker threads' join story.
+
+/// Spawns a supervised worker thread.
+pub fn run() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -109,6 +109,48 @@ fn observability_flags_library_eprintln() {
 }
 
 #[test]
+fn concurrency_flags_lock_order_inversion() {
+    assert_flags("concurrency_lock_order", "src/lib.rs:26: [concurrency]");
+}
+
+#[test]
+fn concurrency_flags_guard_across_blocking_call() {
+    assert_flags("concurrency_guard_blocking", "src/lib.rs:9: [concurrency]");
+}
+
+#[test]
+fn concurrency_flags_unjustified_ordering() {
+    assert_flags("concurrency_ordering", "src/lib.rs:14: [concurrency]");
+}
+
+#[test]
+fn concurrency_flags_raw_spawn_outside_sanctioned_crates() {
+    assert_flags("concurrency_spawn", "src/lib.rs:5: [concurrency]");
+}
+
+#[test]
+fn concurrency_allow_fixtures_pass_clean() {
+    for fixture in [
+        // Consistent nesting order everywhere.
+        "concurrency_lock_order_allow",
+        // The guard's scope closes before the blocking receive.
+        "concurrency_guard_blocking_allow",
+        // `// ordering:` justification plus whitelisted counter RMW.
+        "concurrency_ordering_allow",
+        // Spawning inside `crates/server` is the sanctioned boundary.
+        "concurrency_spawn_allow",
+    ] {
+        let out = run_lint(&fixtures_dir().join(fixture));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{fixture} flagged:\n{stdout}");
+        assert!(
+            stdout.trim().is_empty(),
+            "{fixture}: unexpected output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
 fn each_bad_fixture_reports_exactly_one_finding() {
     for fixture in [
         "determinism_rng",
@@ -121,6 +163,10 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "hygiene_docs",
         "hygiene_tests",
         "observability",
+        "concurrency_lock_order",
+        "concurrency_guard_blocking",
+        "concurrency_ordering",
+        "concurrency_spawn",
     ] {
         let out = run_lint(&fixtures_dir().join(fixture));
         let stdout = String::from_utf8_lossy(&out.stdout);
