@@ -17,8 +17,18 @@
 //! Thread counts never change *what* is computed — per-unit seeds come
 //! from `(seed, unit-id)` — so every entry measures distribution
 //! overhead only.
+//!
+//! After the timed samples, each case runs **one instrumented pass**
+//! under a fresh `soi_obs::perthread` plane and attaches the full
+//! attribution decomposition (`wall_busy_ns`, `wall_idle_ns`,
+//! `wall_merge_ns`, `wall_lock_wait_ns`, `wall_untracked_ns`,
+//! `wall_imbalance_ns`, plus `*_ppm` fractions of capacity) to its
+//! summary entry — so the t1→t8 curve carries its own explanation of
+//! where the non-busy cycles went. The terms sum to `wall_capacity_ns`
+//! by construction, covering the entire tN-vs-t1 gap.
 
-use soi_bench::microbench::Bencher;
+use soi_bench::attribution;
+use soi_bench::microbench::{attach_extra, Bencher};
 use soi_core::all_typical_cascades;
 use soi_graph::{gen, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
@@ -55,6 +65,10 @@ fn bench_cascade_scaling() {
         b.bench(format!("t{threads}"), || {
             all_typical_cascades(black_box(&index), &median, threads)
         });
+        let series = attribution::capture(|| {
+            black_box(all_typical_cascades(black_box(&index), &median, threads));
+        });
+        attach_extra(&format!("scaling_cascade/t{threads}"), series);
     }
 }
 
@@ -63,17 +77,19 @@ fn bench_index_build_scaling() {
     let pg = pg(22, 2_000, 10_000);
     let b = Bencher::group("scaling_index_build").sample_size(5);
     for threads in THREADS {
+        let config = IndexConfig {
+            num_worlds: 64,
+            seed: 4,
+            transitive_reduction: true,
+            threads,
+        };
         b.bench(format!("t{threads}"), || {
-            CascadeIndex::build(
-                black_box(&pg),
-                IndexConfig {
-                    num_worlds: 64,
-                    seed: 4,
-                    transitive_reduction: true,
-                    threads,
-                },
-            )
+            CascadeIndex::build(black_box(&pg), config)
         });
+        let series = attribution::capture(|| {
+            black_box(CascadeIndex::build(black_box(&pg), config));
+        });
+        attach_extra(&format!("scaling_index_build/t{threads}"), series);
     }
 }
 
@@ -89,34 +105,45 @@ fn bench_serve_batch_scaling() {
         engine.warm();
         Arc::new(engine)
     };
+    let run_batch = |threads: usize| {
+        let pool = WorkerPool::start(Arc::clone(&engine), threads, 128);
+        let handle = pool.handle();
+        let (tx, rx) = mpsc::channel();
+        for id in 0..128u64 {
+            let node = (id % 1_000) as u32;
+            let line = if id % 2 == 0 {
+                format!(
+                    "{{\"v\":1,\"id\":{id},\"type\":\"typical-cascade\",\
+                     \"graph\":\"net\",\"source\":{node}}}"
+                )
+            } else {
+                format!(
+                    "{{\"v\":1,\"id\":{id},\"type\":\"spread-estimate\",\
+                     \"graph\":\"net\",\"seeds\":[{node}],\"samples\":64,\"seed\":7}}"
+                )
+            };
+            handle.submit(Job::new(parse_request(&line).unwrap(), tx.clone()));
+        }
+        drop(tx);
+        pool.shutdown();
+        rx.iter().count()
+    };
     let b = Bencher::group("scaling_serve_batch").sample_size(5);
     for threads in THREADS {
-        b.bench(format!("t{threads}"), || {
-            let pool = WorkerPool::start(Arc::clone(&engine), threads, 128);
-            let handle = pool.handle();
-            let (tx, rx) = mpsc::channel();
-            for id in 0..128u64 {
-                let node = (id % 1_000) as u32;
-                let line = if id % 2 == 0 {
-                    format!(
-                        "{{\"v\":1,\"id\":{id},\"type\":\"typical-cascade\",\
-                         \"graph\":\"net\",\"source\":{node}}}"
-                    )
-                } else {
-                    format!(
-                        "{{\"v\":1,\"id\":{id},\"type\":\"spread-estimate\",\
-                         \"graph\":\"net\",\"seeds\":[{node}],\"samples\":64,\"seed\":7}}"
-                    )
-                };
-                handle.submit(Job {
-                    envelope: parse_request(&line).unwrap(),
-                    reply: tx.clone(),
-                });
-            }
-            drop(tx);
-            pool.shutdown();
-            rx.iter().count()
+        b.bench(format!("t{threads}"), || run_batch(threads));
+        let series = attribution::capture(|| {
+            // The server pool is long-lived and never notes dispatches
+            // itself; here the bench is the dispatcher, so the batch's
+            // start-to-join span defines the region capacity.
+            let started = std::time::Instant::now();
+            black_box(run_batch(threads));
+            soi_obs::perthread::note_dispatch(
+                threads,
+                128,
+                soi_obs::perthread::clamp_ns(started.elapsed().as_nanos()),
+            );
         });
+        attach_extra(&format!("scaling_serve_batch/t{threads}"), series);
     }
 }
 

@@ -72,10 +72,7 @@ fn bench_batch_throughput(engine: &Arc<ServerEngine>) {
                 } else {
                     "spread-estimate"
                 };
-                handle.submit(Job {
-                    envelope: request(kind, id, (id % 1_000) as u32),
-                    reply: tx.clone(),
-                });
+                handle.submit(Job::new(request(kind, id, (id % 1_000) as u32), tx.clone()));
             }
             drop(tx);
             pool.shutdown();
@@ -89,10 +86,10 @@ fn bench_batch_throughput(engine: &Arc<ServerEngine>) {
     let (tx, rx) = mpsc::channel();
     let started = Instant::now();
     for id in 0..256u64 {
-        handle.submit(Job {
-            envelope: request("spread-estimate", id, (id % 1_000) as u32),
-            reply: tx.clone(),
-        });
+        handle.submit(Job::new(
+            request("spread-estimate", id, (id % 1_000) as u32),
+            tx.clone(),
+        ));
     }
     drop(tx);
     pool.shutdown();

@@ -1,0 +1,127 @@
+//! Per-thread attribution capture for the scaling benches.
+//!
+//! The `scaling_*` groups answer "how much does tN cost over t1"; this
+//! module answers "where those cycles went". [`capture`] runs one
+//! instrumented pass of a workload under a clean `soi_obs::perthread`
+//! plane and folds the snapshot into named series suitable for
+//! [`crate::microbench::attach_extra`]:
+//!
+//! ```text
+//! wall_capacity_ns = wall_busy_ns + wall_idle_ns + wall_merge_ns
+//!                  + wall_lock_wait_ns + wall_untracked_ns
+//!                  + wall_imbalance_ns
+//! ```
+//!
+//! The identity holds by construction (`untracked` and `imbalance` are
+//! residuals), so the series account for 100% of the measured parallel
+//! region — in particular, the entire tN-vs-t1 wall-clock gap of a
+//! scaling entry decomposes into the non-busy terms. The `*_ppm` series
+//! restate each term as parts-per-million of capacity so curves at
+//! different scales compare directly.
+
+use soi_obs::perthread;
+
+/// One attribution series: `(name, value)` ready for `attach_extra`.
+pub type Series = Vec<(String, u128)>;
+
+/// Runs `f` once with the per-thread plane freshly reset and returns
+/// the attribution series for the region it executed.
+pub fn capture(f: impl FnOnce()) -> Series {
+    soi_obs::reset();
+    f();
+    let (threads, pool) = perthread::snapshot();
+    let workers: Vec<&perthread::ThreadSnap> = threads
+        .iter()
+        .filter(|t| t.slot < perthread::MAX_SLOTS)
+        .collect();
+    let sum = |get: fn(&perthread::ThreadSnap) -> u64| -> u128 {
+        workers.iter().map(|t| u128::from(get(t))).sum()
+    };
+    let busy = sum(|t| t.busy_ns);
+    let idle = sum(|t| t.idle_ns);
+    let merge = sum(|t| t.merge_ns);
+    let lock_wait = sum(|t| t.lock_wait_ns);
+    let lifetime = u128::from(pool.lifetime_ns);
+    let capacity = u128::from(pool.capacity_ns);
+    let imbalance = u128::from(pool.imbalance_ns);
+    let untracked = lifetime.saturating_sub(busy + idle + merge + lock_wait);
+    let ppm = |term: u128| -> u128 { (term * 1_000_000).checked_div(capacity).unwrap_or(0) };
+    vec![
+        ("threads".to_string(), workers.len() as u128),
+        ("dispatches".to_string(), u128::from(pool.dispatches)),
+        ("items".to_string(), u128::from(pool.items)),
+        ("wall_capacity_ns".to_string(), capacity),
+        ("wall_busy_ns".to_string(), busy),
+        ("wall_idle_ns".to_string(), idle),
+        ("wall_merge_ns".to_string(), merge),
+        ("wall_lock_wait_ns".to_string(), lock_wait),
+        ("wall_untracked_ns".to_string(), untracked),
+        ("wall_imbalance_ns".to_string(), imbalance),
+        ("busy_ppm".to_string(), ppm(busy)),
+        ("idle_ppm".to_string(), ppm(idle)),
+        ("merge_ppm".to_string(), ppm(merge)),
+        ("lock_wait_ppm".to_string(), ppm(lock_wait)),
+        ("untracked_ppm".to_string(), ppm(untracked)),
+        ("imbalance_ppm".to_string(), ppm(imbalance)),
+    ]
+}
+
+/// Looks one term up in a captured series (helper for assertions).
+pub fn term(series: &Series, name: &str) -> u128 {
+    series
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The capture identity must cover the whole region: every
+    /// nanosecond of capacity lands in exactly one term.
+    #[test]
+    fn capture_decomposes_capacity_exactly() {
+        let _g = crate::obs_test_lock();
+        let series = capture(|| {
+            let mut slots = vec![0u64; 64];
+            soi_util::pool::for_each_indexed(&mut slots, 4, |i, slot| {
+                *slot = (0..200u64).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b));
+            });
+            std::hint::black_box(&slots);
+        });
+        assert_eq!(term(&series, "threads"), 4);
+        assert_eq!(term(&series, "dispatches"), 1);
+        assert_eq!(term(&series, "items"), 64);
+        let capacity = term(&series, "wall_capacity_ns");
+        assert!(capacity > 0, "instrumented pass saw no capacity");
+        let parts = term(&series, "wall_busy_ns")
+            + term(&series, "wall_idle_ns")
+            + term(&series, "wall_merge_ns")
+            + term(&series, "wall_lock_wait_ns")
+            + term(&series, "wall_untracked_ns")
+            + term(&series, "wall_imbalance_ns");
+        assert_eq!(parts, capacity, "attribution identity broke");
+        let ppm_total = term(&series, "busy_ppm")
+            + term(&series, "idle_ppm")
+            + term(&series, "merge_ppm")
+            + term(&series, "lock_wait_ppm")
+            + term(&series, "untracked_ppm")
+            + term(&series, "imbalance_ppm");
+        // Six floor divisions can each lose < 1 ppm.
+        assert!(
+            (999_994..=1_000_000).contains(&ppm_total),
+            "ppm terms sum to {ppm_total}"
+        );
+    }
+
+    #[test]
+    fn capture_with_no_parallel_region_is_all_zero() {
+        let _g = crate::obs_test_lock();
+        let series = capture(|| {});
+        assert_eq!(term(&series, "wall_capacity_ns"), 0);
+        assert_eq!(term(&series, "busy_ppm"), 0);
+        assert_eq!(term(&series, "threads"), 0);
+    }
+}

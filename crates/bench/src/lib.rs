@@ -22,9 +22,21 @@
 //! 1000), `--seed <n>`, and `--k <n>` where applicable. Determinism: same
 //! flags, same output.
 
+pub mod attribution;
 pub mod cli;
 pub mod experiments;
 pub mod extensions;
 pub mod microbench;
+pub mod overhead;
 
 pub use cli::Args;
+
+/// Serializes tests that touch the process-global `soi_obs` state (the
+/// per-thread plane and its enabled flag): [`attribution`] resets it,
+/// [`overhead`] toggles it, and the two must not interleave.
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

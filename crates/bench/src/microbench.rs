@@ -39,6 +39,11 @@ pub struct BenchRecord {
     pub min_ns: u128,
     /// Number of timed iterations.
     pub iters: usize,
+    /// Additional named numeric series attached after the timed run —
+    /// e.g. the per-thread attribution terms the scaling benches record
+    /// (`wall_busy_ns`, `wall_idle_ns`, `busy_ppm`, …). Serialized as
+    /// extra JSON fields on the record's summary line.
+    pub extra: Vec<(String, u128)>,
 }
 
 /// Results accumulated by every [`Bencher`] in this process.
@@ -106,7 +111,27 @@ impl Bencher {
             mean_ns: mean,
             min_ns: min,
             iters: self.sample_size,
+            extra: Vec::new(),
         });
+    }
+}
+
+/// Attaches named numeric series to an already-recorded case (matched
+/// by `group/id` name); a repeated key replaces the earlier value. The
+/// scaling benches use this to land per-thread attribution next to the
+/// timing they explain. Unknown names are ignored.
+pub fn attach_extra(name: &str, entries: impl IntoIterator<Item = (String, u128)>) {
+    let mut results = RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(r) = results.iter_mut().find(|r| r.name == name) else {
+        return;
+    };
+    for (key, value) in entries {
+        match r.extra.iter_mut().find(|(k, _)| k == &key) {
+            Some(slot) => slot.1 = value,
+            None => r.extra.push((key, value)),
+        }
     }
 }
 
@@ -116,35 +141,54 @@ fn percentile(sorted_ns: &[u128], pct: usize) -> u128 {
     sorted_ns[rank - 1]
 }
 
-/// Serializes one record as a single JSON object line.
+/// Serializes one record as a single JSON object line. The fixed timing
+/// fields come first; any attached extras follow as additional numeric
+/// fields.
 fn render_record(r: &BenchRecord) -> String {
-    format!(
-        "{{\"name\":\"{}\",\"median_ns\":{},\"p90_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"iters\":{}}}",
+    let mut line = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{},\"p90_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"iters\":{}",
         r.name, r.median_ns, r.p90_ns, r.mean_ns, r.min_ns, r.iters
-    )
+    );
+    for (key, value) in &r.extra {
+        line.push_str(&format!(",\"{key}\":{value}"));
+    }
+    line.push('}');
+    line
 }
 
 /// Parses a line previously emitted by [`render_record`]. Bench names
-/// never contain quotes or escapes, so plain field scanning suffices.
+/// and extra keys never contain quotes, escapes, commas, or colons, so
+/// plain field splitting suffices; fields beyond the fixed timing set
+/// land in `extra` (preserving order).
 fn parse_record(line: &str) -> Option<BenchRecord> {
-    let field = |key: &str| -> Option<&str> {
-        let tag = format!("\"{key}\":");
-        let at = line.find(&tag)? + tag.len();
-        let rest = &line[at..];
-        let end = rest.find([',', '}'])?;
-        Some(&rest[..end])
-    };
-    let name = {
-        let raw = field("name")?;
-        raw.strip_prefix('"')?.strip_suffix('"')?.to_string()
+    let body = line
+        .trim()
+        .trim_end_matches(',')
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
+    let mut name = None;
+    let mut fields: Vec<(String, u128)> = Vec::new();
+    for part in body.split(',') {
+        let (key, value) = part.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        if key == "name" {
+            name = Some(value.strip_prefix('"')?.strip_suffix('"')?.to_string());
+        } else {
+            fields.push((key.to_string(), value.parse().ok()?));
+        }
+    }
+    let mut take = |key: &str| -> Option<u128> {
+        let at = fields.iter().position(|(k, _)| k == key)?;
+        Some(fields.remove(at).1)
     };
     Some(BenchRecord {
-        name,
-        median_ns: field("median_ns")?.parse().ok()?,
-        p90_ns: field("p90_ns")?.parse().ok()?,
-        mean_ns: field("mean_ns")?.parse().ok()?,
-        min_ns: field("min_ns")?.parse().ok()?,
-        iters: field("iters")?.parse().ok()?,
+        name: name?,
+        median_ns: take("median_ns")?,
+        p90_ns: take("p90_ns")?,
+        mean_ns: take("mean_ns")?,
+        min_ns: take("min_ns")?,
+        iters: take("iters")? as usize,
+        extra: fields,
     })
 }
 
@@ -225,10 +269,46 @@ mod tests {
             mean_ns: 130,
             min_ns: 110,
             iters: 20,
+            extra: Vec::new(),
         };
         assert_eq!(parse_record(&render_record(&r)), Some(r));
         assert_eq!(parse_record("{\"benches\": ["), None);
         assert_eq!(parse_record("]"), None);
+    }
+
+    #[test]
+    fn extras_render_parse_and_attach_by_name() {
+        let r = BenchRecord {
+            name: "scaling_x/t4".into(),
+            median_ns: 9,
+            p90_ns: 9,
+            mean_ns: 9,
+            min_ns: 9,
+            iters: 5,
+            extra: vec![("wall_busy_ns".into(), 400), ("busy_ppm".into(), 250_000)],
+        };
+        let line = render_record(&r);
+        assert!(line.contains("\"wall_busy_ns\":400"), "{line}");
+        assert_eq!(parse_record(&line), Some(r));
+
+        // Trailing comma (every line but the file's last) still parses.
+        assert!(parse_record(&format!("{line},")).is_some());
+
+        let b = Bencher::group("attach_test").sample_size(1);
+        b.bench("case", || 1);
+        attach_extra(
+            "attach_test/case",
+            [("threads".to_string(), 4u128), ("threads".to_string(), 8)],
+        );
+        attach_extra("attach_test/missing", [("ignored".to_string(), 1u128)]);
+        let results = RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rec = results
+            .iter()
+            .find(|r| r.name == "attach_test/case")
+            .expect("recorded");
+        assert_eq!(rec.extra, vec![("threads".to_string(), 8u128)]);
     }
 
     #[test]
@@ -251,6 +331,7 @@ mod tests {
             mean_ns: 42,
             min_ns: 41,
             iters: 7,
+            extra: Vec::new(),
         });
         write_summary_to(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

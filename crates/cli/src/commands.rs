@@ -31,7 +31,8 @@ usage: soi <command> [options]
 commands:
   generate   --model ba|gnm|ws|powerlaw --nodes N [--m K] [--edges M]
              [--prob wc|fixed:P|tri] [--seed S] [--undirected] --out FILE
-  stats      GRAPH
+  stats      GRAPH | --port P [--host H] [--watch N] [--interval-ms MS]
+             [--format json|prom] [--mask-wall]
   sphere     GRAPH --source V [--samples N] [--seed S]
   spheres    GRAPH [--samples N] [--seed S] [--threads T] --out FILE
   infmax     GRAPH --k K [--method tc|greedy|mc|ris|degree|degree-discount|
@@ -42,6 +43,7 @@ commands:
   serve      NAME=GRAPH [NAME=GRAPH ...] [--port P] [--stdio] [--workers N]
              [--queue-cap N] [--cache-cap N] [--worlds L] [--seed S]
              [--max-line BYTES] [--default-deadline-ticks N]
+             [--slow-query-ticks N --slow-query-log FILE]
   query      [REQUEST ...] [--file FILE] --port P [--host H]
              [--concurrency N] [--mask-wall] [--retries N]
              [--backoff-ticks T] [--timeout-ms MS]
@@ -419,7 +421,13 @@ fn cmd_generate<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, Soi
 }
 
 fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
-    let opts = Opts::parse(args, &[])?;
+    let opts = Opts::parse(args, &["mask-wall"])?;
+    // With --port, `stats` is the live introspection client against a
+    // running daemon (docs/OBSERVABILITY.md); without it, the original
+    // graph-file summary.
+    if opts.flags.contains_key("port") {
+        return cmd_stats_live(&opts, out);
+    }
     let g = load_any_graph(opts.positional(0, "graph file")?)?;
     let d = stats::degree_stats(&g);
     let wcc = stats::largest_wcc_size(&g);
@@ -430,6 +438,31 @@ fn cmd_stats<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
     writeln!(out, "max_in_degree\t{}", d.max_in).ok();
     writeln!(out, "excess_ratio\t{:.2}", d.excess_ratio).ok();
     writeln!(out, "largest_wcc\t{wcc}").ok();
+    Ok(RunStatus::Complete)
+}
+
+/// `soi stats --port P`: poll a running daemon's versioned stats
+/// endpoint, rendering JSON snapshots (with counter deltas under
+/// `--watch`) or a Prometheus-style text exposition.
+fn cmd_stats_live<W: Write>(opts: &Opts, out: &mut W) -> Result<RunStatus, SoiError> {
+    let format = match opts.get::<String>("format")?.as_deref() {
+        None | Some("json") => soi_server::StatsFormat::Json,
+        Some("prom") => soi_server::StatsFormat::Prom,
+        Some(other) => {
+            return Err(SoiError::usage(format!(
+                "unknown --format {other:?} (json|prom)"
+            )))
+        }
+    };
+    let config = soi_server::StatsConfig {
+        host: opts.get("host")?.unwrap_or_else(|| "127.0.0.1".to_string()),
+        port: opts.require("port")?,
+        watch: opts.get("watch")?.unwrap_or(1),
+        interval_ms: opts.get("interval-ms")?.unwrap_or(1000),
+        format,
+        mask_wall: opts.has("mask-wall"),
+    };
+    soi_server::run_stats(&config, out)?;
     Ok(RunStatus::Complete)
 }
 
@@ -773,6 +806,10 @@ fn cmd_serve<W: Write>(
         workers: opts.get("workers")?.unwrap_or(0),
         queue_cap: opts.get("queue-cap")?.unwrap_or(64),
         max_line,
+        slow_query_ticks: opts.get("slow-query-ticks")?.unwrap_or(0),
+        slow_query_log: opts
+            .get::<String>("slow-query-log")?
+            .map(std::path::PathBuf::from),
     };
     let specs: Vec<(String, String)> = opts
         .positional
@@ -1210,6 +1247,13 @@ mod tests {
         // A nonexistent graph file is a runtime failure, not usage.
         let err = run(&["serve", "g=/nonexistent/graph.tsv", "--stdio"]).unwrap_err();
         assert!(!err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn stats_live_rejects_bad_format() {
+        let err = run(&["stats", "--port", "1", "--format", "xml"]).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("json|prom"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * admission control: a saturated one-worker daemon answers a typed
 //!   `queue-full` rejection while control requests stay responsive;
 //! * graceful drain on `shutdown` — queued work still answers, the
-//!   process exits 0, and the `--metrics-out` report is complete.
+//!   process exits 0, and the `--metrics-out` report is complete;
+//! * the introspection plane: masked `soi stats` snapshots with exact
+//!   request/hit counts around the mixed batch, `--watch` counter
+//!   deltas, the Prometheus exposition, `"trace":true` phase timelines,
+//!   and the slow-query log.
 
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
@@ -103,6 +107,17 @@ impl Daemon {
             .expect("spawn soi query")
     }
 
+    /// Runs the `soi stats` client against this daemon with wall-clock
+    /// masking, so every asserted fragment is deterministic.
+    fn stats(&self, extra: &[&str]) -> Output {
+        soi()
+            .arg("stats")
+            .args(["--port", &self.port, "--mask-wall"])
+            .args(extra)
+            .output()
+            .expect("spawn soi stats")
+    }
+
     /// Sends `shutdown`, waits for the daemon to drain, asserts exit 0.
     fn shutdown(mut self) {
         let out = self.query(&["{\"v\":1,\"id\":9999,\"type\":\"shutdown\"}"]);
@@ -176,6 +191,16 @@ fn concurrent_mixed_batch_is_deterministic_and_drains_cleanly() {
         ],
     );
 
+    // Golden masked stats before any traffic: the warm-up build is the
+    // one cache miss, and the poll counts itself in `requests_total`.
+    let before = stdout_str(&daemon.stats(&[]));
+    for needle in [
+        "\"stats_version\":2",
+        "\"requests_total\":1,\"rejected_queue_full\":0,\"cache_hits\":0,\"cache_misses\":1",
+    ] {
+        assert!(before.contains(needle), "missing {needle} in:\n{before}");
+    }
+
     let requests = mixed_requests(40);
     assert!(requests.len() >= 100, "batch too small: {}", requests.len());
     let reqs_file = dir.join("reqs.jsonl").to_string_lossy().into_owned();
@@ -226,6 +251,22 @@ fn concurrent_mixed_batch_is_deterministic_and_drains_cleanly() {
     assert_eq!(oks, lines.len() - 1, "everything else answers ok");
     let infmax = lines[lines.len() - 1];
     assert!(infmax.contains("\"seeds\":["), "{infmax}");
+
+    // Golden masked stats after the known mix: 1 before-poll + 2×122
+    // batch requests + this poll; index fetches are the 40 cascades and
+    // the one infmax per batch (spread estimates bypass the cache); the
+    // request/queue-wait wall histograms saw the 2×82 compute requests.
+    let after = stdout_str(&daemon.stats(&[]));
+    for needle in [
+        "\"requests_total\":246,\"rejected_queue_full\":0,\"cache_hits\":82,\"cache_misses\":1",
+        "\"server.requests_total\":246",
+        "\"server.request_ns\":{\"count\":164,\"wall_p50_ns\":0",
+        "\"server.queue_wait_ns\":{\"count\":164,",
+        "\"threads\":[{\"name\":\"thread.",
+        "\"pool\":{\"dispatches\":",
+    ] {
+        assert!(after.contains(needle), "missing {needle} in:\n{after}");
+    }
 
     daemon.shutdown();
 
@@ -314,6 +355,113 @@ fn saturated_daemon_rejects_typed_and_still_drains() {
         assert!(child.wait().unwrap().success(), "slow query {id} exit");
         assert!(text.contains("\"status\":\"ok\""), "{id}: {text}");
         assert!(text.contains(&format!("\"id\":{id}")), "{id}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn introspection_trace_stats_watch_prom_and_slow_log() {
+    let dir = fresh_dir("introspect");
+    let graph = make_graph(&dir, 12);
+    let slow_log = dir.join("slow.jsonl").to_string_lossy().into_owned();
+    let daemon = Daemon::spawn(
+        &format!("net={graph}"),
+        &[
+            "--worlds",
+            "8",
+            "--workers",
+            "2",
+            "--slow-query-ticks",
+            "1",
+            "--slow-query-log",
+            &slow_log,
+        ],
+    );
+
+    // Opting in with `"trace":true` answers with the full phase
+    // timeline; masking zeroes the wall field of every phase entry.
+    let traced = stdout_str(&daemon.query(&[
+        "--mask-wall",
+        "{\"v\":1,\"id\":1,\"type\":\"typical-cascade\",\"graph\":\"net\",\
+         \"source\":0,\"trace\":true}",
+    ]));
+    assert!(traced.contains("\"status\":\"ok\""), "{traced}");
+    assert!(
+        traced.contains("\"trace\":[{\"phase\":\"parse\",\"ticks\":"),
+        "{traced}"
+    );
+    for phase in ["parse", "queue_wait", "cache", "compute", "serialize"] {
+        assert!(
+            traced.contains(&format!("{{\"phase\":\"{phase}\",\"ticks\":")),
+            "missing {phase} phase: {traced}"
+        );
+    }
+    assert!(
+        !traced.contains("\"wall_ns\":1"),
+        "unmasked trace: {traced}"
+    );
+
+    // Without the opt-in the response carries no timeline.
+    let plain = stdout_str(&daemon.query(&[
+        "{\"v\":1,\"id\":2,\"type\":\"spread-estimate\",\"graph\":\"net\",\
+         \"seeds\":[0],\"samples\":16,\"seed\":7}",
+    ]));
+    assert!(plain.contains("\"status\":\"ok\""), "{plain}");
+    assert!(!plain.contains("\"trace\":["), "unrequested trace: {plain}");
+
+    // `--watch N` prints one snapshot per poll plus a counter-delta
+    // line from the second poll on; between idle polls the only moving
+    // counter is each poll counting itself.
+    let watch = stdout_str(&daemon.stats(&["--watch", "3", "--interval-ms", "40"]));
+    let lines: Vec<&str> = watch.lines().collect();
+    assert_eq!(lines.len(), 5, "3 snapshots + 2 deltas:\n{watch}");
+    for delta in [lines[2], lines[4]] {
+        assert!(delta.starts_with("{\"stats_delta\":{"), "{delta}");
+        assert!(
+            delta.contains("\"server.requests_total\":1"),
+            "poll self-count missing: {delta}"
+        );
+    }
+
+    // The Prometheus rendering exposes counters, histogram buckets,
+    // wall-summary quantiles, and the per-thread/pool series.
+    let prom = stdout_str(&daemon.stats(&["--format", "prom"]));
+    for needle in [
+        "# TYPE soi_server_requests_total counter",
+        "soi_server_requests_total ",
+        "soi_sampling_cascade_size_bucket{le=\"+Inf\"} 16",
+        "soi_server_request_ns_ns{quantile=\"0.5\"} 0",
+        "soi_thread_busy_ns{thread=\"thread.",
+        "soi_pool_dispatches ",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+
+    // Threshold 1 tick makes every compute request slow: after drain
+    // the log holds one JSONL record per compute request, timeline
+    // included.
+    daemon.shutdown();
+    let logged = std::fs::read_to_string(&slow_log).expect("slow-query log written");
+    let records: Vec<&str> = logged.lines().collect();
+    assert_eq!(
+        records.len(),
+        2,
+        "one record per compute request:\n{logged}"
+    );
+    assert!(
+        records[0].contains("\"type_name\":\"typical-cascade\",\"id\":1,"),
+        "{logged}"
+    );
+    assert!(
+        records[1].contains("\"type_name\":\"spread-estimate\",\"id\":2,"),
+        "{logged}"
+    );
+    for record in records {
+        assert!(record.contains("\"ticks_total\":"), "{record}");
+        assert!(
+            record.contains("\"trace\":[{\"phase\":\"parse\""),
+            "{record}"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -30,6 +30,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod perthread;
 pub mod report;
 pub mod span;
 
@@ -42,11 +43,13 @@ pub use report::RunReport;
 pub use span::{span, SpanGuard, SpanStat};
 
 /// Resets all global observability state: metric values, span
-/// statistics, and event counters. Cached [`counter_add!`] handles stay
-/// valid — values are zeroed in place, entries are never removed.
+/// statistics, per-thread timing slots, and event counters. Cached
+/// [`counter_add!`] handles stay valid — values are zeroed in place,
+/// entries are never removed.
 pub fn reset() {
     metrics::registry().reset();
     span::reset_spans();
+    perthread::reset();
 }
 
 /// Increments a named counter, caching the registry handle at the call

@@ -9,8 +9,8 @@
 //! must produce byte-identical JSONL (golden-tested in `soi-cli`).
 
 use crate::metrics::WallHistStat;
+use crate::perthread::{PoolSnap, ThreadSnap};
 use crate::span::SpanStat;
-use soi_util::timer::format_duration;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::time::Duration;
@@ -33,12 +33,22 @@ pub struct RunReport {
     /// observation `count` is deterministic; quantiles are wall-clock
     /// data and are emitted exclusively in `wall_`-prefixed fields.
     pub wall_hists: BTreeMap<String, WallHistStat>,
+    /// Per-worker timing slots (`thread.*` series), slot-sorted. Every
+    /// numeric field is schedule-dependent and is emitted exclusively
+    /// in `wall_`-prefixed fields; only the *set* of slots is
+    /// deterministic (it mirrors the resolved worker count).
+    pub threads: Vec<ThreadSnap>,
+    /// Pool-level dispatch aggregates (`pool.*` series). Dispatch and
+    /// item totals are deterministic counts; capacity/lifetime/
+    /// imbalance are wall-clock.
+    pub pool: PoolSnap,
 }
 
 impl RunReport {
-    /// Snapshots the global registry and span table.
+    /// Snapshots the global registry, span table, and per-thread slots.
     pub fn collect(config: &[(&str, &str)]) -> RunReport {
         let reg = crate::metrics::registry();
+        let (threads, pool) = crate::perthread::snapshot();
         RunReport {
             config: config
                 .iter()
@@ -49,11 +59,24 @@ impl RunReport {
             histograms: reg.histogram_values(),
             spans: crate::span::snapshot_spans(),
             wall_hists: reg.wall_hist_values(),
+            threads,
+            pool,
+        }
+    }
+
+    /// Report name for a per-thread slot: `thread.N` for workers, the
+    /// reserved `thread.coordinator` for unregistered-thread records.
+    fn thread_name(slot: usize) -> String {
+        if slot >= crate::perthread::MAX_SLOTS {
+            "thread.coordinator".to_string()
+        } else {
+            format!("thread.{slot}")
         }
     }
 
     /// Writes the report as JSON Lines: one self-describing object per
-    /// line (`type` ∈ `config|counter|gauge|histogram|span`).
+    /// line (`type` ∈
+    /// `config|counter|gauge|histogram|span|wall_hist|thread|pool`).
     pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         for (k, v) in &self.config {
             writeln!(
@@ -111,6 +134,31 @@ impl RunReport {
                 s.max_ns
             )?;
         }
+        for t in &self.threads {
+            writeln!(
+                w,
+                "{{\"type\":\"thread\",\"name\":\"{}\",\"wall_busy_ns\":{},\"wall_idle_ns\":{},\"wall_merge_ns\":{},\"wall_lock_wait_ns\":{},\"wall_lifetime_ns\":{},\"wall_items\":{}}}",
+                Self::thread_name(t.slot),
+                t.busy_ns,
+                t.idle_ns,
+                t.merge_ns,
+                t.lock_wait_ns,
+                t.lifetime_ns,
+                t.items
+            )?;
+        }
+        if self.pool.dispatches > 0 {
+            writeln!(
+                w,
+                "{{\"type\":\"pool\",\"name\":\"pool\",\"dispatches\":{},\"items\":{},\"workers_max\":{},\"wall_capacity_ns\":{},\"wall_lifetime_ns\":{},\"wall_imbalance_ns\":{}}}",
+                self.pool.dispatches,
+                self.pool.items,
+                self.pool.workers_max,
+                self.pool.capacity_ns,
+                self.pool.lifetime_ns,
+                self.pool.imbalance_ns
+            )?;
+        }
         Ok(())
     }
 
@@ -152,6 +200,27 @@ impl RunReport {
             writeln!(w, "wall_hist\t{name}\twall_p90_ns\t{}", s.p90_ns)?;
             writeln!(w, "wall_hist\t{name}\twall_max_ns\t{}", s.max_ns)?;
         }
+        for t in &self.threads {
+            let name = Self::thread_name(t.slot);
+            writeln!(w, "thread\t{name}\twall_busy_ns\t{}", t.busy_ns)?;
+            writeln!(w, "thread\t{name}\twall_idle_ns\t{}", t.idle_ns)?;
+            writeln!(w, "thread\t{name}\twall_merge_ns\t{}", t.merge_ns)?;
+            writeln!(w, "thread\t{name}\twall_lock_wait_ns\t{}", t.lock_wait_ns)?;
+            writeln!(w, "thread\t{name}\twall_lifetime_ns\t{}", t.lifetime_ns)?;
+            writeln!(w, "thread\t{name}\twall_items\t{}", t.items)?;
+        }
+        if self.pool.dispatches > 0 {
+            writeln!(w, "pool\tpool\tdispatches\t{}", self.pool.dispatches)?;
+            writeln!(w, "pool\tpool\titems\t{}", self.pool.items)?;
+            writeln!(w, "pool\tpool\tworkers_max\t{}", self.pool.workers_max)?;
+            writeln!(w, "pool\tpool\twall_capacity_ns\t{}", self.pool.capacity_ns)?;
+            writeln!(w, "pool\tpool\twall_lifetime_ns\t{}", self.pool.lifetime_ns)?;
+            writeln!(
+                w,
+                "pool\tpool\twall_imbalance_ns\t{}",
+                self.pool.imbalance_ns
+            )?;
+        }
         Ok(())
     }
 
@@ -190,6 +259,36 @@ impl RunReport {
 
 fn clamp_ns(ns: u128) -> u64 {
     u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+/// Compact duration formatting for the summary table. Mirrors
+/// `soi_util::timer::format_duration`; duplicated privately because
+/// `soi-util` depends on this crate, so importing it here would cycle.
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        return format!("{ns}ns");
+    }
+    if ns < 1_000_000 {
+        let us = ns as f64 / 1e3;
+        if us < 999.95 {
+            return format!("{us:.1}µs");
+        }
+        return "1.0ms".to_string();
+    }
+    if ns < 1_000_000_000 {
+        let ms = ns as f64 / 1e6;
+        if ms < 999.95 {
+            return format!("{ms:.1}ms");
+        }
+        return "1.00s".to_string();
+    }
+    let secs = ns as f64 / 1e9;
+    if secs < 99.995 {
+        return format!("{secs:.2}s");
+    }
+    let total = secs.round() as u128;
+    format!("{}m{:02}s", total / 60, total % 60)
 }
 
 /// Replaces the value of every `"wall_*":` field in a JSONL report with
@@ -261,6 +360,13 @@ mod tests {
         let w = crate::metrics::wall_hist("test.report.latency");
         w.observe_ns(if sleep { 2_000_000 } else { 800 });
         w.observe_ns(if sleep { 9_000_000 } else { 1_200 });
+        {
+            let _reg = crate::perthread::register(0);
+            crate::perthread::record_busy(if sleep { 5_000 } else { 1_000 });
+            crate::perthread::record_items(4);
+            crate::perthread::record_lifetime(if sleep { 6_000 } else { 2_000 });
+        }
+        crate::perthread::note_dispatch(2, 4, if sleep { 6_000 } else { 2_000 });
         RunReport::collect(&[("command", "test"), ("seed", "42")])
     }
 
@@ -277,6 +383,10 @@ mod tests {
         assert!(text.contains("\"type\":\"span\",\"path\":\"phase_a/phase_b\""));
         assert!(text.contains(
             "\"type\":\"wall_hist\",\"name\":\"test.report.latency\",\"count\":2,\"wall_p50_ns\":"
+        ));
+        assert!(text.contains("\"type\":\"thread\",\"name\":\"thread.0\",\"wall_busy_ns\":"));
+        assert!(text.contains(
+            "\"type\":\"pool\",\"name\":\"pool\",\"dispatches\":1,\"items\":4,\"workers_max\":2,"
         ));
     }
 
@@ -313,7 +423,15 @@ mod tests {
             if (fields[0] == "span" || fields[0] == "wall_hist") && fields[2] != "count" {
                 assert!(fields[2].starts_with("wall_"), "unmarked timing: {line}");
             }
+            if fields[0] == "thread" {
+                assert!(fields[2].starts_with("wall_"), "unmarked timing: {line}");
+            }
+            if fields[0] == "pool" && !matches!(fields[2], "dispatches" | "items" | "workers_max") {
+                assert!(fields[2].starts_with("wall_"), "unmarked timing: {line}");
+            }
         }
+        assert!(text.contains("thread\tthread.0\twall_busy_ns\t"));
+        assert!(text.contains("pool\tpool\tdispatches\t1"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::engine::ServerEngine;
 use crate::protocol::{self, Envelope, Request, DEFAULT_MAX_LINE};
+use crate::trace::{PhaseTrace, SlowLog};
 use crate::worker::{self, Job, PoolHandle, WorkerPool};
 use soi_util::{ProtoErrorKind, SoiError};
 use std::io::{self, BufRead, BufReader, Write};
@@ -25,8 +26,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Instant;
 
+/// Version tag of the extended `stats` payload: the flat fields are
+/// frozen v1 shape, the structured `counters`/`gauges`/`histograms`/
+/// `timing_hists`/`threads`/`pool` sections arrived in v2.
+pub const STATS_VERSION: u64 = 2;
+
 /// Daemon options fixed at startup.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral; the bound address
     /// is announced on stdout as `listening on HOST:PORT`).
@@ -37,6 +43,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Request-line length cap in bytes.
     pub max_line: usize,
+    /// Slow-query threshold in deterministic ticks (0 = disabled).
+    pub slow_query_ticks: u64,
+    /// Where the slow-query JSONL log appends; both this and a nonzero
+    /// threshold are required to activate the log.
+    pub slow_query_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +57,8 @@ impl Default for ServeConfig {
             workers: 0,
             queue_cap: 64,
             max_line: DEFAULT_MAX_LINE,
+            slow_query_ticks: 0,
+            slow_query_log: None,
         }
     }
 }
@@ -112,32 +125,115 @@ fn control_response(
             &format!("\"ok\":true,\"graphs\":{}", engine.graph_names().len()),
             0,
         ),
-        Request::Stats => {
-            let (depth, in_flight) = pool.map_or((0, 0), |p| (p.queue_depth(), p.in_flight()));
-            let generations = pool.map_or(0, PoolHandle::generations);
-            let payload = format!(
-                "\"graphs\":{},\"queue_depth\":{depth},\"in_flight\":{in_flight},\
-                 \"requests_total\":{},\"rejected_queue_full\":{},\"cache_hits\":{},\"cache_misses\":{},\
-                 \"worker_generations\":{generations},\"worker_panics\":{},\"worker_respawns\":{},\
-                 \"requests_shed\":{},\"requests_degraded\":{}",
-                engine.graph_names().len(),
-                soi_obs::counter("server.requests_total").get(),
-                soi_obs::counter("server.rejected_queue_full").get(),
-                soi_obs::counter("server.cache_hits").get(),
-                soi_obs::counter("server.cache_misses").get(),
-                soi_obs::counter("server.worker_panics").get(),
-                soi_obs::counter("server.worker_respawns").get(),
-                soi_obs::counter("server.requests_shed").get(),
-                soi_obs::counter("server.requests_degraded").get(),
-            );
-            protocol::encode_ok(id, &payload, 0)
-        }
+        Request::Stats => protocol::encode_ok(id, &stats_payload(engine, pool), 0),
         Request::Shutdown => protocol::encode_ok(id, "\"draining\":true", 0),
         _ => protocol::encode_error(
             Some(id),
             &SoiError::protocol(ProtoErrorKind::BadField, "not a control request"),
         ),
     }
+}
+
+/// Builds the full `stats` payload fragment: the original flat fields
+/// (frozen for v1 clients) followed by the v2 structured sections — a
+/// complete snapshot of every registered counter, gauge, histogram, and
+/// wall-timing histogram, plus the per-thread timing plane. Wall-clock
+/// values appear only in scalar fields whose names start with `wall_`,
+/// so [`soi_obs::report::mask_wall_clock`] keeps masking mechanically;
+/// section keys deliberately avoid the prefix (`timing_hists`).
+fn stats_payload(engine: &ServerEngine, pool: Option<&PoolHandle>) -> String {
+    let (depth, in_flight) = pool.map_or((0, 0), |p| (p.queue_depth(), p.in_flight()));
+    let generations = pool.map_or(0, PoolHandle::generations);
+    let flat = format!(
+        "\"graphs\":{},\"queue_depth\":{depth},\"in_flight\":{in_flight},\
+         \"requests_total\":{},\"rejected_queue_full\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"worker_generations\":{generations},\"worker_panics\":{},\"worker_respawns\":{},\
+         \"requests_shed\":{},\"requests_degraded\":{}",
+        engine.graph_names().len(),
+        soi_obs::counter("server.requests_total").get(),
+        soi_obs::counter("server.rejected_queue_full").get(),
+        soi_obs::counter("server.cache_hits").get(),
+        soi_obs::counter("server.cache_misses").get(),
+        soi_obs::counter("server.worker_panics").get(),
+        soi_obs::counter("server.worker_respawns").get(),
+        soi_obs::counter("server.requests_shed").get(),
+        soi_obs::counter("server.requests_degraded").get(),
+    );
+    let registry = soi_obs::metrics::registry();
+    let join = |items: Vec<String>| items.join(",");
+    let counters = join(
+        registry
+            .counter_values()
+            .iter()
+            .map(|(name, v)| format!("\"{name}\":{v}"))
+            .collect(),
+    );
+    let gauges = join(
+        registry
+            .gauge_values()
+            .iter()
+            .map(|(name, v)| format!("\"{name}\":{}", crate::json::fmt_num(*v)))
+            .collect(),
+    );
+    let num_list = |vals: &[f64]| join(vals.iter().map(|v| crate::json::fmt_num(*v)).collect());
+    let histograms = join(
+        registry
+            .histogram_values()
+            .iter()
+            .map(|(name, (bounds, counts))| {
+                let counts = join(counts.iter().map(u64::to_string).collect());
+                format!(
+                    "\"{name}\":{{\"bounds\":[{}],\"counts\":[{counts}]}}",
+                    num_list(bounds)
+                )
+            })
+            .collect(),
+    );
+    let timing_hists = join(
+        registry
+            .wall_hist_values()
+            .iter()
+            .map(|(name, stat)| {
+                format!(
+                    "\"{name}\":{{\"count\":{},\"wall_p50_ns\":{},\"wall_p90_ns\":{},\
+                     \"wall_max_ns\":{}}}",
+                    stat.count, stat.p50_ns, stat.p90_ns, stat.max_ns
+                )
+            })
+            .collect(),
+    );
+    let (threads, pool_snap) = soi_obs::perthread::snapshot();
+    let threads = join(
+        threads
+            .iter()
+            .map(|t| {
+                let name = if t.slot >= soi_obs::perthread::MAX_SLOTS {
+                    "thread.coordinator".to_string()
+                } else {
+                    format!("thread.{}", t.slot)
+                };
+                format!(
+                    "{{\"name\":\"{name}\",\"wall_busy_ns\":{},\"wall_idle_ns\":{},\
+                     \"wall_merge_ns\":{},\"wall_lock_wait_ns\":{},\"wall_lifetime_ns\":{},\
+                     \"wall_items\":{}}}",
+                    t.busy_ns, t.idle_ns, t.merge_ns, t.lock_wait_ns, t.lifetime_ns, t.items
+                )
+            })
+            .collect(),
+    );
+    format!(
+        "{flat},\"stats_version\":{STATS_VERSION},\"counters\":{{{counters}}},\
+         \"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}},\
+         \"timing_hists\":{{{timing_hists}}},\"threads\":[{threads}],\
+         \"pool\":{{\"dispatches\":{},\"items\":{},\"workers_max\":{},\
+         \"wall_capacity_ns\":{},\"wall_lifetime_ns\":{},\"wall_imbalance_ns\":{}}}",
+        pool_snap.dispatches,
+        pool_snap.items,
+        pool_snap.workers_max,
+        pool_snap.capacity_ns,
+        pool_snap.lifetime_ns,
+        pool_snap.imbalance_ns,
+    )
 }
 
 /// What the connection loop should do after handling one line.
@@ -148,12 +244,14 @@ enum Step {
 }
 
 /// Handles one raw request line end-to-end: parse, dispatch, respond.
-/// `submit` runs a compute envelope to its encoded response line.
+/// `submit` runs a compute envelope to its encoded response line,
+/// carrying the phase timeline started here (the `parse` phase: one
+/// tick per request-line byte).
 fn handle_line<W: Write>(
     engine: &ServerEngine,
     pool: Option<&PoolHandle>,
     line: &str,
-    submit: &dyn Fn(Envelope) -> String,
+    submit: &dyn Fn(Envelope, PhaseTrace) -> String,
     writer: &mut W,
 ) -> Step {
     if line.trim().is_empty() {
@@ -174,7 +272,15 @@ fn handle_line<W: Write>(
             }
             (resp, is_shutdown)
         }
-        Ok(envelope) => (submit(envelope), false),
+        Ok(envelope) => {
+            let mut trace = PhaseTrace::new();
+            trace.record(
+                "parse",
+                line.len() as u64,
+                crate::trace::elapsed_ns(started),
+            );
+            (submit(envelope, trace), false)
+        }
     };
     soi_util::failpoint_crash!("server.response.write");
     if writeln!(writer, "{response}")
@@ -221,13 +327,10 @@ fn handle_conn(
     };
     let _guard = ConnGuard(guard_stream);
     let mut reader = BufReader::new(stream);
-    let submit = |envelope: Envelope| -> String {
+    let submit = |envelope: Envelope, trace: PhaseTrace| -> String {
         let id = envelope.id;
         let (tx, rx) = mpsc::channel();
-        pool.submit(Job {
-            envelope,
-            reply: tx,
-        });
+        pool.submit(Job::with_trace(envelope, tx, trace));
         rx.recv().unwrap_or_else(|_| {
             protocol::encode_error(
                 Some(id),
@@ -308,7 +411,13 @@ pub fn run_tcp<W: Write>(
     out.flush().map_err(|e| SoiError::io("stdout", e))?;
 
     let workers = soi_util::pool::effective_threads(config.workers, usize::MAX);
-    let pool = WorkerPool::start(Arc::clone(&engine), workers, config.queue_cap);
+    let slow = match (&config.slow_query_log, config.slow_query_ticks) {
+        (Some(path), ticks) if ticks > 0 => Some(Arc::new(
+            SlowLog::to_file(ticks, path).map_err(|e| SoiError::io("slow-query log", e))?,
+        )),
+        _ => None,
+    };
+    let pool = WorkerPool::start_with(Arc::clone(&engine), workers, config.queue_cap, slow);
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let mut conn_threads = Vec::new();
@@ -383,7 +492,12 @@ pub fn run_stdio<R: BufRead, W: Write>(
             }
             LineRead::Line(line) => line,
         };
-        let submit = |envelope: Envelope| worker::execute_job(engine, &envelope);
+        let submit = |envelope: Envelope, mut trace: PhaseTrace| {
+            // No queue on the synchronous lane; the phase is recorded at
+            // zero so stdio timelines share the TCP schema.
+            trace.record("queue_wait", 0, 0);
+            worker::execute_job_traced(engine, &envelope, &mut trace, None)
+        };
         match handle_line(engine, None, &line, &submit, out) {
             Step::Continue => {}
             Step::Disconnect => return Ok(()),
@@ -435,6 +549,57 @@ mod tests {
             lines[1].contains("\"sphere\":[0,1,2,3,4,5]"),
             "{}",
             lines[1]
+        );
+    }
+
+    #[test]
+    fn stats_payload_has_versioned_sections_and_masks_clean() {
+        let lines = serve_lines(
+            "{\"v\":1,\"id\":2,\"type\":\"typical-cascade\",\"graph\":\"g\",\"source\":0}\n\
+             {\"v\":1,\"id\":1,\"type\":\"stats\"}\n",
+            DEFAULT_MAX_LINE,
+        );
+        let stats = &lines[1];
+        for section in [
+            "\"stats_version\":2",
+            "\"counters\":{",
+            "\"gauges\":{",
+            "\"histograms\":{",
+            "\"timing_hists\":{",
+            "\"threads\":[",
+            "\"pool\":{\"dispatches\":",
+            "\"server.requests_total\":",
+            "\"server.request_ns\":{\"count\":",
+        ] {
+            assert!(stats.contains(section), "missing {section} in {stats}");
+        }
+        // The snapshot parses as JSON both raw and wall-masked — the
+        // wall_ prefix only ever names scalar fields.
+        crate::json::parse(stats).expect("raw stats parse");
+        let masked = soi_obs::report::mask_wall_clock(stats);
+        crate::json::parse(&masked).expect("masked stats parse");
+        assert!(masked.contains("\"wall_p50_ns\":0"), "{masked}");
+    }
+
+    #[test]
+    fn stdio_traced_compute_returns_timeline() {
+        let lines = serve_lines(
+            "{\"v\":1,\"id\":7,\"type\":\"typical-cascade\",\"graph\":\"g\",\"source\":0,\"trace\":true}\n",
+            DEFAULT_MAX_LINE,
+        );
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        for phase in ["parse", "queue_wait", "cache", "compute", "serialize"] {
+            assert!(
+                line.contains(&format!("{{\"phase\":\"{phase}\",\"ticks\":")),
+                "missing {phase} in {line}"
+            );
+        }
+        // The parse phase bills one tick per request-line byte.
+        assert!(
+            line.contains("{\"phase\":\"parse\",\"ticks\":75,"),
+            "{line}"
         );
     }
 

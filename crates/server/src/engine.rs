@@ -14,6 +14,7 @@
 
 use crate::json::fmt_num;
 use crate::protocol::Request;
+use crate::trace::PhaseTrace;
 use soi_core::EngineRunOpts;
 use soi_graph::ProbGraph;
 use soi_index::{CascadeIndex, IndexConfig};
@@ -173,19 +174,36 @@ impl ServerEngine {
         name: &str,
         degrade: bool,
     ) -> Result<(Arc<CascadeIndex>, bool), SoiError> {
+        self.index_for_traced(name, degrade)
+            .map(|(index, degraded, _)| (index, degraded))
+    }
+
+    /// [`Self::index_for_degraded`] additionally reporting whether this
+    /// call *built* the index (the final `bool`): a cold `cache` phase
+    /// costs `num_worlds` deterministic ticks, a hit costs zero.
+    fn index_for_traced(
+        &self,
+        name: &str,
+        degrade: bool,
+    ) -> Result<(Arc<CascadeIndex>, bool, bool), SoiError> {
         let pg = self.graph(name)?;
         let config = self.index_config();
         let key = CascadeIndex::cache_key(pg, &config);
         {
-            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            // Waiting on the cache mutex is the engine's contention
+            // point; attribute it to this worker's lock-wait slot.
+            let mut cache =
+                soi_obs::perthread::timed_region(soi_obs::perthread::record_lock_wait, || {
+                    self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+                });
             if let Some(index) = cache.get(key) {
                 soi_obs::counter_add!("server.cache_hits", 1);
-                return Ok((index, false));
+                return Ok((index, false, false));
             }
         }
         soi_obs::counter_add!("server.cache_misses", 1);
         match self.build_index(name, pg, config, key) {
-            Ok(index) => Ok((index, false)),
+            Ok(index) => Ok((index, false, true)),
             Err(err) => {
                 if degrade {
                     let stale = {
@@ -197,7 +215,7 @@ impl ServerEngine {
                     };
                     if let Some(index) = stale {
                         soi_obs::counter_add!("server.requests_degraded", 1);
-                        return Ok((index, true));
+                        return Ok((index, true, false));
                     }
                 }
                 Err(err)
@@ -240,6 +258,23 @@ impl ServerEngine {
     /// Executes one compute request, producing the response payload.
     /// Control requests ([`Request::is_control`]) are not handled here.
     pub fn execute(&self, req: &Request) -> Result<ExecOutput, SoiError> {
+        let mut trace = PhaseTrace::new();
+        self.execute_traced(req, &mut trace)
+    }
+
+    /// [`Self::execute`] additionally recording the request's `cache`
+    /// and `compute` phases into `trace`. Tick costs are deterministic
+    /// work proxies: a cold `cache` phase costs `num_worlds` (the worlds
+    /// sampled by the build; a hit costs 0), `compute` costs 1 per
+    /// typical-cascade fit, one per Monte-Carlo sample run, or `k` per
+    /// seed selected. Wall time is measured alongside and lives only in
+    /// the phases' `wall_ns`. Error returns leave `trace` at whatever
+    /// prefix of phases completed — error responses carry no trace.
+    pub fn execute_traced(
+        &self,
+        req: &Request,
+        trace: &mut PhaseTrace,
+    ) -> Result<ExecOutput, SoiError> {
         match req {
             Request::TypicalCascade {
                 graph,
@@ -247,7 +282,17 @@ impl ServerEngine {
                 deadline_ticks,
                 degrade,
             } => {
-                let (index, degraded) = self.index_for_degraded(graph, *degrade)?;
+                let cache_start = std::time::Instant::now();
+                let (index, degraded, built) = self.index_for_traced(graph, *degrade)?;
+                trace.record(
+                    "cache",
+                    if built {
+                        self.config.num_worlds as u64
+                    } else {
+                        0
+                    },
+                    crate::trace::elapsed_ns(cache_start),
+                );
                 if (*source as usize) >= index.num_nodes() {
                     return Err(SoiError::protocol(
                         ProtoErrorKind::BadField,
@@ -258,6 +303,7 @@ impl ServerEngine {
                     ));
                 }
                 let deadline = self.deadline(*deadline_ticks);
+                let compute_start = std::time::Instant::now();
                 let samples = index.cascades_of(*source);
                 let outcome = soi_jaccard::median::jaccard_median_budgeted(
                     &samples,
@@ -271,6 +317,7 @@ impl ServerEngine {
                     fmt_num(fit.cost),
                     degraded_suffix(degraded, "stale-index")
                 );
+                trace.record("compute", 1, crate::trace::elapsed_ns(compute_start));
                 Ok(ExecOutput::from_outcome(&outcome, payload))
             }
             Request::SpreadEstimate {
@@ -291,6 +338,10 @@ impl ServerEngine {
                         ),
                     ));
                 }
+                // Spread estimates never touch the index cache; the
+                // phase is recorded at zero cost so every compute
+                // request shares one timeline schema.
+                trace.record("cache", 0, 0);
                 let budget = deadline_ticks.unwrap_or(self.config.default_deadline_ticks);
                 if *degrade && budget > 0 && (budget as usize) < *samples {
                     // Degrade instead of going partial: answer with the
@@ -298,6 +349,7 @@ impl ServerEngine {
                     // Same seed + a prefix-sized count keeps the reduced
                     // answer deterministic.
                     let reduced = budget as usize;
+                    let compute_start = std::time::Instant::now();
                     let outcome = soi_sampling::estimate_spread_budgeted(
                         pg,
                         seeds,
@@ -311,12 +363,23 @@ impl ServerEngine {
                         fmt_num(*outcome.value_ref()),
                         degraded_suffix(true, "reduced-samples")
                     );
+                    trace.record(
+                        "compute",
+                        reduced as u64,
+                        crate::trace::elapsed_ns(compute_start),
+                    );
                     return Ok(ExecOutput::complete(payload));
                 }
                 let deadline = self.deadline(*deadline_ticks);
+                let compute_start = std::time::Instant::now();
                 let outcome =
                     soi_sampling::estimate_spread_budgeted(pg, seeds, *samples, *seed, &deadline);
                 let payload = format!("\"spread\":{}", fmt_num(*outcome.value_ref()));
+                trace.record(
+                    "compute",
+                    *samples as u64,
+                    crate::trace::elapsed_ns(compute_start),
+                );
                 Ok(ExecOutput::from_outcome(&outcome, payload))
             }
             Request::InfmaxTc {
@@ -325,8 +388,19 @@ impl ServerEngine {
                 deadline_ticks,
                 degrade,
             } => {
-                let (index, degraded) = self.index_for_degraded(graph, *degrade)?;
+                let cache_start = std::time::Instant::now();
+                let (index, degraded, built) = self.index_for_traced(graph, *degrade)?;
+                trace.record(
+                    "cache",
+                    if built {
+                        self.config.num_worlds as u64
+                    } else {
+                        0
+                    },
+                    crate::trace::elapsed_ns(cache_start),
+                );
                 let deadline = self.deadline(*deadline_ticks);
+                let compute_start = std::time::Instant::now();
                 let opts = EngineRunOpts {
                     deadline: &deadline,
                     checkpoint: None,
@@ -352,6 +426,11 @@ impl ServerEngine {
                     encode_nodes(&run.seeds),
                     coverage.join(","),
                     degraded_suffix(degraded, "stale-index")
+                );
+                trace.record(
+                    "compute",
+                    *k as u64,
+                    crate::trace::elapsed_ns(compute_start),
                 );
                 Ok(ExecOutput::from_outcome(&outcome, payload))
             }
@@ -502,6 +581,66 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn execute_traced_records_deterministic_phase_ticks() {
+        let _g = soi_util::failpoint::test_guard();
+        let engine = engine();
+        let req = Request::TypicalCascade {
+            graph: "g".into(),
+            source: 5,
+            deadline_ticks: None,
+            degrade: false,
+        };
+        let mut cold = PhaseTrace::new();
+        engine.execute_traced(&req, &mut cold).expect("cold");
+        let names: Vec<&str> = cold.phases().iter().map(|p| p.name).collect();
+        assert_eq!(names, ["cache", "compute"]);
+        // Cold cache phase costs num_worlds ticks; the hit costs zero.
+        assert_eq!(cold.phases()[0].ticks, 16);
+        assert_eq!(cold.phases()[1].ticks, 1);
+        let mut warm = PhaseTrace::new();
+        engine.execute_traced(&req, &mut warm).expect("warm");
+        assert_eq!(warm.phases()[0].ticks, 0);
+        // Spread estimates cost one tick per sample and skip the cache.
+        let mut spread = PhaseTrace::new();
+        engine
+            .execute_traced(
+                &Request::SpreadEstimate {
+                    graph: "g".into(),
+                    seeds: vec![0, 1],
+                    samples: 24,
+                    seed: 9,
+                    deadline_ticks: None,
+                    degrade: false,
+                },
+                &mut spread,
+            )
+            .expect("spread");
+        assert_eq!(
+            spread.phases()[0],
+            crate::trace::Phase {
+                name: "cache",
+                ticks: 0,
+                wall_ns: 0,
+            }
+        );
+        assert_eq!(spread.phases()[1].ticks, 24);
+        // Seed selection costs k ticks.
+        let mut infmax = PhaseTrace::new();
+        engine
+            .execute_traced(
+                &Request::InfmaxTc {
+                    graph: "g".into(),
+                    k: 3,
+                    deadline_ticks: None,
+                    degrade: false,
+                },
+                &mut infmax,
+            )
+            .expect("infmax");
+        assert_eq!(infmax.phases()[1].ticks, 3);
     }
 
     #[test]

@@ -37,12 +37,16 @@ pub mod engine;
 pub mod json;
 pub mod protocol;
 pub mod queue;
+pub mod stats;
+pub mod trace;
 pub mod worker;
 
 pub use client::{run_queries, send_one, BatchReport, QueryConfig};
-pub use daemon::{run_stdio, run_tcp, ServeConfig};
+pub use daemon::{run_stdio, run_tcp, ServeConfig, STATS_VERSION};
 pub use engine::{EngineConfig, ServerEngine};
 pub use protocol::{Envelope, Request, DEFAULT_MAX_LINE, PROTOCOL_VERSION};
+pub use stats::{run_stats, StatsConfig, StatsFormat};
+pub use trace::{Phase, PhaseTrace, SlowLog};
 
 #[cfg(test)]
 mod tests {

@@ -30,6 +30,9 @@ pub struct Envelope {
     pub id: u64,
     /// The requested operation.
     pub req: Request,
+    /// Opt-in phase tracing: when set on a compute request, the success
+    /// response carries the request's phase timeline (`"trace":[…]`).
+    pub trace: bool,
 }
 
 /// The operations the server understands.
@@ -245,7 +248,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
             ))
         }
     };
-    Ok(Envelope { id, req })
+    let trace = opt_bool(&doc, "trace")?;
+    Ok(Envelope { id, req, trace })
 }
 
 /// Encodes a complete success response. `payload` is a pre-encoded JSON
@@ -372,6 +376,22 @@ mod tests {
         let k = kind_of(
             parse_request(r#"{"v":1,"id":7,"type":"infmax-tc","graph":"g","k":1,"degrade":1}"#)
                 .expect_err("non-boolean degrade"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+    }
+
+    #[test]
+    fn trace_field_is_optional_and_boolean() {
+        let e = parse_request(
+            r#"{"v":1,"id":8,"type":"typical-cascade","graph":"g","source":0,"trace":true}"#,
+        )
+        .expect("trace on");
+        assert!(e.trace);
+        let e = parse_request(r#"{"v":1,"id":9,"type":"health"}"#).expect("default");
+        assert!(!e.trace);
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":10,"type":"health","trace":"yes"}"#)
+                .expect_err("non-boolean trace"),
         );
         assert_eq!(k, ProtoErrorKind::BadField);
     }

@@ -59,7 +59,13 @@ impl<T> Bounded<T> {
             return Err(PushError::Full(item));
         }
         s.items.push_back(item);
-        soi_obs::gauge("server.queue_depth").set(s.items.len() as f64);
+        let depth = s.items.len();
+        soi_obs::gauge("server.queue_depth").set(depth as f64);
+        // Depth-at-enqueue distribution. The value is a queue length in
+        // items, not nanoseconds, but it is schedule-dependent like wall
+        // time, so it lives in the wall-quarantined histogram family
+        // rather than poisoning the deterministic counters.
+        soi_obs::wall_hist("server.queue_depth_at_enqueue").observe_ns(depth as u64);
         drop(s);
         self.cond.notify_one();
         Ok(())
@@ -98,6 +104,19 @@ impl<T> Bounded<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn push_records_depth_distribution() {
+        let q = Bounded::new(8);
+        let before = soi_obs::wall_hist("server.queue_depth_at_enqueue")
+            .snapshot()
+            .count;
+        for i in 0..3 {
+            q.push(i).map_err(|_| ()).expect("push");
+        }
+        let snap = soi_obs::wall_hist("server.queue_depth_at_enqueue").snapshot();
+        assert_eq!(snap.count - before, 3, "one observation per enqueue");
+    }
 
     #[test]
     fn full_queue_rejects_with_item() {

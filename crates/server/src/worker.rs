@@ -21,9 +21,10 @@
 //! respawned generations): the graceful-drain half of the daemon's
 //! shutdown sequence.
 
-use crate::engine::ServerEngine;
+use crate::engine::{ExecOutput, ServerEngine};
 use crate::protocol::{self, Envelope};
 use crate::queue::{Bounded, PushError};
+use crate::trace::{PhaseTrace, SlowLog};
 use soi_util::{ProtoErrorKind, SoiError};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +40,29 @@ pub struct Job {
     /// a connection that died while its job was queued just discards
     /// the result.
     pub reply: mpsc::Sender<String>,
+    /// Phase timeline accumulated so far (the submitter's `parse`
+    /// phase); workers append `queue_wait`/`cache`/`compute`/`serialize`.
+    trace: PhaseTrace,
+    /// When the job was submitted; the dequeuing worker turns this into
+    /// the `queue_wait` phase and the `server.queue_wait_ns` histogram.
+    enqueued: Instant,
+}
+
+impl Job {
+    /// A job with an empty phase timeline.
+    pub fn new(envelope: Envelope, reply: mpsc::Sender<String>) -> Job {
+        Job::with_trace(envelope, reply, PhaseTrace::new())
+    }
+
+    /// A job carrying the submitter's already-recorded phases.
+    pub fn with_trace(envelope: Envelope, reply: mpsc::Sender<String>, trace: PhaseTrace) -> Job {
+        Job {
+            envelope,
+            reply,
+            trace,
+            enqueued: Instant::now(),
+        }
+    }
 }
 
 /// State shared by the pool owner, every submission handle, and every
@@ -48,6 +72,8 @@ struct Shared {
     queue: Bounded<Job>,
     queue_cap: usize,
     in_flight: AtomicU64,
+    /// Threshold-gated slow-query log shared by every generation.
+    slow: Option<Arc<SlowLog>>,
     /// Next worker generation id; strictly increasing across respawns.
     next_generation: AtomicU64,
     /// Join handles of live workers. A dying worker registers its
@@ -71,20 +97,62 @@ pub struct WorkerPool {
 /// Executes one job to an encoded response line; shared by the pool
 /// workers and the single-threaded stdio front-end.
 pub fn execute_job(engine: &ServerEngine, envelope: &Envelope) -> String {
-    let started = Instant::now();
-    let result = engine.execute(&envelope.req);
-    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    soi_obs::wall_hist("server.request_ns").observe_ns(wall_ns);
-    match result {
-        Ok(out) => match out.partial {
-            None => protocol::encode_ok(envelope.id, &out.payload, wall_ns),
-            Some((done, total, reason)) => {
-                soi_obs::counter_add!("server.partial_responses", 1);
-                protocol::encode_partial(envelope.id, &out.payload, done, total, reason, wall_ns)
-            }
-        },
-        Err(err) => protocol::encode_error(Some(envelope.id), &err),
+    let mut trace = PhaseTrace::new();
+    execute_job_traced(engine, envelope, &mut trace, None)
+}
+
+fn encode_line(id: u64, out: &ExecOutput, payload: &str, wall_ns: u64) -> String {
+    match out.partial {
+        None => protocol::encode_ok(id, payload, wall_ns),
+        Some((done, total, reason)) => {
+            protocol::encode_partial(id, payload, done, total, reason, wall_ns)
+        }
     }
+}
+
+/// [`execute_job`] with phase accounting: appends the engine's
+/// `cache`/`compute` phases and a `serialize` phase (ticks = payload
+/// bytes — deterministic, unlike the full line whose embedded `wall_ns`
+/// digit count varies) to `trace`, embeds the timeline in the response
+/// when the request opted in with `"trace":true`, and offers the
+/// completed timeline to the slow-query log.
+pub fn execute_job_traced(
+    engine: &ServerEngine,
+    envelope: &Envelope,
+    trace: &mut PhaseTrace,
+    slow: Option<&SlowLog>,
+) -> String {
+    let started = Instant::now();
+    let result = engine.execute_traced(&envelope.req, trace);
+    let wall_ns = crate::trace::elapsed_ns(started);
+    soi_obs::wall_hist("server.request_ns").observe_ns(wall_ns);
+    let line = match result {
+        Ok(out) => {
+            if out.partial.is_some() {
+                soi_obs::counter_add!("server.partial_responses", 1);
+            }
+            let serialize_start = Instant::now();
+            let line = encode_line(envelope.id, &out, &out.payload, wall_ns);
+            trace.record(
+                "serialize",
+                out.payload.len() as u64,
+                crate::trace::elapsed_ns(serialize_start),
+            );
+            if envelope.trace {
+                // Opt-in only: re-encode with the timeline attached, so
+                // the untraced path never pays for the fragment.
+                let payload = format!("{},{}", out.payload, trace.json_fragment());
+                encode_line(envelope.id, &out, &payload, wall_ns)
+            } else {
+                line
+            }
+        }
+        Err(err) => protocol::encode_error(Some(envelope.id), &err),
+    };
+    if let Some(slow) = slow {
+        slow.maybe_log(envelope.id, envelope.req.type_name(), trace);
+    }
+    line
 }
 
 /// The worker loop for one generation. Returns normally on queue close;
@@ -92,7 +160,21 @@ pub fn execute_job(engine: &ServerEngine, envelope: &Envelope) -> String {
 /// typed `internal-error` response, and a replacement generation is
 /// spawned before this thread exits.
 fn worker_loop(shared: Arc<Shared>, generation: u64) {
-    while let Some(job) = shared.queue.pop() {
+    use soi_obs::perthread;
+    // Each generation owns a slot in the per-thread timing plane; late
+    // generations (respawns past the plane's capacity) share the last
+    // slot rather than going untimed.
+    let _reg = perthread::register(generation as usize);
+    let loop_start = Instant::now();
+    loop {
+        // Blocking on the empty queue is idle time, not busy time.
+        let Some(mut job) = perthread::timed_region(perthread::record_idle, || shared.queue.pop())
+        else {
+            break;
+        };
+        let wait_ns = crate::trace::elapsed_ns(job.enqueued);
+        soi_obs::wall_hist("server.queue_wait_ns").observe_ns(wait_ns);
+        job.trace.record("queue_wait", 0, wait_ns);
         // ordering: in_flight is a stats counter read only through racy
         // snapshots; Relaxed RMW keeps it exact without fencing the
         // hot dispatch path.
@@ -100,15 +182,27 @@ fn worker_loop(shared: Arc<Shared>, generation: u64) {
         // AssertUnwindSafe: engine state is either immutable (graphs,
         // config) or lock-guarded with poison recovery (caches), so a
         // half-finished job cannot leave it inconsistent.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            soi_util::failpoint_crash!("server.worker.dispatch");
-            execute_job(&shared.engine, &job.envelope)
-        }));
+        let outcome = perthread::timed_region(perthread::record_busy, || {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                soi_util::failpoint_crash!("server.worker.dispatch");
+                execute_job_traced(
+                    &shared.engine,
+                    &job.envelope,
+                    &mut job.trace,
+                    shared.slow.as_deref(),
+                )
+            }))
+        });
         // ordering: see the matching fetch_add above.
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        perthread::record_items(1);
         match outcome {
             Ok(line) => {
-                let _ = job.reply.send(line);
+                // Handing the result back to the connection thread is
+                // merge time in the attribution identity.
+                perthread::timed_region(perthread::record_merge, || {
+                    let _ = job.reply.send(line);
+                });
             }
             Err(_panic) => {
                 soi_obs::counter_add!("server.worker_panics", 1);
@@ -120,10 +214,12 @@ fn worker_loop(shared: Arc<Shared>, generation: u64) {
                     .reply
                     .send(protocol::encode_error(Some(job.envelope.id), &err));
                 respawn(&shared);
+                perthread::record_lifetime(crate::trace::elapsed_ns(loop_start));
                 return;
             }
         }
     }
+    perthread::record_lifetime(crate::trace::elapsed_ns(loop_start));
 }
 
 /// Spawns the replacement for a panicked worker under a fresh generation
@@ -145,12 +241,24 @@ fn respawn(shared: &Arc<Shared>) {
 impl WorkerPool {
     /// Starts `workers` threads (min 1) over a queue of `queue_cap`.
     pub fn start(engine: Arc<ServerEngine>, workers: usize, queue_cap: usize) -> Self {
+        WorkerPool::start_with(engine, workers, queue_cap, None)
+    }
+
+    /// [`Self::start`] with an optional slow-query log shared by every
+    /// worker generation.
+    pub fn start_with(
+        engine: Arc<ServerEngine>,
+        workers: usize,
+        queue_cap: usize,
+        slow: Option<Arc<SlowLog>>,
+    ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             engine,
             queue: Bounded::new(queue_cap),
             queue_cap,
             in_flight: AtomicU64::new(0),
+            slow,
             next_generation: AtomicU64::new(workers as u64),
             threads: Mutex::new(Vec::with_capacity(workers)),
         });
@@ -261,8 +369,8 @@ mod tests {
     }
 
     fn spread_job(id: u64, reply: mpsc::Sender<String>) -> Job {
-        Job {
-            envelope: Envelope {
+        Job::new(
+            Envelope {
                 id,
                 req: Request::SpreadEstimate {
                     graph: "g".into(),
@@ -272,9 +380,84 @@ mod tests {
                     deadline_ticks: None,
                     degrade: false,
                 },
+                trace: false,
             },
             reply,
+        )
+    }
+
+    #[test]
+    fn traced_request_embeds_phase_timeline() {
+        let _g = soi_util::failpoint::test_guard();
+        let engine = engine();
+        let envelope = Envelope {
+            id: 3,
+            req: Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0],
+                samples: 4,
+                seed: 1,
+                deadline_ticks: None,
+                degrade: false,
+            },
+            trace: true,
+        };
+        let mut trace = PhaseTrace::new();
+        trace.record("parse", 52, 777);
+        let line = execute_job_traced(&engine, &envelope, &mut trace, None);
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert!(
+            line.contains("\"trace\":[{\"phase\":\"parse\",\"ticks\":52,"),
+            "{line}"
+        );
+        for phase in ["cache", "compute", "serialize"] {
+            assert!(line.contains(&format!("{{\"phase\":\"{phase}\"")), "{line}");
         }
+        // Untraced requests answer without the timeline.
+        let untraced = Envelope {
+            trace: false,
+            ..envelope
+        };
+        let line = execute_job(&engine, &untraced);
+        assert!(!line.contains("\"trace\":["), "{line}");
+    }
+
+    #[test]
+    fn worker_records_queue_wait_and_offers_slow_log() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_obs::reset();
+        // Threshold 1: the 4-sample spread job (4 compute ticks) always
+        // reaches it, so the pool's worker must hand the completed
+        // timeline to the log.
+        let (log_tx, log_rx) = mpsc::channel::<String>();
+        struct ChannelWriter(mpsc::Sender<String>);
+        impl std::io::Write for ChannelWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let _ = self.0.send(String::from_utf8_lossy(buf).into_owned());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let slow = Arc::new(SlowLog::new(1, Box::new(ChannelWriter(log_tx))));
+        let pool = WorkerPool::start_with(engine(), 1, 4, Some(slow));
+        let handle = pool.handle();
+        let (tx, rx) = mpsc::channel();
+        handle.submit(spread_job(5, tx));
+        assert!(rx.recv().expect("reply").contains("\"status\":\"ok\""));
+        let logged = log_rx.recv().expect("slow-query line");
+        assert!(
+            logged.contains("\"type_name\":\"spread-estimate\""),
+            "{logged}"
+        );
+        assert!(
+            logged.contains("{\"phase\":\"queue_wait\",\"ticks\":0,"),
+            "{logged}"
+        );
+        pool.shutdown();
+        let wait = soi_obs::wall_hist("server.queue_wait_ns").snapshot();
+        assert_eq!(wait.count, 1, "queue wait observed on every dequeue");
     }
 
     #[test]
@@ -321,8 +504,8 @@ mod tests {
         let pool = WorkerPool::start(engine(), 1, 4);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
-        handle.submit(Job {
-            envelope: Envelope {
+        handle.submit(Job::new(
+            Envelope {
                 id: 1,
                 req: Request::TypicalCascade {
                     graph: "missing".into(),
@@ -330,9 +513,10 @@ mod tests {
                     deadline_ticks: None,
                     degrade: false,
                 },
+                trace: false,
             },
-            reply: tx.clone(),
-        });
+            tx.clone(),
+        ));
         assert!(rx.recv().expect("error response").contains("unknown-graph"));
         // The same (sole) worker still serves the next job.
         handle.submit(spread_job(2, tx));

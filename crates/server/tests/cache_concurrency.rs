@@ -54,7 +54,11 @@ fn request(i: u64) -> Envelope {
             degrade: false,
         },
     };
-    Envelope { id: i, req }
+    Envelope {
+        id: i,
+        req,
+        trace: false,
+    }
 }
 
 #[test]
@@ -74,10 +78,7 @@ fn eviction_during_concurrent_builds_never_serves_a_torn_index() {
     let handle = pool.handle();
     let (tx, rx) = mpsc::channel();
     for i in 0..n {
-        handle.submit(Job {
-            envelope: request(i),
-            reply: tx.clone(),
-        });
+        handle.submit(Job::new(request(i), tx.clone()));
     }
     drop(tx);
     pool.shutdown();

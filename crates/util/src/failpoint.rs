@@ -53,6 +53,10 @@ pub const SITES: &[&str] = &[
     "server.index.build",
     "server.cache.insert",
     "server.response.write",
+    // Forced-slow marker: makes the slow-query log record the next
+    // request regardless of its tick cost (checked by SlowLog, never
+    // crashes), so tests can pin the log format on a fast request.
+    "server.request.slow",
 ];
 
 /// What an armed failpoint does when it fires.

@@ -103,28 +103,57 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &mut T) + Sync,
 {
+    use soi_obs::perthread;
+
     let n = slots.len();
     let threads = effective_threads(requested, n);
+    // Timing is per-dispatch and per-chunk only — never per-item — so
+    // the plane's cost stays bounded by the obs_overhead_* guard.
+    let timed = perthread::enabled();
     if threads <= 1 || n <= 1 {
+        let _reg = perthread::register(0);
+        let start = timed.then(std::time::Instant::now);
         let mut state = init();
         for (i, slot) in slots.iter_mut().enumerate() {
             f(&mut state, i, slot);
+        }
+        if let Some(start) = start {
+            let ns = perthread::clamp_ns(start.elapsed().as_nanos());
+            perthread::record_busy(ns);
+            perthread::record_lifetime(ns);
+            perthread::record_items(n as u64);
+            perthread::note_dispatch(1, n, ns);
         }
         return;
     }
     let chunk = n.div_ceil(threads);
     let f = &f;
     let init = &init;
+    let start = timed.then(std::time::Instant::now);
     std::thread::scope(|scope| {
         for (t, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
+                let _reg = perthread::register(t);
+                let worker_start = timed.then(std::time::Instant::now);
+                let len = chunk_slots.len() as u64;
                 let mut state = init();
                 for (j, slot) in chunk_slots.iter_mut().enumerate() {
                     f(&mut state, t * chunk + j, slot);
                 }
+                if let Some(worker_start) = worker_start {
+                    let ns = perthread::clamp_ns(worker_start.elapsed().as_nanos());
+                    // One chunk per worker: the whole lifetime is busy.
+                    perthread::record_busy(ns);
+                    perthread::record_lifetime(ns);
+                    perthread::record_items(len);
+                }
             });
         }
     });
+    if let Some(start) = start {
+        let span = perthread::clamp_ns(start.elapsed().as_nanos());
+        perthread::note_dispatch(threads, n, span);
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +297,62 @@ mod tests {
         let mut one = vec![0u32];
         for_each_indexed(&mut one, 4, |i, slot| *slot = i as u32 + 9);
         assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn fan_out_records_per_thread_attribution() {
+        let _g = lock();
+        set_default_threads(0);
+        soi_obs::reset();
+        let mut slots = vec![0u64; 40];
+        for_each_indexed(&mut slots, 4, |i, slot| *slot = i as u64);
+        let (threads, pool) = soi_obs::perthread::snapshot();
+        assert_eq!(pool.dispatches, 1);
+        assert_eq!(pool.items, 40);
+        assert_eq!(pool.workers_max, 4);
+        assert_eq!(threads.len(), 4, "one slot per worker");
+        assert_eq!(threads.iter().map(|t| t.items).sum::<u64>(), 40);
+        // Capacity = workers × dispatcher span always covers the summed
+        // worker lifetimes (the residual is the imbalance term).
+        assert!(pool.capacity_ns >= pool.lifetime_ns);
+        assert_eq!(
+            pool.imbalance_ns,
+            pool.capacity_ns - pool.lifetime_ns,
+            "attribution identity"
+        );
+        soi_obs::reset();
+    }
+
+    #[test]
+    fn serial_fan_out_attributes_to_worker_zero() {
+        let _g = lock();
+        set_default_threads(0);
+        soi_obs::reset();
+        let mut slots = vec![0u64; 16];
+        for_each_indexed(&mut slots, 1, |i, slot| *slot = i as u64 + 1);
+        let (threads, pool) = soi_obs::perthread::snapshot();
+        assert_eq!(pool.dispatches, 1);
+        assert_eq!(pool.workers_max, 1);
+        assert_eq!(threads.len(), 1);
+        assert_eq!(threads[0].slot, 0);
+        assert_eq!(threads[0].items, 16);
+        assert_eq!(threads[0].busy_ns, threads[0].lifetime_ns);
+        soi_obs::reset();
+    }
+
+    #[test]
+    fn disabled_plane_keeps_fan_out_untimed() {
+        let _g = lock();
+        set_default_threads(0);
+        soi_obs::reset();
+        soi_obs::perthread::set_enabled(false);
+        let mut slots = vec![0u64; 8];
+        for_each_indexed(&mut slots, 2, |i, slot| *slot = i as u64 + 1);
+        soi_obs::perthread::set_enabled(true);
+        let (threads, pool) = soi_obs::perthread::snapshot();
+        assert_eq!(pool.dispatches, 0, "disabled plane counted a dispatch");
+        assert!(threads.iter().all(|t| t.busy_ns == 0 && t.items == 0));
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        soi_obs::reset();
     }
 }

@@ -1,7 +1,7 @@
 //! # xtask
 //!
 //! Workspace static analysis for the Spheres-of-Influence repo, run as
-//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Six
+//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Seven
 //! passes enforce the contracts the experiments depend on:
 //!
 //! | pass            | contract                                              |
@@ -13,6 +13,7 @@
 //! | `observability` | library code logs via `soi-obs`, not println/eprintln |
 //! | `concurrency`   | one global lock order; no guard across blocking calls;|
 //! |                 | justified atomic orderings; scoped spawns only        |
+//! | `metric_catalog`| registered metrics ↔ docs/OBSERVABILITY.md catalog   |
 //!
 //! Findings can be suppressed per line with `// xtask-allow: <pass>`
 //! (`#` comments in manifests), which is expected to sit next to a
@@ -24,6 +25,7 @@ pub mod concurrency;
 pub mod determinism;
 pub mod hermeticity;
 pub mod hygiene;
+pub mod metric_catalog;
 pub mod observability;
 pub mod panic_policy;
 pub mod report;
@@ -66,6 +68,7 @@ pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(concurrency::check_source(path, file));
     }
     findings.extend(concurrency::check_lock_order(&scanned));
+    findings.extend(metric_catalog::check(root, &scanned));
     for (path, text) in &manifests {
         findings.extend(hermeticity::check(path, text));
     }

@@ -1,0 +1,319 @@
+//! Metric-catalog pass: every metric the code registers is documented,
+//! and every documented metric still exists.
+//!
+//! `docs/OBSERVABILITY.md` carries the metric catalog between
+//! `<!-- metric-catalog:begin -->` and `<!-- metric-catalog:end -->`
+//! markers: markdown table rows whose first backtick span is the metric
+//! name. This pass extracts every metric name registered in source —
+//! the first string literal of `counter("…")`, `gauge("…")`,
+//! `histogram("…")`, `wall_hist("…")`, `counter_add!("…")`, and
+//! `hist_observe!("…")` calls — and checks both directions:
+//!
+//! * a registered name missing from the catalog flags the registration
+//!   site (the doc rotted behind the code);
+//! * a cataloged name no longer registered anywhere flags the catalog
+//!   row (the code rotted behind the doc).
+//!
+//! Names are matched in the **raw** line text because [`crate::source`]
+//! blanks string-literal contents in the lexed form; test lines and
+//! `test.`-prefixed names are skipped (unit-test scratch metrics are
+//! not part of the public surface). Dynamically built names cannot be
+//! extracted and are exempt by construction. Suppress a deliberate
+//! undocumented metric with `// xtask-allow: metric_catalog`.
+//!
+//! Fixture trees have no `docs/OBSERVABILITY.md`; a missing doc skips
+//! the pass entirely rather than flagging every metric in a tree that
+//! never promised a catalog.
+
+use crate::report::{Finding, Pass};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Marker opening the catalog region in the doc.
+pub const BEGIN_MARKER: &str = "<!-- metric-catalog:begin -->";
+/// Marker closing the catalog region in the doc.
+pub const END_MARKER: &str = "<!-- metric-catalog:end -->";
+/// The catalog's home, relative to the lint root.
+pub const DOC_PATH: &str = "docs/OBSERVABILITY.md";
+
+/// Call forms whose first string literal is a metric name.
+const REGISTRATION_CALLS: &[&str] = &[
+    "counter(\"",
+    "gauge(\"",
+    "histogram(\"",
+    "wall_hist(\"",
+    "counter_add!(\"",
+    "hist_observe!(\"",
+];
+
+/// Runs the metric-catalog pass over the whole tree. `root` locates the
+/// catalog document; `scanned` are the lexed sources.
+pub fn check(root: &Path, scanned: &BTreeMap<PathBuf, SourceFile>) -> Vec<Finding> {
+    let doc_text = match std::fs::read_to_string(root.join(DOC_PATH)) {
+        Ok(text) => text,
+        // No doc, no catalog contract (lint-test fixture trees).
+        Err(_) => return Vec::new(),
+    };
+    let mut findings = Vec::new();
+    let catalog = match parse_catalog(&doc_text) {
+        Some(catalog) => catalog,
+        None => {
+            findings.push(Finding {
+                pass: Pass::MetricCatalog,
+                path: PathBuf::from(DOC_PATH),
+                line: 1,
+                message: format!(
+                    "metric catalog markers missing; wrap the catalog table in \
+                     `{BEGIN_MARKER}` / `{END_MARKER}`"
+                ),
+            });
+            return findings;
+        }
+    };
+
+    let registered = registered_metrics(scanned);
+    for (name, sites) in &registered {
+        if !catalog.contains_key(name) {
+            let (path, line) = &sites[0];
+            findings.push(Finding {
+                pass: Pass::MetricCatalog,
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "metric `{name}` is registered here but missing from the \
+                     {DOC_PATH} catalog; add a row (or `// xtask-allow: metric_catalog`)"
+                ),
+            });
+        }
+    }
+    for (name, line) in &catalog {
+        if !registered.contains_key(name) {
+            findings.push(Finding {
+                pass: Pass::MetricCatalog,
+                path: PathBuf::from(DOC_PATH),
+                line: *line,
+                message: format!(
+                    "cataloged metric `{name}` is not registered anywhere in the \
+                     tree; delete the row or restore the metric"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Extracts the catalog as `name -> 1-based doc line`. `None` when the
+/// marker pair is absent or inverted.
+fn parse_catalog(doc: &str) -> Option<BTreeMap<String, usize>> {
+    let mut catalog = BTreeMap::new();
+    let mut inside = false;
+    let mut saw_region = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.contains(BEGIN_MARKER) {
+            inside = true;
+            saw_region = true;
+            continue;
+        }
+        if line.contains(END_MARKER) {
+            if !inside {
+                return None;
+            }
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        if let Some(name) = table_row_metric(line) {
+            catalog.entry(name).or_insert(idx + 1);
+        }
+    }
+    if !saw_region || inside {
+        return None;
+    }
+    Some(catalog)
+}
+
+/// The first backtick span of a markdown table row, when it looks like
+/// a metric name. Header and separator rows have no backtick span.
+fn table_row_metric(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    let open = trimmed.find('`')?;
+    let rest = &trimmed[open + 1..];
+    let close = rest.find('`')?;
+    let name = &rest[..close];
+    let valid = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c));
+    valid.then(|| name.to_string())
+}
+
+/// Every metric name registered in non-test code, with the sites where
+/// it appears (sorted by the BTreeMap walk, so the first site is the
+/// canonical anchor for findings).
+fn registered_metrics(
+    scanned: &BTreeMap<PathBuf, SourceFile>,
+) -> BTreeMap<String, Vec<(PathBuf, usize)>> {
+    let mut registered: BTreeMap<String, Vec<(PathBuf, usize)>> = BTreeMap::new();
+    for (path, file) in scanned {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test || line.allows(Pass::MetricCatalog.name()) {
+                continue;
+            }
+            for name in metric_names_in(&line.raw) {
+                if name.starts_with("test.") {
+                    continue;
+                }
+                registered
+                    .entry(name)
+                    .or_default()
+                    .push((path.clone(), idx + 1));
+            }
+        }
+    }
+    registered
+}
+
+/// Metric-name literals in one raw source line.
+fn metric_names_in(raw: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for call in REGISTRATION_CALLS {
+        let mut from = 0;
+        while let Some(rel) = raw[from..].find(call) {
+            let at = from + rel;
+            // Ident boundary on the left so a `wall_hist` call is not
+            // double-counted by a shorter suffix pattern.
+            let boundary = at == 0
+                || !raw[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let start = at + call.len();
+            if let Some(close) = raw[start..].find('"') {
+                let name = &raw[start..start + close];
+                let valid = boundary
+                    && !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c));
+                if valid {
+                    names.insert(name.to_string());
+                }
+            }
+            from = at + call.len();
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    fn doc(rows: &str) -> String {
+        format!("# Obs\n\n{BEGIN_MARKER}\n| metric | type |\n|---|---|\n{rows}{END_MARKER}\n")
+    }
+
+    fn tree(src: &str) -> BTreeMap<PathBuf, SourceFile> {
+        [(PathBuf::from("crates/x/src/lib.rs"), scan(src))]
+            .into_iter()
+            .collect()
+    }
+
+    fn check_with(doc_text: &str, src: &str) -> Vec<Finding> {
+        let root = std::env::temp_dir().join(format!(
+            "xtask-metric-catalog-{}-{:p}",
+            std::process::id(),
+            &doc_text
+        ));
+        std::fs::create_dir_all(root.join("docs")).unwrap();
+        std::fs::write(root.join(DOC_PATH), doc_text).unwrap();
+        let findings = check(&root, &tree(src));
+        std::fs::remove_dir_all(&root).unwrap();
+        findings
+    }
+
+    #[test]
+    fn documented_metrics_pass_both_directions() {
+        let findings = check_with(
+            &doc("| `app.runs` | counter |\n| `app.size` | histogram |\n"),
+            "fn f() { soi_obs::counter(\"app.runs\").add(1); \
+             soi_obs::hist_observe!(\"app.size\", 3.0); }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unregistered_catalog_row_and_undocumented_metric_both_flag() {
+        let findings = check_with(
+            &doc("| `app.gone` | counter |\n"),
+            "fn f() { soi_obs::gauge(\"app.depth\").set(1.0); }\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("`app.depth`")));
+        assert!(messages.iter().any(|m| m.contains("`app.gone`")));
+        let doc_finding = findings
+            .iter()
+            .find(|f| f.path == Path::new(DOC_PATH))
+            .unwrap();
+        assert_eq!(doc_finding.line, 6, "row line within the doc");
+    }
+
+    #[test]
+    fn test_lines_test_names_and_allows_are_skipped() {
+        let src = "fn f() { soi_obs::counter(\"test.scratch\").add(1); }\n\
+                   // per-run scratch series, intentionally uncataloged\n\
+                   // xtask-allow: metric_catalog\n\
+                   fn g() { soi_obs::counter(\"app.scratch\").add(1); }\n\
+                   #[cfg(test)]\nmod t {\n    fn h() { soi_obs::counter(\"app.only_in_test\").add(1); }\n}\n";
+        let findings = check_with(&doc(""), src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_markers_flag_the_doc_once() {
+        let findings = check_with("# Obs\nno markers here\n", "fn f() {}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("markers missing"));
+        assert_eq!(findings[0].path, PathBuf::from(DOC_PATH));
+    }
+
+    #[test]
+    fn missing_doc_skips_the_pass() {
+        let root = std::env::temp_dir().join(format!("xtask-metric-nodoc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let findings = check(
+            &root,
+            &tree("fn f() { soi_obs::counter(\"app.x\").add(1); }\n"),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wall_hist_does_not_double_match_as_hist() {
+        let names = metric_names_in("soi_obs::wall_hist(\"app.latency\").observe_ns(5);");
+        assert_eq!(names.len(), 1);
+        assert!(names.contains("app.latency"));
+    }
+
+    #[test]
+    fn catalog_rows_parse_names_from_backtick_spans() {
+        assert_eq!(
+            table_row_metric("| `server.requests_total` | counter | every request |"),
+            Some("server.requests_total".to_string())
+        );
+        assert_eq!(table_row_metric("|---|---|"), None);
+        assert_eq!(table_row_metric("| metric | type |"), None);
+        assert_eq!(table_row_metric("plain prose `code`"), None);
+        assert_eq!(table_row_metric("| `Not A Metric` |"), None);
+    }
+}

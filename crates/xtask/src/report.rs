@@ -26,6 +26,9 @@ pub enum Pass {
     /// Lock-order inversions, guards held across blocking calls,
     /// unjustified atomic orderings, or unscoped thread spawns.
     Concurrency,
+    /// Registered metrics and the docs/OBSERVABILITY.md catalog drifted
+    /// apart (either direction).
+    MetricCatalog,
 }
 
 impl Pass {
@@ -38,11 +41,12 @@ impl Pass {
             Pass::Hygiene => "hygiene",
             Pass::Observability => "observability",
             Pass::Concurrency => "concurrency",
+            Pass::MetricCatalog => "metric_catalog",
         }
     }
 
     /// All passes, in report order.
-    pub fn all() -> [Pass; 6] {
+    pub fn all() -> [Pass; 7] {
         [
             Pass::Determinism,
             Pass::PanicPolicy,
@@ -50,6 +54,7 @@ impl Pass {
             Pass::Hygiene,
             Pass::Observability,
             Pass::Concurrency,
+            Pass::MetricCatalog,
         ]
     }
 }

@@ -1,0 +1,19 @@
+//! Fixture: code metrics and catalog agree; test scratch metrics and
+//! allowed lines stay out of the contract.
+
+pub fn work() {
+    soi_obs::counter("fixture.documented").add(1);
+    soi_obs::wall_hist("fixture.latency").observe_ns(5);
+    // Per-run scratch series, intentionally uncataloged.
+    // xtask-allow: metric_catalog
+    soi_obs::gauge("fixture.scratch").set(1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        soi_obs::counter("test.fixture.scratch").add(1);
+        assert!(true);
+    }
+}

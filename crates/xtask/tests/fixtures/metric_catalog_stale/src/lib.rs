@@ -1,0 +1,13 @@
+//! Fixture: the catalog documents a metric the code no longer has.
+
+pub fn work() {
+    soi_obs::counter("fixture.documented").add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

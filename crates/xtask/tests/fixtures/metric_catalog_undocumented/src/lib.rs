@@ -1,0 +1,14 @@
+//! Fixture: a registered metric missing from the catalog.
+
+pub fn work() {
+    soi_obs::counter("fixture.documented").add(1);
+    soi_obs::counter("fixture.undocumented").add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

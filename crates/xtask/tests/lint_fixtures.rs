@@ -129,6 +129,30 @@ fn concurrency_flags_raw_spawn_outside_sanctioned_crates() {
 }
 
 #[test]
+fn metric_catalog_flags_undocumented_registration() {
+    assert_flags(
+        "metric_catalog_undocumented",
+        "src/lib.rs:5: [metric_catalog]",
+    );
+}
+
+#[test]
+fn metric_catalog_flags_stale_doc_row() {
+    assert_flags(
+        "metric_catalog_stale",
+        "docs/OBSERVABILITY.md:7: [metric_catalog]",
+    );
+}
+
+#[test]
+fn metric_catalog_clean_fixture_passes() {
+    let out = run_lint(&fixtures_dir().join("metric_catalog_clean"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean catalog flagged:\n{stdout}");
+    assert!(stdout.trim().is_empty(), "unexpected output:\n{stdout}");
+}
+
+#[test]
 fn concurrency_allow_fixtures_pass_clean() {
     for fixture in [
         // Consistent nesting order everywhere.
@@ -167,6 +191,8 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "concurrency_guard_blocking",
         "concurrency_ordering",
         "concurrency_spawn",
+        "metric_catalog_undocumented",
+        "metric_catalog_stale",
     ] {
         let out = run_lint(&fixtures_dir().join(fixture));
         let stdout = String::from_utf8_lossy(&out.stdout);
