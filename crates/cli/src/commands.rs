@@ -44,6 +44,10 @@ commands:
              [--queue-cap N] [--cache-cap N] [--worlds L] [--seed S]
              [--max-line BYTES] [--default-deadline-ticks N]
              [--slow-query-ticks N --slow-query-log FILE]
+             [--slow-query-log-max-bytes B]
+  route      REPLICAS [REPLICAS ...] [--port P] [--replica-retries N]
+             [--backoff-ticks T] [--max-line BYTES]
+             (each REPLICAS is one shard: host:port[,host:port ...])
   query      [REQUEST ...] [--file FILE] --port P [--host H]
              [--concurrency N] [--mask-wall] [--retries N]
              [--backoff-ticks T] [--timeout-ms MS]
@@ -329,6 +333,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, Soi
         "reliability" => cmd_reliability(rest, out),
         "learn" => cmd_learn(rest, out),
         "serve" => cmd_serve(rest, &rt, out),
+        "route" => cmd_route(rest, out),
         "query" => cmd_query(rest, out),
         other => Err(SoiError::usage(format!("unknown command {other:?}"))),
     }?;
@@ -810,6 +815,7 @@ fn cmd_serve<W: Write>(
         slow_query_log: opts
             .get::<String>("slow-query-log")?
             .map(std::path::PathBuf::from),
+        slow_query_log_max_bytes: opts.get("slow-query-log-max-bytes")?.unwrap_or(0),
     };
     let specs: Vec<(String, String)> = opts
         .positional
@@ -826,6 +832,42 @@ fn cmd_serve<W: Write>(
     } else {
         soi_server::run_tcp(std::sync::Arc::new(engine), &serve_config, out)?;
     }
+    Ok(RunStatus::Complete)
+}
+
+fn cmd_route<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
+    let opts = Opts::parse(args, &[])?;
+    if opts.positional.is_empty() {
+        return Err(SoiError::usage(
+            "route needs at least one shard replica set (host:port[,host:port ...])",
+        ));
+    }
+    // One positional argument per shard, comma-separated replicas —
+    // positional because the option bag keeps one value per flag name.
+    let shards: Vec<Vec<String>> = opts
+        .positional
+        .iter()
+        .map(|spec| {
+            spec.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect::<Vec<String>>()
+        })
+        .collect();
+    if shards.iter().any(Vec::is_empty) {
+        return Err(SoiError::usage("empty shard replica set"));
+    }
+    let config = soi_server::RouterConfig {
+        port: opts.get("port")?.unwrap_or(0),
+        shards,
+        replica_retries: opts.get("replica-retries")?.unwrap_or(2),
+        backoff_ticks: opts.get("backoff-ticks")?.unwrap_or(1),
+        max_line: opts
+            .get("max-line")?
+            .unwrap_or(soi_server::DEFAULT_MAX_LINE),
+    };
+    soi_server::run_router(&config, out)?;
     Ok(RunStatus::Complete)
 }
 

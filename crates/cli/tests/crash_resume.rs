@@ -117,10 +117,11 @@ fn every_registered_site_crashes_then_resumes_byte_identical() {
     // Which pipeline exercises each site, and on which hit to fire so
     // at least one checkpoint usually exists before the crash.
     for &site in soi_util::failpoint::SITES {
-        // `server.*` sites crash mid-request inside the daemon; they are
-        // exercised by the serve-chaos matrix (tests/serve_chaos.rs),
-        // not by checkpoint/resume.
-        if site.starts_with("server.") {
+        // `server.*` sites crash mid-request inside the daemon and
+        // `router.*` sites inside the shard router; they are exercised
+        // by the serve-chaos / route-chaos matrices (tests/serve_chaos.rs,
+        // tests/route_chaos.rs), not by checkpoint/resume.
+        if site.starts_with("server.") || site.starts_with("router.") {
             continue;
         }
         let tag = site.replace('.', "-");

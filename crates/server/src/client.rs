@@ -80,9 +80,11 @@ impl Default for QueryConfig {
 pub struct BatchReport {
     /// Lines with `status: error` (server-reported and synthesized).
     pub errors: usize,
-    /// Requests that never got a server response: their printed lines
-    /// are client-synthesized `connection-lost`/`timeout` errors. The
-    /// CLI maps a non-zero count to the partial-result exit code.
+    /// Requests no compute daemon ever answered: client-synthesized
+    /// `connection-lost`/`timeout`/`protocol-mismatch` lines, plus
+    /// router-answered `shard-unavailable` lines (the router spoke, but
+    /// the request reached no shard). The CLI maps a non-zero count to
+    /// the partial-result exit code.
     pub lost: usize,
 }
 
@@ -117,9 +119,11 @@ fn synth_error(request_line: &str, kind: ProtoErrorKind, message: &str) -> Strin
     protocol::encode_error(request_id(request_line), &SoiError::protocol(kind, message))
 }
 
-/// When `line` is a retryable error response (`queue-full` or
-/// `internal-error`), the suggested extra wait in ticks (`queue-full`
-/// responses carry an explicit `retry_after_ticks` hint; otherwise 0).
+/// When `line` is a retryable error response (`queue-full`,
+/// `internal-error`, or `shard-unavailable`), the suggested extra wait
+/// in ticks (`queue-full` rejections carry an explicit
+/// `retry_after_ticks` hint, re-emitted verbatim by the router;
+/// otherwise 0).
 fn retryable_after(line: &str) -> Option<u64> {
     let doc = json::parse(line).ok()?;
     if doc.get("status")?.as_str()? != "error" {
@@ -132,7 +136,9 @@ fn retryable_after(line: &str) -> Option<u64> {
                 .and_then(json::Value::as_u64)
                 .unwrap_or(0),
         ),
-        "internal-error" => Some(0),
+        // A dead shard may come back (replica respawn, rebalance);
+        // retrying through the router is how a healing fabric converges.
+        "internal-error" | "shard-unavailable" => Some(0),
         _ => None,
     }
 }
@@ -163,8 +169,12 @@ impl Lane {
     /// hint, honored only when backoff is enabled so `--backoff-ticks 0`
     /// keeps tests fast).
     fn nap(&self, attempt: u32, hint_ticks: u64) {
-        let base = soi_util::backoff::delay_ticks(self.backoff_ticks, attempt, BACKOFF_CAP_TICKS);
-        let ticks = if base == 0 { 0 } else { base.max(hint_ticks) };
+        let ticks = soi_util::backoff::delay_with_hint(
+            self.backoff_ticks,
+            attempt,
+            BACKOFF_CAP_TICKS,
+            hint_ticks,
+        );
         if ticks > 0 {
             std::thread::sleep(Duration::from_millis(ticks));
         }
@@ -232,6 +242,15 @@ impl Lane {
                 }
                 Ok(_) => {
                     let line = response.trim_end().to_string();
+                    // Version-skew handshake: a response speaking a
+                    // different protocol version gets a typed
+                    // protocol-mismatch diagnosis (naming both
+                    // versions), not a generic parse failure downstream.
+                    if let Err(SoiError::Protocol { kind, message }) =
+                        protocol::check_response_version(&line)
+                    {
+                        return LaneAnswer::Synthesized(synth_error(request, kind, &message));
+                    }
                     if let Some(hint) = retryable_after(&line) {
                         if attempt < self.retries {
                             // Retryable server error: the connection is
@@ -317,6 +336,12 @@ pub fn run_queries<W: Write>(
         };
         if line.contains("\"status\":\"error\"") {
             report.errors += 1;
+            // A shard-unavailable answer is a router response, but the
+            // request never reached a compute daemon — the batch is as
+            // partial as if the line had been synthesized client-side.
+            if line.contains("\"kind\":\"shard-unavailable\"") {
+                report.lost += 1;
+            }
         }
         let printed = if config.mask_wall {
             soi_obs::report::mask_wall_clock(line)
@@ -373,6 +398,46 @@ mod tests {
             &SoiError::protocol(ProtoErrorKind::BadField, "k must be >= 1"),
         );
         assert_eq!(retryable_after(&bad), None, "client mistakes never retry");
+        let shard = protocol::encode_error(
+            Some(1),
+            &SoiError::protocol(ProtoErrorKind::ShardUnavailable, "all replicas down"),
+        );
+        assert_eq!(retryable_after(&shard), Some(0), "shards may come back");
+    }
+
+    /// A server that answers with a future protocol version: the client
+    /// diagnoses skew with a typed protocol-mismatch, not a parse error.
+    #[test]
+    fn version_skewed_server_yields_typed_protocol_mismatch() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let port = listener.local_addr().expect("addr").port();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            writeln!(writer, "{{\"v\":9,\"id\":0,\"status\":\"ok\"}}").expect("write");
+            writer.flush().expect("flush");
+            let _ = reader.read_line(&mut String::new());
+        });
+        let requests = vec!["{\"v\":1,\"id\":0,\"type\":\"health\"}".to_string()];
+        let config = QueryConfig {
+            port,
+            retries: 0,
+            backoff_ticks: 0,
+            ..QueryConfig::default()
+        };
+        let mut out = Vec::new();
+        let report = run_queries(&requests, &config, &mut out).expect("typed, not fatal");
+        server.join().expect("server thread");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"kind\":\"protocol-mismatch\""), "{text}");
+        assert!(
+            text.contains("version 9") && text.contains('1'),
+            "both versions named: {text}"
+        );
+        assert_eq!(report.lost, 1, "a skewed answer is no answer");
     }
 
     /// A scripted server: answers the first request, then slams the

@@ -48,6 +48,10 @@ pub struct ServeConfig {
     /// Where the slow-query JSONL log appends; both this and a nonzero
     /// threshold are required to activate the log.
     pub slow_query_log: Option<std::path::PathBuf>,
+    /// Size cap for the slow-query log in bytes (0 = unbounded). When a
+    /// line would push the live file past the cap it rotates to
+    /// `<path>.old`, keeping one old generation.
+    pub slow_query_log_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -59,12 +63,13 @@ impl Default for ServeConfig {
             max_line: DEFAULT_MAX_LINE,
             slow_query_ticks: 0,
             slow_query_log: None,
+            slow_query_log_max_bytes: 0,
         }
     }
 }
 
 /// One read from the capped line reader.
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete line (newline stripped).
     Line(String),
     /// The line exceeded the cap; its remainder was discarded.
@@ -78,7 +83,7 @@ enum LineRead {
 }
 
 /// Reads one newline-terminated line of at most `max_line` bytes.
-fn read_line_capped<R: BufRead>(r: &mut R, max_line: usize) -> io::Result<LineRead> {
+pub(crate) fn read_line_capped<R: BufRead>(r: &mut R, max_line: usize) -> io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     let mut oversized = false;
     loop {
@@ -127,6 +132,13 @@ fn control_response(
         ),
         Request::Stats => protocol::encode_ok(id, &stats_payload(engine, pool), 0),
         Request::Shutdown => protocol::encode_ok(id, "\"draining\":true", 0),
+        Request::Rebalance { .. } => protocol::encode_error(
+            Some(id),
+            &SoiError::protocol(
+                ProtoErrorKind::BadField,
+                "rebalance is a router control; this daemon holds no shard map",
+            ),
+        ),
         _ => protocol::encode_error(
             Some(id),
             &SoiError::protocol(ProtoErrorKind::BadField, "not a control request"),
@@ -159,6 +171,14 @@ fn stats_payload(engine: &ServerEngine, pool: Option<&PoolHandle>) -> String {
         soi_obs::counter("server.requests_shed").get(),
         soi_obs::counter("server.requests_degraded").get(),
     );
+    format!("{flat},{}", v2_sections())
+}
+
+/// The v2 structured sections of a `stats` payload — a snapshot of this
+/// process's metric registry and per-thread timing plane, shared by the
+/// single daemon and the shard router (which appends its own
+/// shard-health sections on top).
+pub(crate) fn v2_sections() -> String {
     let registry = soi_obs::metrics::registry();
     let join = |items: Vec<String>| items.join(",");
     let counters = join(
@@ -222,7 +242,7 @@ fn stats_payload(engine: &ServerEngine, pool: Option<&PoolHandle>) -> String {
             .collect(),
     );
     format!(
-        "{flat},\"stats_version\":{STATS_VERSION},\"counters\":{{{counters}}},\
+        "\"stats_version\":{STATS_VERSION},\"counters\":{{{counters}}},\
          \"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}},\
          \"timing_hists\":{{{timing_hists}}},\"threads\":[{threads}],\
          \"pool\":{{\"dispatches\":{},\"items\":{},\"workers_max\":{},\
@@ -413,7 +433,8 @@ pub fn run_tcp<W: Write>(
     let workers = soi_util::pool::effective_threads(config.workers, usize::MAX);
     let slow = match (&config.slow_query_log, config.slow_query_ticks) {
         (Some(path), ticks) if ticks > 0 => Some(Arc::new(
-            SlowLog::to_file(ticks, path).map_err(|e| SoiError::io("slow-query log", e))?,
+            SlowLog::to_file(ticks, path, config.slow_query_log_max_bytes)
+                .map_err(|e| SoiError::io("slow-query log", e))?,
         )),
         _ => None,
     };

@@ -23,6 +23,11 @@
 //!   queue depth, rejection/disconnect counters), flushed as a final
 //!   report on graceful shutdown.
 //!
+//! `soi route` ([`router`]) is the front-end shard router: the same
+//! wire protocol, consistent-hashing graph names across a fleet of
+//! `soi serve` daemons with replica failover, drain/rebalance, and
+//! fabric-wide stats aggregation.
+//!
 //! `soi query` ([`client`]) is the companion batch client. The wire
 //! protocol, deadline and admission semantics, and exit codes are
 //! specified in `docs/SERVING.md`.
@@ -37,6 +42,7 @@ pub mod engine;
 pub mod json;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod stats;
 pub mod trace;
 pub mod worker;
@@ -45,6 +51,7 @@ pub use client::{run_queries, send_one, BatchReport, QueryConfig};
 pub use daemon::{run_stdio, run_tcp, ServeConfig, STATS_VERSION};
 pub use engine::{EngineConfig, ServerEngine};
 pub use protocol::{Envelope, Request, DEFAULT_MAX_LINE, PROTOCOL_VERSION};
+pub use router::{run_router, RouterConfig};
 pub use stats::{run_stats, StatsConfig, StatsFormat};
 pub use trace::{Phase, PhaseTrace, SlowLog};
 

@@ -44,6 +44,15 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: stop accepting, drain in-flight, exit.
     Shutdown,
+    /// Router control: move a graph's ownership to another shard. The
+    /// single-daemon server answers it with a typed error — only the
+    /// router holds a shard map.
+    Rebalance {
+        /// Name of the graph to move.
+        graph: String,
+        /// Target shard index within the router's shard list.
+        shard: usize,
+    },
     /// The typical cascade (sphere of influence) of one source node.
     TypicalCascade {
         /// Name of a loaded graph.
@@ -91,7 +100,21 @@ impl Request {
     /// never enter the compute queue, so `health`/`stats`/`shutdown`
     /// stay responsive while workers are saturated.
     pub fn is_control(&self) -> bool {
-        matches!(self, Request::Health | Request::Stats | Request::Shutdown)
+        matches!(
+            self,
+            Request::Health | Request::Stats | Request::Shutdown | Request::Rebalance { .. }
+        )
+    }
+
+    /// The graph a compute request targets (`None` for controls). The
+    /// router's shard map keys off this.
+    pub fn graph(&self) -> Option<&str> {
+        match self {
+            Request::TypicalCascade { graph, .. }
+            | Request::SpreadEstimate { graph, .. }
+            | Request::InfmaxTc { graph, .. } => Some(graph),
+            _ => None,
+        }
     }
 
     /// The wire name of this request's type.
@@ -100,6 +123,7 @@ impl Request {
             Request::Health => "health",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::Rebalance { .. } => "rebalance",
             Request::TypicalCascade { .. } => "typical-cascade",
             Request::SpreadEstimate { .. } => "spread-estimate",
             Request::InfmaxTc { .. } => "infmax-tc",
@@ -207,6 +231,10 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
         "health" => Request::Health,
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
+        "rebalance" => Request::Rebalance {
+            graph: req_str(&doc, "graph")?,
+            shard: req_u64(&doc, "shard")? as usize,
+        },
         "typical-cascade" => Request::TypicalCascade {
             graph: req_str(&doc, "graph")?,
             source: req_u64(&doc, "source")?
@@ -299,6 +327,34 @@ pub fn encode_error(id: Option<u64>, error: &SoiError) -> String {
         "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"error\",\"error\":{{\"kind\":\"{kind}\",\"message\":\"{}\"}}}}",
         json::escape(&message)
     )
+}
+
+/// Checks the `v` field of a received response line against
+/// [`PROTOCOL_VERSION`]. `Ok(())` when the versions agree. A response
+/// that parses as JSON but carries a different (or no) version is
+/// **protocol skew**: the error is a typed `protocol-mismatch` naming
+/// both versions, so a client talking to a newer/older daemon gets a
+/// diagnosis instead of a generic parse failure. Lines that are not
+/// JSON objects are left to the caller's normal error handling — a
+/// garbled line is corruption, not skew.
+pub fn check_response_version(line: &str) -> Result<(), SoiError> {
+    let Ok(doc) = json::parse(line) else {
+        return Ok(());
+    };
+    if doc.as_obj().is_none() {
+        return Ok(());
+    }
+    match doc.get("v").and_then(Value::as_u64) {
+        Some(v) if v == PROTOCOL_VERSION => Ok(()),
+        Some(v) => Err(proto(
+            ProtoErrorKind::ProtocolMismatch,
+            format!("peer speaks protocol version {v} (this side speaks {PROTOCOL_VERSION})"),
+        )),
+        None => Err(proto(
+            ProtoErrorKind::ProtocolMismatch,
+            format!("peer response has no protocol version (this side speaks {PROTOCOL_VERSION})"),
+        )),
+    }
 }
 
 /// Encodes the structured `queue-full` rejection: the generic error
@@ -456,6 +512,53 @@ mod tests {
             err.get("retry_after_ticks").and_then(Value::as_u64),
             Some(32)
         );
+    }
+
+    #[test]
+    fn rebalance_is_a_control_request() {
+        let e = parse_request(r#"{"v":1,"id":11,"type":"rebalance","graph":"net","shard":2}"#)
+            .expect("rebalance");
+        assert!(e.req.is_control());
+        assert_eq!(e.req.type_name(), "rebalance");
+        assert_eq!(
+            e.req,
+            Request::Rebalance {
+                graph: "net".into(),
+                shard: 2,
+            }
+        );
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":12,"type":"rebalance","graph":"net"}"#)
+                .expect_err("missing shard"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+    }
+
+    #[test]
+    fn response_version_check_diagnoses_skew() {
+        assert!(check_response_version(&encode_ok(1, "", 5)).is_ok());
+        let err = SoiError::protocol(ProtoErrorKind::QueueFull, "m");
+        assert!(check_response_version(&encode_error(Some(1), &err)).is_ok());
+        // Wrong version: typed mismatch naming both versions.
+        let skew =
+            check_response_version(r#"{"v":2,"id":1,"status":"ok"}"#).expect_err("version 2");
+        let SoiError::Protocol { kind, message } = &skew else {
+            panic!("not protocol: {skew}");
+        };
+        assert_eq!(*kind, ProtoErrorKind::ProtocolMismatch);
+        assert!(message.contains("version 2") && message.contains('1'), "{message}");
+        // JSON object with no version at all: also skew.
+        let skew = check_response_version(r#"{"id":1,"status":"ok"}"#).expect_err("no v");
+        assert!(matches!(
+            skew,
+            SoiError::Protocol {
+                kind: ProtoErrorKind::ProtocolMismatch,
+                ..
+            }
+        ));
+        // Garbage is not skew — normal error handling applies.
+        assert!(check_response_version("not json at all").is_ok());
+        assert!(check_response_version("[1,2,3]").is_ok());
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! The shard router: a front-end daemon that fans queries out over a
+//! fleet of `soi serve` worker daemons.
+//!
+//! `soi route` binds a TCP port speaking the exact same versioned
+//! line-delimited JSON protocol as a single daemon — clients cannot
+//! tell the difference, and `soi query`/`soi stats` work unchanged.
+//! Behind the front door, graph names are consistent-hashed onto shards
+//! ([`shard::ShardMap`]) and each compute request is relayed verbatim
+//! to one replica of the owning shard, so the shard's answer bytes are
+//! the answer bytes (byte-identical convergence is inherited, not
+//! reimplemented).
+//!
+//! The robustness surface:
+//!
+//! * **Replica failover** — a connect failure, mid-request EOF, or
+//!   version-skewed answer marks the replica unhealthy and the request
+//!   is retried on the next replica (capped deterministic backoff,
+//!   [`soi_util::backoff::delay_with_hint`]). Health is advisory:
+//!   dark replicas are probed last, never abandoned, so a respawned
+//!   daemon heals the fabric.
+//! * **Typed `shard-unavailable`** — when the retry budget is spent
+//!   with every replica of the owning shard down, the client gets a
+//!   typed error naming the shard, never a hang or a dropped line.
+//! * **Load shedding** — a shard's structured `queue-full` rejection is
+//!   relayed verbatim (the `retry_after_ticks` hint re-emitted by
+//!   construction) and additionally arms a deterministic shed window:
+//!   the next `hint/16` requests for that shard are answered
+//!   `queue-full` at the router without touching the overloaded shard.
+//! * **Drain and rebalance** — `shutdown` stops the accept loop and
+//!   drains open connections exactly like the single daemon; the
+//!   `rebalance` control re-homes one graph without touching in-flight
+//!   requests (they complete on the shard they already resolved to).
+//! * **Aggregated stats** — `stats` answers the v2 payload with the
+//!   router's own registry merged with the summed counters of one live
+//!   replica per shard, plus a `shards` health array.
+
+pub mod shard;
+
+use crate::client;
+use crate::daemon::{self, read_line_capped, LineRead};
+use crate::json::{self, Value};
+use crate::protocol::{self, Request, DEFAULT_MAX_LINE};
+use shard::ShardMap;
+use soi_util::{ProtoErrorKind, SoiError};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Largest single backoff sleep between replica attempts (ticks ≈ ms).
+const BACKOFF_CAP_TICKS: u64 = 1024;
+
+/// Router options fixed at startup.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral; announced on
+    /// stdout as `listening on HOST:PORT`, same as `soi serve`).
+    pub port: u16,
+    /// Replica address sets, one per shard (`host:port` each).
+    pub shards: Vec<Vec<String>>,
+    /// Retry attempts per request across a shard's replicas (the first
+    /// attempt is free; `retries` more are allowed).
+    pub replica_retries: u32,
+    /// Base backoff delay in ticks (1 tick = 1 ms) between replica
+    /// attempts; doubles per attempt, capped. 0 disables sleeping.
+    pub backoff_ticks: u64,
+    /// Request-line length cap in bytes.
+    pub max_line: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            port: 0,
+            shards: Vec::new(),
+            replica_retries: 2,
+            backoff_ticks: 1,
+            max_line: DEFAULT_MAX_LINE,
+        }
+    }
+}
+
+/// Shared router state: the shard map plus the retry policy.
+struct RouterState {
+    map: ShardMap,
+    replica_retries: u32,
+    backoff_ticks: u64,
+}
+
+/// `host:port` split for `TcpStream::connect` / `send_one`.
+fn split_addr(addr: &str) -> Option<(&str, u16)> {
+    let (host, port) = addr.rsplit_once(':')?;
+    Some((host, port.parse().ok()?))
+}
+
+/// How one forwarded request came back.
+enum Forwarded {
+    /// The shard's raw response line, relayed verbatim.
+    Relay(String),
+    /// A router-synthesized error line (shard dark, or skewed).
+    Synthesized(String),
+}
+
+/// Relays one raw request line to a replica of `shard_idx`, failing
+/// over across replicas. `conn` caches this connection's open stream to
+/// the shard between requests (one request in flight per client
+/// connection, matching the daemon's own discipline).
+#[allow(clippy::type_complexity)]
+fn forward(
+    state: &RouterState,
+    conn: &mut Option<(usize, TcpStream, BufReader<TcpStream>)>,
+    shard_idx: usize,
+    id: u64,
+    line: &str,
+) -> Forwarded {
+    // Shed window armed by a recent queue-full rejection: answer at the
+    // router, re-emitting the shard's own depth and hint.
+    if let Some((depth, hint)) = state.map.take_shed(shard_idx) {
+        soi_obs::counter_add!("router.requests_shed", 1);
+        return Forwarded::Synthesized(protocol::encode_queue_full(id, depth as usize, hint));
+    }
+    let mut last_skew: Option<String> = None;
+    let mut attempt: u32 = 0;
+    while attempt <= state.replica_retries {
+        let (replica_idx, mut stream, mut reader) = match conn.take() {
+            Some(live) => live,
+            None => {
+                let order = state.map.replica_order(shard_idx);
+                let (ridx, addr) = &order[attempt as usize % order.len()];
+                match split_addr(addr).map(|(host, port)| TcpStream::connect((host, port))) {
+                    Some(Ok(stream)) => match stream.try_clone() {
+                        Ok(clone) => (*ridx, stream, BufReader::new(clone)),
+                        Err(_) => {
+                            retry(state, &mut attempt, shard_idx, *ridx);
+                            continue;
+                        }
+                    },
+                    _ => {
+                        retry(state, &mut attempt, shard_idx, *ridx);
+                        continue;
+                    }
+                }
+            }
+        };
+        soi_util::failpoint_crash!("router.forward.write");
+        if writeln!(stream, "{line}")
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            retry(state, &mut attempt, shard_idx, replica_idx);
+            continue;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                let response = response.trim_end().to_string();
+                if let Err(skew) = protocol::check_response_version(&response) {
+                    soi_obs::counter_add!("router.protocol_mismatches", 1);
+                    last_skew = Some(skew.to_string());
+                    retry(state, &mut attempt, shard_idx, replica_idx);
+                    continue;
+                }
+                state.map.mark(shard_idx, replica_idx, true);
+                if attempt > 0 {
+                    soi_obs::counter_add!("router.failovers", 1);
+                }
+                soi_obs::counter_add!("router.forwarded", 1);
+                if let Some((depth, hint)) = queue_full_detail(&response) {
+                    state.map.arm_shed(shard_idx, depth, hint);
+                }
+                *conn = Some((replica_idx, stream, reader));
+                return Forwarded::Relay(response);
+            }
+            _ => {
+                retry(state, &mut attempt, shard_idx, replica_idx);
+                continue;
+            }
+        }
+    }
+    // Budget spent. A consistently version-skewed shard is diagnosed as
+    // skew; a dark one as shard-unavailable. Either way the client gets
+    // a typed line, never a hang.
+    if let Some(skew) = last_skew {
+        return Forwarded::Synthesized(protocol::encode_error(
+            Some(id),
+            &SoiError::protocol(ProtoErrorKind::ProtocolMismatch, skew),
+        ));
+    }
+    soi_obs::counter_add!("router.shard_unavailable", 1);
+    Forwarded::Synthesized(protocol::encode_error(
+        Some(id),
+        &SoiError::protocol(
+            ProtoErrorKind::ShardUnavailable,
+            format!("all replicas of shard {shard_idx} are unreachable"),
+        ),
+    ))
+}
+
+/// Books one failed attempt: marks the replica unhealthy, sleeps the
+/// backoff schedule, and advances the attempt counter.
+fn retry(state: &RouterState, attempt: &mut u32, shard_idx: usize, replica_idx: usize) {
+    state.map.mark(shard_idx, replica_idx, false);
+    soi_obs::counter_add!("router.forward_retries", 1);
+    let ticks =
+        soi_util::backoff::delay_with_hint(state.backoff_ticks, *attempt, BACKOFF_CAP_TICKS, 0);
+    if ticks > 0 {
+        std::thread::sleep(Duration::from_millis(ticks));
+    }
+    *attempt += 1;
+}
+
+/// The `(queue_depth, retry_after_ticks)` of a structured `queue-full`
+/// rejection, when `line` is one.
+fn queue_full_detail(line: &str) -> Option<(u64, u64)> {
+    if !line.contains("\"kind\":\"queue-full\"") {
+        return None;
+    }
+    let err = json::parse(line).ok()?.get("error")?.clone();
+    Some((
+        err.get("queue_depth").and_then(Value::as_u64)?,
+        err.get("retry_after_ticks").and_then(Value::as_u64)?,
+    ))
+}
+
+/// Builds the router's aggregated `stats` payload: summed flat `graphs`
+/// and counters over one reachable replica per shard, a `shards` health
+/// array, and the router process's own v2 sections with the shard
+/// counter sums merged in.
+fn stats_payload(state: &RouterState) -> String {
+    let snapshot = state.map.health_snapshot();
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    let mut graphs_total: u64 = 0;
+    let mut shards_json: Vec<String> = Vec::with_capacity(snapshot.len());
+    for (shard_idx, replicas) in snapshot.iter().enumerate() {
+        let mut polled = false;
+        for replica in replicas {
+            if polled {
+                break;
+            }
+            let Some((host, port)) = split_addr(&replica.addr) else {
+                continue;
+            };
+            let Ok(line) = client::send_one(host, port, "{\"v\":1,\"id\":0,\"type\":\"stats\"}")
+            else {
+                continue;
+            };
+            let Ok(doc) = json::parse(&line) else {
+                continue;
+            };
+            polled = true;
+            graphs_total += doc.get("graphs").and_then(Value::as_u64).unwrap_or(0);
+            if let Some(counters) = doc.get("counters").and_then(Value::as_obj) {
+                for (name, v) in counters {
+                    if let Some(v) = v.as_u64() {
+                        *agg.entry(name.clone()).or_default() += v;
+                    }
+                }
+            }
+        }
+        let replicas_json: Vec<String> = replicas
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"addr\":\"{}\",\"healthy\":{},\"forwarded\":{},\"failures\":{}}}",
+                    json::escape(&r.addr),
+                    r.healthy,
+                    r.forwarded,
+                    r.failures
+                )
+            })
+            .collect();
+        shards_json.push(format!(
+            "{{\"shard\":{shard_idx},\"replicas\":[{}]}}",
+            replicas_json.join(",")
+        ));
+    }
+    // Merge the router's own registry counters into the shard sums; the
+    // name spaces are disjoint (router.* vs server.*) so `soi stats`
+    // against the router sees the whole fabric in one counters map.
+    for (name, v) in soi_obs::metrics::registry().counter_values() {
+        *agg.entry(name).or_default() += v;
+    }
+    let counters: Vec<String> = agg
+        .iter()
+        .map(|(name, v)| format!("\"{name}\":{v}"))
+        .collect();
+    format!(
+        "\"graphs\":{graphs_total},\"shards\":[{}],\"counters\":{{{}}},{}",
+        shards_json.join(","),
+        counters.join(","),
+        v2_sections_without_counters()
+    )
+}
+
+/// The daemon's v2 sections minus its registry-only `counters` object
+/// (the router substitutes the merged fabric-wide map).
+fn v2_sections_without_counters() -> String {
+    let sections = daemon::v2_sections();
+    // v2_sections emits `"stats_version":N,"counters":{...},"gauges":…`;
+    // cut the counters object out by matching its brace span.
+    let Some(start) = sections.find("\"counters\":{") else {
+        return sections;
+    };
+    let tail = &sections[start..];
+    let mut depth = 0usize;
+    let mut end = None;
+    for (at, c) in tail.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(at);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return sections;
+    };
+    // Also consume the trailing comma separating it from the next key.
+    let mut rest = start + end + 1;
+    if sections[rest..].starts_with(',') {
+        rest += 1;
+    }
+    format!("{}{}", &sections[..start], &sections[rest..])
+}
+
+/// Builds the inline response for a control request at the router.
+fn control_response(state: &RouterState, id: u64, req: &Request) -> String {
+    match req {
+        Request::Health => protocol::encode_ok(
+            id,
+            &format!("\"ok\":true,\"shards\":{}", state.map.len()),
+            0,
+        ),
+        Request::Stats => protocol::encode_ok(id, &stats_payload(state), 0),
+        Request::Shutdown => protocol::encode_ok(id, "\"draining\":true", 0),
+        Request::Rebalance { graph, shard } => match state.map.rebalance(graph, *shard) {
+            Ok(()) => {
+                soi_obs::counter_add!("router.rebalances", 1);
+                protocol::encode_ok(
+                    id,
+                    &format!("\"rebalanced\":\"{}\",\"shard\":{shard}", json::escape(graph)),
+                    0,
+                )
+            }
+            Err(message) => protocol::encode_error(
+                Some(id),
+                &SoiError::protocol(ProtoErrorKind::BadField, message),
+            ),
+        },
+        _ => protocol::encode_error(
+            Some(id),
+            &SoiError::protocol(ProtoErrorKind::BadField, "not a control request"),
+        ),
+    }
+}
+
+/// Serves one client connection: reads request lines, answers controls
+/// inline, relays compute requests to the owning shard.
+fn handle_conn(
+    stream: TcpStream,
+    state: Arc<RouterState>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    max_line: usize,
+) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let Ok(guard_stream) = stream.try_clone() else {
+        return;
+    };
+    // Same discipline as the daemon: reach the socket past every clone
+    // when this thread exits, including by unwinding.
+    let _guard = ConnGuard(guard_stream);
+    let mut reader = BufReader::new(stream);
+    // Per-shard cached connections for this client connection.
+    let mut conns: Vec<Option<(usize, TcpStream, BufReader<TcpStream>)>> =
+        (0..state.map.len()).map(|_| None).collect();
+    loop {
+        let read = match read_line_capped(&mut reader, max_line) {
+            Ok(read) => read,
+            Err(_) => return,
+        };
+        let line = match read {
+            LineRead::Eof { .. } => return,
+            LineRead::Oversized => {
+                let err = SoiError::protocol(
+                    ProtoErrorKind::OversizedLine,
+                    format!("request line exceeds {max_line} bytes"),
+                );
+                let resp = protocol::encode_error(None, &err);
+                if writeln!(writer, "{resp}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        soi_obs::counter_add!("router.requests_total", 1);
+        let started = Instant::now();
+        let (response, is_shutdown) = match protocol::parse_request(&line) {
+            Err(err) => (protocol::encode_error(None, &err), false),
+            Ok(envelope) if envelope.req.is_control() => {
+                let is_shutdown = envelope.req == Request::Shutdown;
+                let mut resp = control_response(&state, envelope.id, &envelope.req);
+                let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(stripped) = resp.strip_suffix("\"wall_ns\":0}") {
+                    resp = format!("{stripped}\"wall_ns\":{wall_ns}}}");
+                }
+                (resp, is_shutdown)
+            }
+            Ok(envelope) => {
+                // Compute requests always name a graph (the parser
+                // enforced it); resolve and relay the raw line so the
+                // shard's bytes are the client's bytes.
+                let graph = envelope.req.graph().unwrap_or_default();
+                let shard_idx = state.map.shard_for(graph);
+                let answer = forward(&state, &mut conns[shard_idx], shard_idx, envelope.id, &line);
+                match answer {
+                    Forwarded::Relay(line) | Forwarded::Synthesized(line) => (line, false),
+                }
+            }
+        };
+        soi_util::failpoint_crash!("router.response.write");
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if is_shutdown {
+            // ordering: SeqCst on a once-per-process control flag; the
+            // cold path favors clarity (same as the daemon).
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// See [`crate::daemon`]: shuts the socket down when the connection
+/// thread exits, past every clone.
+struct ConnGuard(TcpStream);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
+/// Runs the router until a `shutdown` request arrives. Announces the
+/// bound address on `out` as `listening on HOST:PORT`, then routes.
+pub fn run_router<W: Write>(config: &RouterConfig, out: &mut W) -> Result<(), SoiError> {
+    if config.shards.is_empty() {
+        return Err(SoiError::invalid("router needs at least one shard"));
+    }
+    for replicas in &config.shards {
+        for addr in replicas {
+            if split_addr(addr).is_none() {
+                return Err(SoiError::invalid(format!(
+                    "bad replica address {addr:?} (want host:port)"
+                )));
+            }
+        }
+    }
+    let listener = TcpListener::bind(("127.0.0.1", config.port))
+        .map_err(|e| SoiError::io("bind 127.0.0.1", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SoiError::io("local_addr", e))?;
+    // Touch every router counter so 0 is reported, not absent.
+    soi_obs::counter_add!("router.requests_total", 0);
+    soi_obs::counter_add!("router.forwarded", 0);
+    soi_obs::counter_add!("router.forward_retries", 0);
+    soi_obs::counter_add!("router.failovers", 0);
+    soi_obs::counter_add!("router.shard_unavailable", 0);
+    soi_obs::counter_add!("router.requests_shed", 0);
+    soi_obs::counter_add!("router.rebalances", 0);
+    soi_obs::counter_add!("router.protocol_mismatches", 0);
+    soi_obs::gauge("router.replicas_unhealthy").set(0.0);
+    let state = Arc::new(RouterState {
+        map: ShardMap::new(config.shards.clone()),
+        replica_retries: config.replica_retries,
+        backoff_ticks: config.backoff_ticks,
+    });
+    soi_obs::event!(
+        soi_obs::Level::Info,
+        "routing {} shard(s) on {addr}",
+        state.map.len()
+    );
+    writeln!(out, "listening on {addr}").map_err(|e| SoiError::io("stdout", e))?;
+    out.flush().map_err(|e| SoiError::io("stdout", e))?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut conn_threads = Vec::new();
+    for stream in listener.incoming() {
+        // ordering: SeqCst pairs with the store in the shutdown step.
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        if let Ok(clone) = stream.try_clone() {
+            conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(clone);
+        }
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let max_line = config.max_line;
+        conn_threads.push(std::thread::spawn(move || {
+            handle_conn(stream, state, shutdown, addr, max_line);
+        }));
+    }
+    drop(listener);
+
+    // Graceful drain: stop reading new requests; in-flight relays have
+    // already resolved their shard and complete normally.
+    for stream in conns.lock().unwrap_or_else(PoisonError::into_inner).iter() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for thread in conn_threads {
+        let _ = thread.join();
+    }
+    soi_obs::event!(soi_obs::Level::Info, "router drained; shutting down");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_split_round_trips() {
+        assert_eq!(split_addr("127.0.0.1:8080"), Some(("127.0.0.1", 8080)));
+        assert_eq!(split_addr("localhost:1"), Some(("localhost", 1)));
+        assert_eq!(split_addr("no-port"), None);
+        assert_eq!(split_addr("bad:port"), None);
+    }
+
+    #[test]
+    fn queue_full_detail_reads_the_structured_fields() {
+        let line = protocol::encode_queue_full(4, 8, 32);
+        assert_eq!(queue_full_detail(&line), Some((8, 32)));
+        assert_eq!(queue_full_detail("{\"v\":1,\"status\":\"ok\"}"), None);
+    }
+
+    #[test]
+    fn v2_sections_surgery_removes_exactly_the_counters_object() {
+        let cut = v2_sections_without_counters();
+        assert!(!cut.contains("\"counters\":{"), "{cut}");
+        for kept in ["\"stats_version\":", "\"gauges\":{", "\"timing_hists\":{"] {
+            assert!(cut.contains(kept), "missing {kept} in {cut}");
+        }
+        // The spliced fragment still parses when wrapped as an object.
+        crate::json::parse(&format!("{{{cut}}}")).expect("spliced sections parse");
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_before_binding() {
+        let mut out = Vec::new();
+        let err = run_router(&RouterConfig::default(), &mut out).expect_err("no shards");
+        assert!(err.to_string().contains("at least one shard"));
+        let config = RouterConfig {
+            shards: vec![vec!["nonsense".into()]],
+            ..RouterConfig::default()
+        };
+        let err = run_router(&config, &mut out).expect_err("bad addr");
+        assert!(err.to_string().contains("nonsense"), "{err}");
+    }
+}

@@ -24,7 +24,7 @@
 //! format without depending on workload size.
 
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// One phase of a request's lifecycle.
@@ -124,7 +124,68 @@ fn forced_slow() -> bool {
 /// ```
 pub struct SlowLog {
     threshold_ticks: u64,
-    out: Mutex<Box<dyn Write + Send>>,
+    sink: Mutex<LogSink>,
+}
+
+/// The writer plus optional size-based rotation state, guarded together
+/// so a rotation and a write can never interleave.
+struct LogSink {
+    out: Box<dyn Write + Send>,
+    rotation: Option<Rotation>,
+}
+
+/// Size-based rotation: when the live file would exceed `max_bytes`,
+/// it is renamed to `<path>.old` (replacing any previous `.old`) and a
+/// fresh file is started — a long-lived daemon keeps at most two
+/// generations of slow-query history on disk.
+struct Rotation {
+    path: PathBuf,
+    max_bytes: u64,
+    written: u64,
+}
+
+impl LogSink {
+    /// Rotates if appending `incoming` bytes would push the live file
+    /// past the cap. Rotating an empty file is pointless (and would
+    /// loop forever on a single oversized line), so at least one line
+    /// always lands in each generation.
+    fn rotate_if_needed(&mut self, incoming: u64) {
+        let Some(rot) = self.rotation.as_mut() else {
+            return;
+        };
+        if rot.written == 0 || rot.written.saturating_add(incoming) <= rot.max_bytes {
+            return;
+        }
+        let _ = self.out.flush();
+        // Close the live file before renaming it out of the way.
+        self.out = Box::new(io::sink());
+        let old = rot.path.with_extension(match rot.path.extension() {
+            Some(ext) => format!("{}.old", ext.to_string_lossy()),
+            None => "old".to_string(),
+        });
+        let renamed = std::fs::rename(&rot.path, &old);
+        let reopened = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .truncate(false)
+            .open(&rot.path);
+        match (renamed, reopened) {
+            (Ok(()), Ok(file)) => {
+                self.out = Box::new(file);
+                rot.written = 0;
+                soi_obs::counter_add!("server.slow_query_log_rotations", 1);
+            }
+            (_, Ok(file)) => {
+                // Rename failed: keep appending to the (possibly still
+                // oversized) live file rather than lose log lines.
+                self.out = Box::new(file);
+                soi_obs::counter_add!("server.slow_query_log_errors", 1);
+            }
+            (_, Err(_)) => {
+                soi_obs::counter_add!("server.slow_query_log_errors", 1);
+            }
+        }
+    }
 }
 
 impl SlowLog {
@@ -134,17 +195,37 @@ impl SlowLog {
     pub fn new(threshold_ticks: u64, out: Box<dyn Write + Send>) -> SlowLog {
         SlowLog {
             threshold_ticks: threshold_ticks.max(1),
-            out: Mutex::new(out),
+            sink: Mutex::new(LogSink {
+                out,
+                rotation: None,
+            }),
         }
     }
 
-    /// A log appending to the file at `path` (created if absent).
-    pub fn to_file(threshold_ticks: u64, path: &Path) -> io::Result<SlowLog> {
+    /// A log appending to the file at `path` (created if absent). A
+    /// non-zero `max_bytes` bounds the live file: when a line would push
+    /// it past the cap, the file rotates to `<path>.old` (one `.old`
+    /// generation is kept) and `server.slow_query_log_rotations` counts
+    /// the event. Zero `max_bytes` means unbounded (the pre-rotation
+    /// behavior).
+    pub fn to_file(threshold_ticks: u64, path: &Path, max_bytes: u64) -> io::Result<SlowLog> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(SlowLog::new(threshold_ticks, Box::new(file)))
+        let rotation = (max_bytes > 0).then(|| Rotation {
+            path: path.to_path_buf(),
+            max_bytes,
+            // Restarting a daemon resumes the budget where the existing
+            // file left off, not from zero.
+            written: file.metadata().map(|m| m.len()).unwrap_or(0),
+        });
+        let log = SlowLog::new(threshold_ticks, Box::new(file));
+        log.sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .rotation = rotation;
+        Ok(log)
     }
 
     /// The configured threshold.
@@ -168,12 +249,17 @@ impl SlowLog {
             trace.total_wall_ns(),
             trace.json_fragment()
         );
-        let mut out = self
-            .out
+        let mut sink = self
+            .sink
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+        let bytes = line.len() as u64 + 1;
+        sink.rotate_if_needed(bytes);
+        let write = writeln!(sink.out, "{line}").and_then(|()| sink.out.flush());
+        if write.is_err() {
             soi_obs::counter_add!("server.slow_query_log_errors", 1);
+        } else if let Some(rot) = sink.rotation.as_mut() {
+            rot.written = rot.written.saturating_add(bytes);
         }
     }
 }
@@ -249,6 +335,91 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("\"trace\":[{\"phase\":\"parse\""), "{text}");
+    }
+
+    #[test]
+    fn rotation_keeps_one_old_generation_under_the_byte_cap() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::clear();
+        let dir = std::env::temp_dir().join(format!("soi-slowlog-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        // Low threshold so every sample trace logs; cap sized to hold
+        // roughly two lines per generation.
+        let line_len = {
+            let mut buf = Vec::new();
+            let t = sample_trace();
+            let frag = t.json_fragment();
+            use std::io::Write as _;
+            write!(
+                buf,
+                "{{\"type_name\":\"infmax-tc\",\"id\":0,\"ticks_total\":{},\"wall_ns_total\":{},{frag}}}",
+                t.total_ticks(),
+                t.total_wall_ns()
+            )
+            .unwrap();
+            buf.len() as u64 + 1
+        };
+        let log = SlowLog::to_file(1, &path, line_len * 2 + 1).unwrap();
+        for id in 0..5 {
+            log.maybe_log(id, "infmax-tc", &sample_trace());
+        }
+        drop(log);
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(dir.join("slow.jsonl.old")).unwrap();
+        // Two lines per generation: 5 logged → [0,1] rotated out and
+        // replaced by [2,3], live holds [4]. Only the last two
+        // generations survive — that bound is the point.
+        assert_eq!(old.lines().count(), 2, "{old}");
+        assert_eq!(live.lines().count(), 1, "{live}");
+        assert!(old.contains("\"id\":2") && old.contains("\"id\":3"), "{old}");
+        assert!(live.contains("\"id\":4"), "{live}");
+        // …and both files respect the cap.
+        assert!(live.len() as u64 <= line_len * 2 + 1, "{}", live.len());
+        assert!(old.len() as u64 <= line_len * 2 + 1, "{}", old.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_max_bytes_never_rotates() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::clear();
+        let dir = std::env::temp_dir().join(format!("soi-slowlog-norotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        let log = SlowLog::to_file(1, &path, 0).unwrap();
+        for id in 0..8 {
+            log.maybe_log(id, "typical-cascade", &sample_trace());
+        }
+        drop(log);
+        let live = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(live.lines().count(), 8);
+        assert!(!dir.join("slow.jsonl.old").exists(), "no .old generation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_resumes_byte_budget_from_an_existing_file() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::clear();
+        let dir = std::env::temp_dir().join(format!("soi-slowlog-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.jsonl");
+        // Pre-existing content from a "previous run" nearly fills the cap.
+        std::fs::write(&path, "x".repeat(100)).unwrap();
+        let log = SlowLog::to_file(1, &path, 110).unwrap();
+        log.maybe_log(1, "infmax-tc", &sample_trace());
+        drop(log);
+        // The pre-existing bytes were counted: the first logged line
+        // triggered a rotation instead of blowing past the cap.
+        let old = std::fs::read_to_string(dir.join("slow.jsonl.old")).unwrap();
+        assert_eq!(old, "x".repeat(100));
+        let live = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(live.lines().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * [`retry_after_ticks`] — the server-side load-shedding hint embedded
 //!   in structured `queue-full` rejections: a deterministic function of
 //!   the observed queue depth and capacity, so identical overload states
-//!   always advertise identical hints (and tests can assert them).
+//!   always advertise identical hints (and tests can assert them);
+//! * [`delay_with_hint`] — the client-side combination of the two: the
+//!   doubling schedule, but never shorter than a server-advertised
+//!   `retry_after_ticks` hint. A zero `base` still disables backoff
+//!   entirely (tests that must not sleep ignore hints too).
 
 /// Largest delay either helper will ever return. Keeps schedules sane
 /// even with absurd attempt counts or caller-supplied caps.
@@ -28,6 +32,21 @@ pub fn delay_ticks(base: u64, attempt: u32, cap: u64) -> u64 {
     let cap = cap.min(MAX_DELAY_TICKS);
     let scaled = base.checked_shl(attempt).unwrap_or(u64::MAX);
     scaled.min(cap)
+}
+
+/// The `attempt`-th delay of the doubling schedule, floored by a
+/// server-advertised hint: `max(delay_ticks(base, attempt, cap), hint)`,
+/// still bounded by [`MAX_DELAY_TICKS`]. When `base` is 0 backoff is
+/// disabled outright and the hint is ignored — a caller that opted out
+/// of waiting (deterministic tests, latency probes) must never be made
+/// to wait by an overloaded peer.
+pub fn delay_with_hint(base: u64, attempt: u32, cap: u64, hint: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    delay_ticks(base, attempt, cap)
+        .max(hint)
+        .min(MAX_DELAY_TICKS)
 }
 
 /// The retry hint a server embeds in a `queue-full` rejection: how many
@@ -97,5 +116,47 @@ mod tests {
     fn retry_hint_edge_cases() {
         assert_eq!(retry_after_ticks(0, 0), MAX_DELAY_TICKS);
         assert_eq!(retry_after_ticks(usize::MAX, 1), MAX_DELAY_TICKS);
+    }
+
+    #[test]
+    fn hint_overrides_schedule_in_both_directions() {
+        // Hint longer than the schedule wins…
+        assert_eq!(delay_with_hint(1, 0, 1024, 500), 500);
+        // …and a schedule longer than the hint wins.
+        assert_eq!(delay_with_hint(1, 6, 1024, 5), 64);
+        // Equal: either answer is the same value.
+        assert_eq!(delay_with_hint(8, 0, 1024, 8), 8);
+        // No hint degrades to the plain schedule.
+        assert_eq!(delay_with_hint(2, 3, 1024, 0), 16);
+    }
+
+    #[test]
+    fn zero_base_disables_backoff_even_with_hints() {
+        for hint in [0, 1, 1024, u64::MAX] {
+            assert_eq!(delay_with_hint(0, 5, 1024, hint), 0);
+        }
+    }
+
+    #[test]
+    fn hinted_delay_saturates_at_global_maximum() {
+        assert_eq!(delay_with_hint(1, 0, 64, u64::MAX), MAX_DELAY_TICKS);
+        assert_eq!(
+            delay_with_hint(u64::MAX, 40, u64::MAX, u64::MAX),
+            MAX_DELAY_TICKS
+        );
+    }
+
+    #[test]
+    fn schedules_are_deterministic_across_identical_parameters() {
+        // Pure functions of their arguments: replaying the same retry
+        // loop twice yields tick-identical schedules.
+        let run = |seed: u64| -> Vec<u64> {
+            (0..32)
+                .map(|attempt| delay_with_hint(seed % 7 + 1, attempt, 900, seed % 13))
+                .collect()
+        };
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
     }
 }

@@ -45,6 +45,12 @@ pub enum ProtoErrorKind {
     ConnectionLost,
     /// The request exceeded the client-side per-request timeout.
     Timeout,
+    /// Every replica of the shard owning the requested graph is down
+    /// (router-side answer: the request reached no compute daemon).
+    ShardUnavailable,
+    /// The peer speaks a different protocol version (detected on the
+    /// response `v` field, or relayed by the router when a shard skews).
+    ProtocolMismatch,
 }
 
 impl ProtoErrorKind {
@@ -62,6 +68,8 @@ impl ProtoErrorKind {
             ProtoErrorKind::Internal => "internal-error",
             ProtoErrorKind::ConnectionLost => "connection-lost",
             ProtoErrorKind::Timeout => "timeout",
+            ProtoErrorKind::ShardUnavailable => "shard-unavailable",
+            ProtoErrorKind::ProtocolMismatch => "protocol-mismatch",
         }
     }
 }
@@ -320,6 +328,8 @@ mod tests {
             ProtoErrorKind::Internal,
             ProtoErrorKind::ConnectionLost,
             ProtoErrorKind::Timeout,
+            ProtoErrorKind::ShardUnavailable,
+            ProtoErrorKind::ProtocolMismatch,
         ];
         let codes: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), kinds.len(), "wire codes must be distinct");

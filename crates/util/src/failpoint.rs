@@ -57,6 +57,12 @@ pub const SITES: &[&str] = &[
     // request regardless of its tick cost (checked by SlowLog, never
     // crashes), so tests can pin the log format on a fast request.
     "server.request.slow",
+    // Router-side sites: exercised by the route-chaos fabric matrix
+    // (crates/cli/tests/route_chaos.rs). `forward.write` fires on the
+    // router→shard hop (failover path), `response.write` on the
+    // router→client hop (client retry path).
+    "router.forward.write",
+    "router.response.write",
 ];
 
 /// What an armed failpoint does when it fires.

@@ -1,0 +1,311 @@
+//! Failpoint-catalog pass: every fault-injection site the code plants
+//! is documented, and every documented site is still planted.
+//!
+//! `docs/ROBUSTNESS.md` carries the failpoint catalog between
+//! `<!-- failpoint-catalog:begin -->` and `<!-- failpoint-catalog:end -->`
+//! markers: markdown table rows whose first backtick span is the site
+//! name. This pass extracts every site name planted in source — the
+//! first string literal of `failpoint!("…")`, `failpoint_crash!("…")`,
+//! and `trigger("…")` calls — and checks both directions:
+//!
+//! * a planted site missing from the catalog flags the plant site (the
+//!   doc rotted behind the code);
+//! * a cataloged site no longer planted anywhere flags the catalog row
+//!   (the code rotted behind the doc).
+//!
+//! Names are matched in the **raw** line text because [`crate::source`]
+//! blanks string-literal contents in the lexed form; test lines are
+//! skipped (unit tests trigger scratch sites that are not part of the
+//! `SOI_FAILPOINTS` surface). Dynamically built names cannot be
+//! extracted and are exempt by construction. Suppress a deliberate
+//! undocumented site with `// xtask-allow: failpoint_catalog`.
+//!
+//! Fixture trees have no `docs/ROBUSTNESS.md`; a missing doc skips the
+//! pass entirely rather than flagging every site in a tree that never
+//! promised a catalog.
+
+use crate::report::{Finding, Pass};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Marker opening the catalog region in the doc.
+pub const BEGIN_MARKER: &str = "<!-- failpoint-catalog:begin -->";
+/// Marker closing the catalog region in the doc.
+pub const END_MARKER: &str = "<!-- failpoint-catalog:end -->";
+/// The catalog's home, relative to the lint root.
+pub const DOC_PATH: &str = "docs/ROBUSTNESS.md";
+
+/// Call forms whose first string literal is a failpoint site name.
+const PLANT_CALLS: &[&str] = &["failpoint!(\"", "failpoint_crash!(\"", "trigger(\""];
+
+/// Runs the failpoint-catalog pass over the whole tree. `root` locates
+/// the catalog document; `scanned` are the lexed sources.
+pub fn check(root: &Path, scanned: &BTreeMap<PathBuf, SourceFile>) -> Vec<Finding> {
+    let doc_text = match std::fs::read_to_string(root.join(DOC_PATH)) {
+        Ok(text) => text,
+        // No doc, no catalog contract (lint-test fixture trees).
+        Err(_) => return Vec::new(),
+    };
+    let mut findings = Vec::new();
+    let catalog = match parse_catalog(&doc_text) {
+        Some(catalog) => catalog,
+        None => {
+            findings.push(Finding {
+                pass: Pass::FailpointCatalog,
+                path: PathBuf::from(DOC_PATH),
+                line: 1,
+                message: format!(
+                    "failpoint catalog markers missing; wrap the site table in \
+                     `{BEGIN_MARKER}` / `{END_MARKER}`"
+                ),
+            });
+            return findings;
+        }
+    };
+
+    let planted = planted_sites(scanned);
+    for (name, sites) in &planted {
+        if !catalog.contains_key(name) {
+            let (path, line) = &sites[0];
+            findings.push(Finding {
+                pass: Pass::FailpointCatalog,
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "failpoint `{name}` is planted here but missing from the \
+                     {DOC_PATH} catalog; add a row (or `// xtask-allow: failpoint_catalog`)"
+                ),
+            });
+        }
+    }
+    for (name, line) in &catalog {
+        if !planted.contains_key(name) {
+            findings.push(Finding {
+                pass: Pass::FailpointCatalog,
+                path: PathBuf::from(DOC_PATH),
+                line: *line,
+                message: format!(
+                    "cataloged failpoint `{name}` is not planted anywhere in the \
+                     tree; delete the row or restore the site"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Extracts the catalog as `site -> 1-based doc line`. `None` when the
+/// marker pair is absent or inverted.
+fn parse_catalog(doc: &str) -> Option<BTreeMap<String, usize>> {
+    let mut catalog = BTreeMap::new();
+    let mut inside = false;
+    let mut saw_region = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.contains(BEGIN_MARKER) {
+            inside = true;
+            saw_region = true;
+            continue;
+        }
+        if line.contains(END_MARKER) {
+            if !inside {
+                return None;
+            }
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        if let Some(name) = table_row_site(line) {
+            catalog.entry(name).or_insert(idx + 1);
+        }
+    }
+    if !saw_region || inside {
+        return None;
+    }
+    Some(catalog)
+}
+
+/// The first backtick span of a markdown table row, when it looks like
+/// a site name. Header and separator rows have no backtick span.
+fn table_row_site(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    let open = trimmed.find('`')?;
+    let rest = &trimmed[open + 1..];
+    let close = rest.find('`')?;
+    let name = &rest[..close];
+    let valid = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c));
+    valid.then(|| name.to_string())
+}
+
+/// Every site name planted in non-test code, with the plant sites where
+/// it appears (sorted by the BTreeMap walk, so the first site is the
+/// canonical anchor for findings).
+fn planted_sites(scanned: &BTreeMap<PathBuf, SourceFile>) -> BTreeMap<String, Vec<(PathBuf, usize)>> {
+    let mut planted: BTreeMap<String, Vec<(PathBuf, usize)>> = BTreeMap::new();
+    for (path, file) in scanned {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test || line.allows(Pass::FailpointCatalog.name()) {
+                continue;
+            }
+            for name in site_names_in(&line.raw) {
+                planted
+                    .entry(name)
+                    .or_default()
+                    .push((path.clone(), idx + 1));
+            }
+        }
+    }
+    planted
+}
+
+/// Failpoint-site literals in one raw source line.
+fn site_names_in(raw: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for call in PLANT_CALLS {
+        let mut from = 0;
+        while let Some(rel) = raw[from..].find(call) {
+            let at = from + rel;
+            // Ident boundary on the left so `failpoint::trigger` never
+            // rides along on a longer identifier ending in `trigger`.
+            let boundary = at == 0
+                || !raw[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let start = at + call.len();
+            if let Some(close) = raw[start..].find('"') {
+                let name = &raw[start..start + close];
+                // The charset filter also discards false positives where
+                // the call text appears inside a longer string literal
+                // (the extracted span then crosses `)`, spaces, …).
+                let valid = boundary
+                    && !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c));
+                if valid {
+                    names.insert(name.to_string());
+                }
+            }
+            from = at + call.len();
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    fn doc(rows: &str) -> String {
+        format!("# Robustness\n\n{BEGIN_MARKER}\n| site | planted in |\n|---|---|\n{rows}{END_MARKER}\n")
+    }
+
+    fn tree(src: &str) -> BTreeMap<PathBuf, SourceFile> {
+        [(PathBuf::from("crates/x/src/lib.rs"), scan(src))]
+            .into_iter()
+            .collect()
+    }
+
+    fn check_with(doc_text: &str, src: &str) -> Vec<Finding> {
+        let root = std::env::temp_dir().join(format!(
+            "xtask-failpoint-catalog-{}-{:p}",
+            std::process::id(),
+            &doc_text
+        ));
+        std::fs::create_dir_all(root.join("docs")).unwrap();
+        std::fs::write(root.join(DOC_PATH), doc_text).unwrap();
+        let findings = check(&root, &tree(src));
+        std::fs::remove_dir_all(&root).unwrap();
+        findings
+    }
+
+    #[test]
+    fn documented_sites_pass_both_directions() {
+        let findings = check_with(
+            &doc("| `io.read` | the reader |\n| `worker.crash` | the worker |\n"),
+            "fn f() { soi_util::failpoint!(\"io.read\", ()); }\n\
+             fn g() { soi_util::failpoint_crash!(\"worker.crash\"); }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_catalog_row_and_undocumented_site_both_flag() {
+        let findings = check_with(
+            &doc("| `io.gone` | removed code |\n"),
+            "fn f() { soi_util::failpoint::trigger(\"io.fresh\")?; }\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("`io.fresh`")));
+        assert!(messages.iter().any(|m| m.contains("`io.gone`")));
+        let doc_finding = findings
+            .iter()
+            .find(|f| f.path == Path::new(DOC_PATH))
+            .unwrap();
+        assert_eq!(doc_finding.line, 6, "row line within the doc");
+    }
+
+    #[test]
+    fn test_lines_and_allows_are_skipped() {
+        let src = "// scratch site for a bench harness, intentionally uncataloged\n\
+                   // xtask-allow: failpoint_catalog\n\
+                   fn g() { soi_util::failpoint!(\"bench.scratch\", ()); }\n\
+                   #[cfg(test)]\nmod t {\n    fn h() { soi_util::failpoint::trigger(\"test.only\").unwrap(); }\n}\n";
+        let findings = check_with(&doc(""), src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn call_text_inside_a_longer_string_literal_is_not_a_site() {
+        // e.g. a lint pass matching on `code.contains("failpoint!(")` —
+        // the extracted span crosses `)`/spaces and fails the charset.
+        let names =
+            site_names_in("let hit = code.contains(\"failpoint!(\") || code.contains(\"x\");");
+        assert!(names.is_empty(), "{names:?}");
+    }
+
+    #[test]
+    fn missing_markers_flag_the_doc_once() {
+        let findings = check_with("# Robustness\nno markers here\n", "fn f() {}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("markers missing"));
+        assert_eq!(findings[0].path, PathBuf::from(DOC_PATH));
+    }
+
+    #[test]
+    fn missing_doc_skips_the_pass() {
+        let root =
+            std::env::temp_dir().join(format!("xtask-failpoint-nodoc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let findings = check(
+            &root,
+            &tree("fn f() { soi_util::failpoint!(\"io.read\", ()); }\n"),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn catalog_rows_parse_names_from_backtick_spans() {
+        assert_eq!(
+            table_row_site("| `server.response.write` | before the response write |"),
+            Some("server.response.write".to_string())
+        );
+        assert_eq!(table_row_site("|---|---|"), None);
+        assert_eq!(table_row_site("| site | planted in |"), None);
+        assert_eq!(table_row_site("plain prose `code`"), None);
+        assert_eq!(table_row_site("| `Not A Site` |"), None);
+    }
+}

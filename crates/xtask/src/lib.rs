@@ -1,19 +1,20 @@
 //! # xtask
 //!
 //! Workspace static analysis for the Spheres-of-Influence repo, run as
-//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Seven
+//! `cargo xtask lint` (alias for `cargo run -p xtask -- lint`). Eight
 //! passes enforce the contracts the experiments depend on:
 //!
-//! | pass            | contract                                              |
-//! |-----------------|-------------------------------------------------------|
-//! | `determinism`   | no entropy-seeded RNGs; no unordered-map emission     |
-//! | `panic_policy`  | library code returns `Result`, it does not abort      |
-//! | `hermeticity`   | no registry dependencies; `std::net` only in `server` |
-//! | `hygiene`       | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
-//! | `observability` | library code logs via `soi-obs`, not println/eprintln |
-//! | `concurrency`   | one global lock order; no guard across blocking calls;|
-//! |                 | justified atomic orderings; scoped spawns only        |
-//! | `metric_catalog`| registered metrics ↔ docs/OBSERVABILITY.md catalog   |
+//! | pass               | contract                                              |
+//! |--------------------|-------------------------------------------------------|
+//! | `determinism`      | no entropy-seeded RNGs; no unordered-map emission     |
+//! | `panic_policy`     | library code returns `Result`, it does not abort      |
+//! | `hermeticity`      | no registry dependencies; `std::net` only in `server` |
+//! | `hygiene`          | `//!` docs on every `src/*.rs`; ≥ 1 test per package  |
+//! | `observability`    | library code logs via `soi-obs`, not println/eprintln |
+//! | `concurrency`      | one global lock order; no guard across blocking calls;|
+//! |                    | justified atomic orderings; scoped spawns only        |
+//! | `metric_catalog`   | registered metrics ↔ docs/OBSERVABILITY.md catalog   |
+//! | `failpoint_catalog`| planted failpoints ↔ docs/ROBUSTNESS.md catalog      |
 //!
 //! Findings can be suppressed per line with `// xtask-allow: <pass>`
 //! (`#` comments in manifests), which is expected to sit next to a
@@ -23,6 +24,7 @@
 
 pub mod concurrency;
 pub mod determinism;
+pub mod failpoint_catalog;
 pub mod hermeticity;
 pub mod hygiene;
 pub mod metric_catalog;
@@ -69,6 +71,7 @@ pub fn run_lint(root: &Path) -> std::io::Result<Vec<Finding>> {
     }
     findings.extend(concurrency::check_lock_order(&scanned));
     findings.extend(metric_catalog::check(root, &scanned));
+    findings.extend(failpoint_catalog::check(root, &scanned));
     for (path, text) in &manifests {
         findings.extend(hermeticity::check(path, text));
     }

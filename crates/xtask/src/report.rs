@@ -29,6 +29,9 @@ pub enum Pass {
     /// Registered metrics and the docs/OBSERVABILITY.md catalog drifted
     /// apart (either direction).
     MetricCatalog,
+    /// Planted failpoint sites and the docs/ROBUSTNESS.md catalog
+    /// drifted apart (either direction).
+    FailpointCatalog,
 }
 
 impl Pass {
@@ -42,11 +45,12 @@ impl Pass {
             Pass::Observability => "observability",
             Pass::Concurrency => "concurrency",
             Pass::MetricCatalog => "metric_catalog",
+            Pass::FailpointCatalog => "failpoint_catalog",
         }
     }
 
     /// All passes, in report order.
-    pub fn all() -> [Pass; 7] {
+    pub fn all() -> [Pass; 8] {
         [
             Pass::Determinism,
             Pass::PanicPolicy,
@@ -55,6 +59,7 @@ impl Pass {
             Pass::Observability,
             Pass::Concurrency,
             Pass::MetricCatalog,
+            Pass::FailpointCatalog,
         ]
     }
 }

@@ -1,0 +1,20 @@
+//! Fixture: planted failpoints and catalog agree; test scratch sites
+//! and allowed lines stay out of the contract.
+
+pub fn work() -> Result<(), ()> {
+    soi_util::failpoint!("fixture.io.read", ());
+    soi_util::failpoint_crash!("fixture.crash");
+    // Bench-harness scratch site, intentionally uncataloged.
+    // xtask-allow: failpoint_catalog
+    soi_util::failpoint::trigger("fixture.scratch").map_err(|_| ())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        let _ = soi_util::failpoint::trigger("fixture.test_only");
+        assert!(true);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: the catalog documents a failpoint the code no longer
+//! plants.
+
+pub fn work() {
+    soi_util::failpoint_crash!("fixture.crash");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

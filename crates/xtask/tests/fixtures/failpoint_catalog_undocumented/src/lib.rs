@@ -1,0 +1,14 @@
+//! Fixture: a planted failpoint missing from the catalog.
+
+pub fn work() {
+    soi_util::failpoint_crash!("fixture.crash");
+    soi_util::failpoint_crash!("fixture.undocumented");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn present() {
+        assert!(true);
+    }
+}

@@ -153,6 +153,30 @@ fn metric_catalog_clean_fixture_passes() {
 }
 
 #[test]
+fn failpoint_catalog_flags_undocumented_plant() {
+    assert_flags(
+        "failpoint_catalog_undocumented",
+        "src/lib.rs:5: [failpoint_catalog]",
+    );
+}
+
+#[test]
+fn failpoint_catalog_flags_stale_doc_row() {
+    assert_flags(
+        "failpoint_catalog_stale",
+        "docs/ROBUSTNESS.md:7: [failpoint_catalog]",
+    );
+}
+
+#[test]
+fn failpoint_catalog_clean_fixture_passes() {
+    let out = run_lint(&fixtures_dir().join("failpoint_catalog_clean"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean catalog flagged:\n{stdout}");
+    assert!(stdout.trim().is_empty(), "unexpected output:\n{stdout}");
+}
+
+#[test]
 fn concurrency_allow_fixtures_pass_clean() {
     for fixture in [
         // Consistent nesting order everywhere.
@@ -193,6 +217,8 @@ fn each_bad_fixture_reports_exactly_one_finding() {
         "concurrency_spawn",
         "metric_catalog_undocumented",
         "metric_catalog_stale",
+        "failpoint_catalog_undocumented",
+        "failpoint_catalog_stale",
     ] {
         let out = run_lint(&fixtures_dir().join(fixture));
         let stdout = String::from_utf8_lossy(&out.stdout);
