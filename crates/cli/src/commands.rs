@@ -11,12 +11,14 @@ use soi_graph::{gen, io as gio, stats, DiGraph, NodeId, ProbGraph};
 use soi_index::{CascadeIndex, IndexConfig};
 use soi_influence::{
     degree_discount_seeds, high_degree_seeds, infmax_celf_resumable, infmax_ris_budgeted,
-    infmax_std_mc, infmax_tc, pagerank_seeds, random_seeds, GreedyRunOpts, McGreedyConfig,
+    infmax_std_mc, infmax_tc, pagerank_seeds, random_seeds, BackendKind, GreedyRunOpts,
+    McGreedyConfig,
 };
 use soi_jaccard::median::MedianConfig;
 use soi_problog::{
     learn_goyal, learn_goyal_jaccard, learn_saito, to_prob_graph, Action, ActionLog, SaitoConfig,
 };
+use soi_sketch::{select_seeds, BuildOpts, ReachSketches, SketchConfig};
 use soi_util::rng::Xoshiro256pp;
 use soi_util::runtime::{Deadline, Outcome};
 use soi_util::SoiError;
@@ -35,7 +37,8 @@ commands:
              [--format json|prom] [--mask-wall]
   sphere     GRAPH --source V [--samples N] [--seed S]
   spheres    GRAPH [--samples N] [--seed S] [--threads T] --out FILE
-  infmax     GRAPH --k K [--method tc|greedy|mc|ris|degree|degree-discount|
+  infmax     GRAPH --k K [--backend cascade|sketch] [--sketch-k K]
+             [--method tc|greedy|mc|ris|degree|degree-discount|
              pagerank|random] [--samples N] [--seed S]
   reliability GRAPH --source V [--target W] [--eta P] [--samples N] [--seed S]
   learn      GRAPH LOG [--method saito|goyal|goyal-jaccard] [--lag L]
@@ -44,9 +47,9 @@ commands:
              [--queue-cap N] [--cache-cap N] [--worlds L] [--seed S]
              [--max-line BYTES] [--default-deadline-ticks N]
              [--slow-query-ticks N --slow-query-log FILE]
-             [--slow-query-log-max-bytes B]
+             [--slow-query-log-max-bytes B] [--sketch-k K]
   route      REPLICAS [REPLICAS ...] [--port P] [--replica-retries N]
-             [--backoff-ticks T] [--max-line BYTES]
+             [--backoff-ticks T] [--max-line BYTES] [--overrides-file FILE]
              (each REPLICAS is one shard: host:port[,host:port ...])
   query      [REQUEST ...] [--file FILE] --port P [--host H]
              [--concurrency N] [--mask-wall] [--retries N]
@@ -590,6 +593,14 @@ fn cmd_infmax<W: Write>(
     let samples: usize = opts.get("samples")?.unwrap_or(256);
     let seed: u64 = opts.get("seed")?.unwrap_or(42);
     let method: String = opts.get("method")?.unwrap_or_else(|| "tc".to_string());
+    let backend_name: String = opts
+        .get("backend")?
+        .unwrap_or_else(|| "cascade".to_string());
+    let backend = BackendKind::parse(&backend_name)
+        .ok_or_else(|| SoiError::usage(format!("unknown backend {backend_name:?}")))?;
+    if backend == BackendKind::Sketch {
+        return infmax_sketch(&opts, rt, &pg, k, samples, seed, out);
+    }
 
     let build_index = || {
         CascadeIndex::build(
@@ -668,6 +679,81 @@ fn cmd_infmax<W: Write>(
     )
     .ok();
     writeln!(out, "expected_spread\t{sigma:.2}").ok();
+    if let RunStatus::Partial { fraction } = status {
+        writeln!(
+            out,
+            "partial\t{:.1}% (deadline expired; resumable with --resume)",
+            fraction * 100.0
+        )
+        .ok();
+    }
+    Ok(status)
+}
+
+/// `infmax --backend sketch`: bottom-k sketch build (budgeted and
+/// resumable like the greedy pipeline) followed by SKIM-style greedy
+/// selection, sharing one deadline across both phases.
+fn infmax_sketch<W: Write>(
+    opts: &Opts,
+    rt: &RuntimeOpts,
+    pg: &ProbGraph,
+    k: usize,
+    samples: usize,
+    seed: u64,
+    out: &mut W,
+) -> Result<RunStatus, SoiError> {
+    let sketch_k: usize = opts.get("sketch-k")?.unwrap_or(64);
+    if sketch_k == 0 {
+        return Err(SoiError::usage("--sketch-k must be >= 1"));
+    }
+    let config = SketchConfig {
+        num_worlds: samples,
+        k: sketch_k,
+        seed,
+        threads: rt.threads,
+    };
+    let deadline = rt.deadline();
+    let ckpt_path = rt.checkpoint_file("sketch.ckpt")?;
+    let build = ReachSketches::build_resumable(
+        pg,
+        config,
+        &BuildOpts {
+            deadline: &deadline,
+            checkpoint: ckpt_path.as_deref(),
+            checkpoint_every: rt.checkpoint_every as u64,
+            resume: rt.resume,
+        },
+    )?;
+    let mut status = RunStatus::from_outcome(&build);
+    // A partial build still yields a valid oracle over a world prefix;
+    // selection proceeds on whatever deadline budget remains.
+    let sk = build.value();
+    let outcome = select_seeds(pg, &sk, k, &deadline);
+    if matches!(status, RunStatus::Complete) {
+        status = RunStatus::from_outcome(&outcome);
+        if matches!(status, RunStatus::Complete) {
+            discard_checkpoint(ckpt_path.as_ref());
+        }
+    }
+    let seeds = outcome.value().seeds;
+    let sigma = soi_sampling::estimate_spread(pg, &seeds, samples.max(1000), seed ^ 0xE7A1);
+    writeln!(
+        out,
+        "seeds\t{}",
+        seeds
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+    .ok();
+    writeln!(out, "expected_spread\t{sigma:.2}").ok();
+    writeln!(
+        out,
+        "backend\tsketch (worlds {}, k {sketch_k})",
+        sk.num_worlds()
+    )
+    .ok();
     if let RunStatus::Partial { fraction } = status {
         writeln!(
             out,
@@ -801,6 +887,7 @@ fn cmd_serve<W: Write>(
         threads: rt.threads,
         cache_cap: opts.get("cache-cap")?.unwrap_or(4),
         default_deadline_ticks: opts.get("default-deadline-ticks")?.unwrap_or(0),
+        sketch_k: opts.get("sketch-k")?.unwrap_or(64),
         ..soi_server::EngineConfig::default()
     };
     let max_line: usize = opts
@@ -866,6 +953,9 @@ fn cmd_route<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
         max_line: opts
             .get("max-line")?
             .unwrap_or(soi_server::DEFAULT_MAX_LINE),
+        overrides_path: opts
+            .get::<String>("overrides-file")?
+            .map(std::path::PathBuf::from),
     };
     soi_server::run_router(&config, out)?;
     Ok(RunStatus::Complete)

@@ -114,6 +114,38 @@ fn every_registered_site_crashes_then_resumes_byte_identical() {
     });
     assert_code(&golden_greedy, 0, "golden greedy");
 
+    let sketch_args = |ck: &Path, resume: bool| {
+        let mut a: Vec<String> = [
+            "infmax",
+            &graph,
+            "--k",
+            "5",
+            "--backend",
+            "sketch",
+            "--sketch-k",
+            "16",
+            "--samples",
+            "32",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        if resume {
+            a.push("--resume".into());
+        }
+        a
+    };
+    let golden_sketch = run({
+        let mut c = soi();
+        c.args(sketch_args(&dir.join("ck-golden-sketch"), false));
+        c
+    });
+    assert_code(&golden_sketch, 0, "golden sketch");
+
     // Which pipeline exercises each site, and on which hit to fire so
     // at least one checkpoint usually exists before the crash.
     for &site in soi_util::failpoint::SITES {
@@ -133,8 +165,34 @@ fn every_registered_site_crashes_then_resumes_byte_identical() {
             "engine.block" => format!("{site}=exit({CRASH})@3"),
             "greedy.round" => format!("{site}=exit({CRASH})@4"),
             "cli.spheres.write" => format!("{site}=exit({CRASH})"),
+            "sketch.build.block" => format!("{site}=exit({CRASH})@2"),
             other => panic!("unmapped failpoint site {other:?} — extend this matrix"),
         };
+
+        if site == "sketch.build.block" {
+            let crash = run({
+                let mut c = soi();
+                c.args(sketch_args(&ck, false));
+                c.env(soi_util::failpoint::ENV_VAR, &spec);
+                c
+            });
+            assert_code(&crash, CRASH, &format!("crash run ({site})"));
+            let resumed = run({
+                let mut c = soi();
+                c.args(sketch_args(&ck, true));
+                c
+            });
+            assert_code(&resumed, 0, &format!("resume run ({site})"));
+            assert_eq!(
+                resumed.stdout, golden_sketch.stdout,
+                "{site}: resumed sketch infmax output differs from uninterrupted run"
+            );
+            assert!(
+                !ck.join("sketch.ckpt").exists(),
+                "{site}: sketch checkpoint not discarded after completion"
+            );
+            continue;
+        }
 
         if site == "greedy.round" {
             let greedy_args = |resume: bool| {

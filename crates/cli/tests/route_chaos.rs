@@ -142,10 +142,16 @@ impl Proc {
     /// Spawns the router over `shards` (each entry one shard's
     /// comma-joined replica list).
     fn route(shards: &[String]) -> Proc {
+        Proc::route_with(shards, &[])
+    }
+
+    /// Spawns the router with extra flags (e.g. `--overrides-file`).
+    fn route_with(shards: &[String], extra: &[&str]) -> Proc {
         let mut cmd = soi();
         cmd.arg("route")
             .args(shards)
             .args(["--backoff-ticks", "0"])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
         Proc::announce(cmd.spawn().expect("spawn soi route"), "router")
@@ -193,7 +199,9 @@ impl Proc {
     /// Pins `net` onto `shard` so the tests know which daemons own the
     /// batch traffic (placement is deterministic but opaque).
     fn rebalance_net_to(&self, shard: usize) {
-        let req = format!("{{\"v\":1,\"id\":900,\"type\":\"rebalance\",\"graph\":\"net\",\"shard\":{shard}}}");
+        let req = format!(
+            "{{\"v\":1,\"id\":900,\"type\":\"rebalance\",\"graph\":\"net\",\"shard\":{shard}}}"
+        );
         let out = stdout_str(&self.query_one(&req));
         assert!(
             out.contains("\"rebalanced\":\"net\"") && out.contains(&format!("\"shard\":{shard}")),
@@ -289,10 +297,7 @@ fn replica_crash_mid_batch_fails_over_and_converges() {
     assert!(stats.contains("\"router.failovers\":"), "{stats}");
     assert!(!stats.contains("\"router.failovers\":0"), "{stats}");
     assert!(
-        stats.contains(&format!(
-            "\"addr\":\"{}\",\"healthy\":false",
-            doomed.addr()
-        )),
+        stats.contains(&format!("\"addr\":\"{}\",\"healthy\":false", doomed.addr())),
         "dead replica not reported unhealthy: {stats}"
     );
 
@@ -328,7 +333,7 @@ fn dark_shard_answers_typed_shard_unavailable_and_exits_3() {
     assert_all_answered(&text, 6);
     for (i, line) in text.lines().enumerate() {
         let id = i as u64 + 1;
-        if id % 3 == 0 {
+        if id.is_multiple_of(3) {
             assert!(line.contains("\"ok\":true"), "control must stay up: {line}");
         } else {
             assert!(
@@ -417,7 +422,8 @@ fn rebalance_rehomes_one_graph_and_rejects_out_of_range() {
 
     // Out-of-range shard: typed bad-field, router keeps serving.
     let out = stdout_str(
-        &router.query_one("{\"v\":1,\"id\":6,\"type\":\"rebalance\",\"graph\":\"net\",\"shard\":9}"),
+        &router
+            .query_one("{\"v\":1,\"id\":6,\"type\":\"rebalance\",\"graph\":\"net\",\"shard\":9}"),
     );
     assert!(
         out.contains("\"kind\":\"bad-field\"") && out.contains("out of range"),
@@ -425,6 +431,96 @@ fn rebalance_rehomes_one_graph_and_rejects_out_of_range() {
     );
 
     router.shutdown();
+    s0.shutdown();
+    s1.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_restart_rehomes_from_persisted_overrides() {
+    let dir = fresh_dir("override-persist");
+    let graph = make_graph(&dir);
+    let ovr = dir.join("overrides.ckpt").to_string_lossy().into_owned();
+    let compute = "{\"v\":1,\"id\":5,\"type\":\"typical-cascade\",\"graph\":\"net\",\"source\":3}";
+
+    let s0 = Proc::serve(&graph, &[], None);
+    let s1 = Proc::serve(&graph, &[], None);
+    let shards = [s0.addr(), s1.addr()];
+
+    // Discover `net`'s ring home (placement is deterministic but
+    // opaque): one compute through a throwaway router, then read which
+    // replica forwarded it.
+    let probe = Proc::route(&shards);
+    assert!(stdout_str(&probe.query_one(compute)).contains("\"status\":\"ok\""));
+    let home = usize::from(probe.stats().contains(&format!(
+        "\"addr\":\"{}\",\"healthy\":true,\"forwarded\":1",
+        s1.addr()
+    )));
+    probe.shutdown();
+    let target = 1 - home;
+    let target_addr = &shards[target];
+
+    // First router life: re-home `net` off its ring shard, serve some
+    // traffic, drain. The override lands in the checkpoint file.
+    let router = Proc::route_with(&shards, &["--overrides-file", &ovr]);
+    router.rebalance_net_to(target);
+    for _ in 0..3 {
+        assert!(stdout_str(&router.query_one(compute)).contains("\"status\":\"ok\""));
+    }
+    let stats = router.stats();
+    assert!(
+        stats.contains(&format!(
+            "\"addr\":\"{target_addr}\",\"healthy\":true,\"forwarded\":3"
+        )),
+        "traffic did not follow the rebalance: {stats}"
+    );
+    router.shutdown();
+    assert!(Path::new(&ovr).exists(), "override file not written");
+
+    // Second life: same shards, same file, NO rebalance call. The
+    // restored override must route `net` to the same shard — and the
+    // ring home must see zero forwarded traffic.
+    let reborn = Proc::route_with(&shards, &["--overrides-file", &ovr]);
+    for _ in 0..3 {
+        assert!(stdout_str(&reborn.query_one(compute)).contains("\"status\":\"ok\""));
+    }
+    let stats = reborn.stats();
+    save_artifact("route-override-restart.stats.json", &stats);
+    assert!(
+        stats.contains(&format!(
+            "\"addr\":\"{target_addr}\",\"healthy\":true,\"forwarded\":3"
+        )),
+        "restart lost the persisted override: {stats}"
+    );
+    assert!(
+        stats.contains(&format!(
+            "\"addr\":\"{}\",\"healthy\":true,\"forwarded\":0",
+            shards[home]
+        )),
+        "ring home should see no traffic after restart: {stats}"
+    );
+    assert!(
+        stats.contains("\"router.override_persist_errors\":0"),
+        "{stats}"
+    );
+    reborn.shutdown();
+
+    // A differently shaped fleet must refuse the file outright — shard
+    // indices only mean something relative to the layout that wrote it.
+    let refused = soi()
+        .args(["route", &shards[0], "--overrides-file", &ovr])
+        .output()
+        .expect("spawn mismatched router");
+    assert!(
+        !refused.status.success(),
+        "mismatched layout must refuse to start"
+    );
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("graph_fingerprint"),
+        "want a typed fingerprint mismatch: {}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
+
     s0.shutdown();
     s1.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -15,8 +15,11 @@
 //! * [`ris`] — a reverse-reachable-sketch comparator (Borgs et al. /
 //!   TIM-flavoured), the modern baseline referenced in §7;
 //! * [`saturation`] — the marginal-gain-ratio analysis (`MG₁₀/MG₁`) behind
-//!   Figure 7.
+//!   Figure 7;
+//! * [`backend`] — the selectable spread-oracle dispatch (cascade index
+//!   vs bottom-k sketches) shared by the CLI and serving layers.
 
+pub mod backend;
 pub mod baselines;
 pub mod greedy;
 pub mod ris;
@@ -24,6 +27,7 @@ pub mod saturation;
 pub mod spread;
 pub mod tc_cover;
 
+pub use backend::{BackendKind, SpreadBackend};
 pub use baselines::{
     core_seeds, degree_discount_seeds, high_degree_seeds, pagerank_seeds, random_seeds,
 };

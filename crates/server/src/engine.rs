@@ -18,7 +18,10 @@ use crate::trace::PhaseTrace;
 use soi_core::EngineRunOpts;
 use soi_graph::ProbGraph;
 use soi_index::{CascadeIndex, IndexConfig};
+use soi_influence::{BackendKind, SpreadBackend};
 use soi_jaccard::median::MedianConfig;
+use soi_sketch::{ReachSketches, SketchConfig};
+use soi_util::hash::Mix64Hasher;
 use soi_util::runtime::{Deadline, Outcome, StopReason};
 use soi_util::{ProtoErrorKind, SoiError};
 use std::collections::BTreeMap;
@@ -42,6 +45,9 @@ pub struct EngineConfig {
     /// Default per-request tick budget (0 = unlimited) applied when a
     /// request carries no `deadline_ticks`.
     pub default_deadline_ticks: u64,
+    /// Default sketch size `k` for `"backend":"sketch"` requests that
+    /// carry no `sketch_k` override.
+    pub sketch_k: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +60,7 @@ impl Default for EngineConfig {
             median: MedianConfig::default(),
             cache_cap: 4,
             default_deadline_ticks: 0,
+            sketch_k: 64,
         }
     }
 }
@@ -90,15 +97,40 @@ impl ExecOutput {
     }
 }
 
-/// Loaded graphs plus the warm index cache.
+/// Loaded graphs plus the warm spread-oracle cache.
 pub struct ServerEngine {
     graphs: BTreeMap<String, Arc<ProbGraph>>,
-    cache: Mutex<crate::cache::LruCache<CascadeIndex>>,
-    /// Last successfully built index per graph *name*, regardless of
-    /// fingerprint: the stale fallback served (explicitly flagged) when
-    /// a fresh build fails and the request opted into degradation.
-    last_good: Mutex<BTreeMap<String, Arc<CascadeIndex>>>,
+    /// One LRU for both backends. Keys mix the backend tag into the
+    /// backend-specific cache key ([`mixed_key`]), so the key is
+    /// (graph fingerprint, backend, build params) and a sketch entry can
+    /// never serve a cascade request or vice versa.
+    cache: Mutex<crate::cache::LruCache<SpreadBackend>>,
+    /// Last successfully built oracle per (graph *name*, backend tag,
+    /// sketch k — 0 for cascade), regardless of fingerprint: the stale
+    /// fallback served (explicitly flagged) when a fresh build fails and
+    /// the request opted into degradation.
+    last_good: Mutex<BTreeMap<(String, u8, u64), SpreadBackend>>,
     config: EngineConfig,
+}
+
+/// Folds the backend tag into a backend-specific cache key. Both inner
+/// keys already mix the graph fingerprint and build parameters; the tag
+/// keeps the two key spaces disjoint in the shared LRU.
+fn mixed_key(kind: BackendKind, inner: u64) -> u64 {
+    let mut h = Mix64Hasher::new();
+    h.update_u64(u64::from(kind.tag()));
+    h.update_u64(inner);
+    h.finish()
+}
+
+/// The `k` component of a last-good key: sketch entries are keyed by
+/// their sketch size (a different `k` is a different oracle), cascade
+/// entries have no such parameter and use 0.
+fn last_good_k(kind: BackendKind, k: usize) -> u64 {
+    match kind {
+        BackendKind::Cascade => 0,
+        BackendKind::Sketch => k as u64,
+    }
 }
 
 impl ServerEngine {
@@ -151,6 +183,17 @@ impl ServerEngine {
         }
     }
 
+    /// Sketch build parameters: the same ℓ worlds and master seed as the
+    /// cascade index, with the request's (or server's default) `k`.
+    fn sketch_config(&self, k: usize) -> SketchConfig {
+        SketchConfig {
+            num_worlds: self.config.num_worlds,
+            k,
+            seed: self.config.seed,
+            threads: self.config.threads,
+        }
+    }
+
     fn graph(&self, name: &str) -> Result<&Arc<ProbGraph>, SoiError> {
         self.graphs.get(name).ok_or_else(|| {
             SoiError::protocol(
@@ -186,9 +229,37 @@ impl ServerEngine {
         name: &str,
         degrade: bool,
     ) -> Result<(Arc<CascadeIndex>, bool, bool), SoiError> {
+        let (backend, degraded, built) =
+            self.backend_for_traced(name, BackendKind::Cascade, None, degrade)?;
+        match backend {
+            SpreadBackend::Cascade(index) => Ok((index, degraded, built)),
+            // The cache key folds in the backend tag, so a cascade
+            // lookup can only ever yield a cascade entry.
+            // xtask-allow: panic_policy
+            SpreadBackend::Sketch(_) => unreachable!("cascade lookup returned a sketch"),
+        }
+    }
+
+    /// The warm spread oracle for (`name`, `kind`, `sketch_k`), building
+    /// and caching it on a miss. Returns (oracle, degraded, built):
+    /// `degraded` flags a stale same-backend fallback, `built` reports
+    /// whether this call paid a build (a cold `cache` phase costs
+    /// `num_worlds` deterministic ticks, a hit costs zero).
+    fn backend_for_traced(
+        &self,
+        name: &str,
+        kind: BackendKind,
+        sketch_k: Option<usize>,
+        degrade: bool,
+    ) -> Result<(SpreadBackend, bool, bool), SoiError> {
         let pg = self.graph(name)?;
-        let config = self.index_config();
-        let key = CascadeIndex::cache_key(pg, &config);
+        let k = sketch_k.unwrap_or(self.config.sketch_k);
+        let inner = match kind {
+            BackendKind::Cascade => CascadeIndex::cache_key(pg, &self.index_config()),
+            BackendKind::Sketch => ReachSketches::cache_key(pg, &self.sketch_config(k)),
+        };
+        let key = mixed_key(kind, inner);
+        let last_key = (name.to_string(), kind.tag(), last_good_k(kind, k));
         {
             // Waiting on the cache mutex is the engine's contention
             // point; attribute it to this worker's lock-wait slot.
@@ -196,14 +267,14 @@ impl ServerEngine {
                 soi_obs::perthread::timed_region(soi_obs::perthread::record_lock_wait, || {
                     self.cache.lock().unwrap_or_else(PoisonError::into_inner)
                 });
-            if let Some(index) = cache.get(key) {
+            if let Some(entry) = cache.get(key) {
                 soi_obs::counter_add!("server.cache_hits", 1);
-                return Ok((index, false, false));
+                return Ok(((*entry).clone(), false, false));
             }
         }
         soi_obs::counter_add!("server.cache_misses", 1);
-        match self.build_index(name, pg, config, key) {
-            Ok(index) => Ok((index, false, true)),
+        match self.build_backend(pg, kind, k, key, &last_key) {
+            Ok(backend) => Ok((backend, false, true)),
             Err(err) => {
                 if degrade {
                     let stale = {
@@ -211,11 +282,11 @@ impl ServerEngine {
                             .last_good
                             .lock()
                             .unwrap_or_else(PoisonError::into_inner);
-                        last.get(name).cloned()
+                        last.get(&last_key).cloned()
                     };
-                    if let Some(index) = stale {
+                    if let Some(backend) = stale {
                         soi_obs::counter_add!("server.requests_degraded", 1);
-                        return Ok((index, true, false));
+                        return Ok((backend, true, false));
                     }
                 }
                 Err(err)
@@ -223,29 +294,39 @@ impl ServerEngine {
         }
     }
 
-    fn build_index(
+    fn build_backend(
         &self,
-        name: &str,
         pg: &Arc<ProbGraph>,
-        config: IndexConfig,
+        kind: BackendKind,
+        k: usize,
         key: u64,
-    ) -> Result<Arc<CascadeIndex>, SoiError> {
-        soi_util::failpoint!("server.index.build");
+        last_key: &(String, u8, u64),
+    ) -> Result<SpreadBackend, SoiError> {
         // Built outside the cache lock: a slow build must not stall
         // queries against already-cached graphs.
-        let _span = soi_obs::span("server.index_build");
-        let index = Arc::new(CascadeIndex::build(pg, config));
+        let backend = match kind {
+            BackendKind::Cascade => {
+                soi_util::failpoint!("server.index.build");
+                let _span = soi_obs::span("server.index_build");
+                SpreadBackend::Cascade(Arc::new(CascadeIndex::build(pg, self.index_config())))
+            }
+            BackendKind::Sketch => {
+                soi_util::failpoint!("server.sketch.build");
+                let _span = soi_obs::span("server.sketch_build");
+                SpreadBackend::Sketch(Arc::new(ReachSketches::build(pg, self.sketch_config(k))))
+            }
+        };
         soi_util::failpoint_crash!("server.cache.insert");
         {
             let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-            cache.insert(key, Arc::clone(&index));
+            cache.insert(key, Arc::new(backend.clone()));
         }
         let mut last = self
             .last_good
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        last.insert(name.to_string(), Arc::clone(&index));
-        Ok(index)
+        last.insert(last_key.clone(), backend.clone());
+        Ok(backend)
     }
 
     fn deadline(&self, requested: Option<u64>) -> Deadline {
@@ -327,6 +408,8 @@ impl ServerEngine {
                 seed,
                 deadline_ticks,
                 degrade,
+                backend,
+                sketch_k,
             } => {
                 let pg = self.graph(graph)?;
                 if let Some(&bad) = seeds.iter().find(|&&s| (s as usize) >= pg.num_nodes()) {
@@ -338,8 +421,37 @@ impl ServerEngine {
                         ),
                     ));
                 }
-                // Spread estimates never touch the index cache; the
-                // phase is recorded at zero cost so every compute
+                if *backend == BackendKind::Sketch {
+                    // The sketch backend answers from the warm sketches:
+                    // the cache phase carries the (possible) build, the
+                    // estimator itself is one O(seeds · k) evaluation.
+                    let cache_start = std::time::Instant::now();
+                    let (oracle, degraded, built) =
+                        self.backend_for_traced(graph, BackendKind::Sketch, *sketch_k, *degrade)?;
+                    trace.record(
+                        "cache",
+                        if built {
+                            self.config.num_worlds as u64
+                        } else {
+                            0
+                        },
+                        crate::trace::elapsed_ns(cache_start),
+                    );
+                    let SpreadBackend::Sketch(sk) = &oracle else {
+                        return Err(SoiError::invalid("sketch lookup returned a cascade index"));
+                    };
+                    let compute_start = std::time::Instant::now();
+                    let spread = sk.set_spread(seeds);
+                    let payload = format!(
+                        "\"spread\":{},\"backend\":\"sketch\"{}",
+                        fmt_num(spread),
+                        degraded_suffix(degraded, "stale-sketch")
+                    );
+                    trace.record("compute", 1, crate::trace::elapsed_ns(compute_start));
+                    return Ok(ExecOutput::complete(payload));
+                }
+                // Cascade spread estimates never touch the oracle cache;
+                // the phase is recorded at zero cost so every compute
                 // request shares one timeline schema.
                 trace.record("cache", 0, 0);
                 let budget = deadline_ticks.unwrap_or(self.config.default_deadline_ticks);
@@ -387,7 +499,19 @@ impl ServerEngine {
                 k,
                 deadline_ticks,
                 degrade,
+                backend,
+                sketch_k,
             } => {
+                if *backend == BackendKind::Sketch {
+                    return self.execute_infmax_sketch(
+                        graph,
+                        *k,
+                        *deadline_ticks,
+                        *degrade,
+                        *sketch_k,
+                        trace,
+                    );
+                }
                 let cache_start = std::time::Instant::now();
                 let (index, degraded, built) = self.index_for_traced(graph, *degrade)?;
                 trace.record(
@@ -439,6 +563,58 @@ impl ServerEngine {
                 control.type_name()
             ))),
         }
+    }
+
+    /// `infmax-tc` with `"backend":"sketch"`: SKIM-style greedy over the
+    /// warm sketches, one deadline tick per seed selected.
+    fn execute_infmax_sketch(
+        &self,
+        graph: &str,
+        k: usize,
+        deadline_ticks: Option<u64>,
+        degrade: bool,
+        sketch_k: Option<usize>,
+        trace: &mut PhaseTrace,
+    ) -> Result<ExecOutput, SoiError> {
+        let cache_start = std::time::Instant::now();
+        let (oracle, degraded, built) =
+            self.backend_for_traced(graph, BackendKind::Sketch, sketch_k, degrade)?;
+        trace.record(
+            "cache",
+            if built {
+                self.config.num_worlds as u64
+            } else {
+                0
+            },
+            crate::trace::elapsed_ns(cache_start),
+        );
+        let SpreadBackend::Sketch(sk) = &oracle else {
+            return Err(SoiError::invalid("sketch lookup returned a cascade index"));
+        };
+        let pg = self.graph(graph)?;
+        if sk.graph_fingerprint() != pg.fingerprint() {
+            // A stale sketch from a different graph revision cannot
+            // drive selection: the coverage BFS re-derives the worlds
+            // the sketches were built over, which belong to the old
+            // graph. Fail typed instead of answering wrong.
+            return Err(SoiError::protocol(
+                ProtoErrorKind::Internal,
+                "stale sketch does not match the loaded graph; seed selection cannot degrade",
+            ));
+        }
+        let deadline = self.deadline(deadline_ticks);
+        let compute_start = std::time::Instant::now();
+        let outcome = soi_sketch::select_seeds(pg, sk, k, &deadline);
+        let run = outcome.value_ref();
+        let coverage: Vec<String> = run.coverage.iter().map(|&c| fmt_num(c)).collect();
+        let payload = format!(
+            "\"seeds\":{},\"coverage\":[{}],\"backend\":\"sketch\"{}",
+            encode_nodes(&run.seeds),
+            coverage.join(","),
+            degraded_suffix(degraded, "stale-sketch")
+        );
+        trace.record("compute", k as u64, crate::trace::elapsed_ns(compute_start));
+        Ok(ExecOutput::from_outcome(&outcome, payload))
     }
 }
 
@@ -502,6 +678,8 @@ mod tests {
             seed: 9,
             deadline_ticks: None,
             degrade: false,
+            backend: BackendKind::Cascade,
+            sketch_k: None,
         };
         let capped = Request::SpreadEstimate {
             graph: "g".into(),
@@ -510,6 +688,8 @@ mod tests {
             seed: 9,
             deadline_ticks: Some(8),
             degrade: false,
+            backend: BackendKind::Cascade,
+            sketch_k: None,
         };
         let full = engine.execute(&full).expect("full");
         assert!(full.partial.is_none());
@@ -526,6 +706,8 @@ mod tests {
             seed: 9,
             deadline_ticks: Some(8),
             degrade: false,
+            backend: BackendKind::Cascade,
+            sketch_k: None,
         });
         assert_eq!(capped, again.expect("again"));
     }
@@ -540,6 +722,8 @@ mod tests {
                 k: 3,
                 deadline_ticks: None,
                 degrade: false,
+                backend: BackendKind::Cascade,
+                sketch_k: None,
             })
             .expect("exec");
         assert!(out.partial.is_none());
@@ -614,6 +798,8 @@ mod tests {
                     seed: 9,
                     deadline_ticks: None,
                     degrade: false,
+                    backend: BackendKind::Cascade,
+                    sketch_k: None,
                 },
                 &mut spread,
             )
@@ -636,6 +822,8 @@ mod tests {
                     k: 3,
                     deadline_ticks: None,
                     degrade: false,
+                    backend: BackendKind::Cascade,
+                    sketch_k: None,
                 },
                 &mut infmax,
             )
@@ -663,6 +851,8 @@ mod tests {
             seed: 9,
             deadline_ticks: Some(8),
             degrade: true,
+            backend: BackendKind::Cascade,
+            sketch_k: None,
         };
         let out = engine.execute(&degraded).expect("degraded");
         assert!(out.partial.is_none(), "degraded answers are complete");
@@ -688,6 +878,8 @@ mod tests {
                 seed: 9,
                 deadline_ticks: None,
                 degrade: false,
+                backend: BackendKind::Cascade,
+                sketch_k: None,
             })
             .expect("honest");
         let spread_of = |p: &str| p.split(',').next().map(str::to_string);
@@ -701,6 +893,8 @@ mod tests {
                 seed: 9,
                 deadline_ticks: Some(64),
                 degrade: true,
+                backend: BackendKind::Cascade,
+                sketch_k: None,
             })
             .expect("roomy");
         assert!(!roomy.payload.contains("degraded"), "{}", roomy.payload);
@@ -755,5 +949,197 @@ mod tests {
             })
             .expect("fresh");
         assert!(!fresh.payload.contains("degraded"), "{}", fresh.payload);
+    }
+
+    fn sketch_spread_req(sketch_k: Option<usize>) -> Request {
+        Request::SpreadEstimate {
+            graph: "g".into(),
+            seeds: vec![0, 1],
+            samples: 64,
+            seed: 9,
+            deadline_ticks: None,
+            degrade: false,
+            backend: BackendKind::Sketch,
+            sketch_k,
+        }
+    }
+
+    #[test]
+    fn sketch_backend_answers_spread_deterministically() {
+        let _g = soi_util::failpoint::test_guard();
+        let engine = engine();
+        let a = engine.execute(&sketch_spread_req(None)).expect("sketch");
+        let b = engine.execute(&sketch_spread_req(None)).expect("again");
+        assert_eq!(a, b);
+        assert!(a.partial.is_none());
+        assert!(
+            a.payload.starts_with("\"spread\":") && a.payload.ends_with("\"backend\":\"sketch\""),
+            "{}",
+            a.payload
+        );
+        // The sketch answer tracks the Monte-Carlo answer on this graph.
+        let mc = engine
+            .execute(&Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0, 1],
+                samples: 2000,
+                seed: 9,
+                deadline_ticks: None,
+                degrade: false,
+                backend: BackendKind::Cascade,
+                sketch_k: None,
+            })
+            .expect("mc");
+        let num = |p: &str| -> f64 {
+            p.strip_prefix("\"spread\":")
+                .and_then(|r| r.split(',').next())
+                .and_then(|v| v.parse().ok())
+                .expect("spread number")
+        };
+        let (sk, mc) = (num(&a.payload), num(&mc.payload));
+        assert!(
+            (sk - mc).abs() / mc.max(1.0) < 0.5,
+            "sketch {sk} vs mc {mc}"
+        );
+    }
+
+    #[test]
+    fn sketch_backend_selects_seeds_with_backend_tag() {
+        let _g = soi_util::failpoint::test_guard();
+        let engine = engine();
+        let req = Request::InfmaxTc {
+            graph: "g".into(),
+            k: 3,
+            deadline_ticks: None,
+            degrade: false,
+            backend: BackendKind::Sketch,
+            sketch_k: Some(32),
+        };
+        let mut trace = PhaseTrace::new();
+        let a = engine.execute_traced(&req, &mut trace).expect("sketch");
+        assert_eq!(a, engine.execute(&req).expect("again"));
+        assert!(a.partial.is_none());
+        assert!(
+            a.payload.contains("\"seeds\":[") && a.payload.contains("\"backend\":\"sketch\""),
+            "{}",
+            a.payload
+        );
+        // Cold sketch build costs num_worlds cache ticks, selection k.
+        assert_eq!(trace.phases()[0].ticks, 16);
+        assert_eq!(trace.phases()[1].ticks, 3);
+        // A capped budget yields a partial seed prefix.
+        let capped = engine
+            .execute(&Request::InfmaxTc {
+                graph: "g".into(),
+                k: 3,
+                deadline_ticks: Some(2),
+                degrade: false,
+                backend: BackendKind::Sketch,
+                sketch_k: Some(32),
+            })
+            .expect("capped");
+        let (done, total, _) = capped.partial.expect("partial");
+        assert_eq!((done, total), (2, 3));
+    }
+
+    #[test]
+    fn cache_keeps_backends_and_params_disjoint() {
+        let _g = soi_util::failpoint::test_guard();
+        // Room for all three oracle identities at once (the shared
+        // fixture's cap of 2 would evict the first one).
+        let mut engine = {
+            let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(7);
+            let pg = ProbGraph::fixed(gen::gnm(40, 160, &mut rng), 0.4).expect("graph");
+            let mut e = ServerEngine::new(EngineConfig {
+                num_worlds: 16,
+                seed: 3,
+                cache_cap: 4,
+                ..EngineConfig::default()
+            });
+            e.add_graph("g", pg);
+            e
+        };
+        let engine = &mut engine;
+        let misses = || soi_obs::metrics::counter("server.cache_misses").get();
+        let hits = || soi_obs::metrics::counter("server.cache_hits").get();
+        let m0 = misses();
+        // Same graph, four oracle identities: cascade, sketch k=default,
+        // sketch k=32 — each is its own cache entry…
+        let _ = engine.execute(&sketch_spread_req(None)).expect("sketch");
+        let _ = engine
+            .execute(&Request::TypicalCascade {
+                graph: "g".into(),
+                source: 0,
+                deadline_ticks: None,
+                degrade: false,
+            })
+            .expect("cascade");
+        let _ = engine.execute(&sketch_spread_req(Some(32))).expect("k=32");
+        assert_eq!(misses() - m0, 3, "three distinct oracles, three builds");
+        // …and repeats hit their own entry without rebuilding.
+        let h0 = hits();
+        let _ = engine.execute(&sketch_spread_req(None)).expect("warm");
+        let _ = engine.execute(&sketch_spread_req(Some(32))).expect("warm");
+        assert_eq!(hits() - h0, 2);
+        assert_eq!(misses() - m0, 3);
+    }
+
+    #[test]
+    fn sketch_build_failure_degrades_to_stale_sketch_or_fails_typed() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::clear();
+        let engine = engine();
+        // Warm the sketch last-good slot, then arm the build failpoint.
+        let _ = engine.execute(&sketch_spread_req(None)).expect("warm");
+        let mut engine = engine;
+        let mut rng = soi_util::rng::Xoshiro256pp::seed_from_u64(13);
+        let pg2 = ProbGraph::fixed(gen::gnm(40, 120, &mut rng), 0.3).expect("graph2");
+        engine.add_graph("g", pg2);
+        soi_util::failpoint::install("server.sketch.build=error").expect("arm");
+        // Without degrade: typed fault.
+        let err = engine.execute(&sketch_spread_req(None)).expect_err("fault");
+        assert!(matches!(err, SoiError::Fault { .. }), "{err}");
+        // With degrade: the stale sketch answers spread, flagged.
+        let out = engine
+            .execute(&Request::SpreadEstimate {
+                graph: "g".into(),
+                seeds: vec![0, 1],
+                samples: 64,
+                seed: 9,
+                deadline_ticks: None,
+                degrade: true,
+                backend: BackendKind::Sketch,
+                sketch_k: None,
+            })
+            .expect("stale");
+        assert!(
+            out.payload
+                .contains("\"degraded\":true,\"degraded_mode\":\"stale-sketch\""),
+            "{}",
+            out.payload
+        );
+        // Seed selection cannot run on a mismatched stale sketch: typed
+        // internal error, never a wrong answer or a panic.
+        let err = engine
+            .execute(&Request::InfmaxTc {
+                graph: "g".into(),
+                k: 2,
+                deadline_ticks: None,
+                degrade: true,
+                backend: BackendKind::Sketch,
+                sketch_k: None,
+            })
+            .expect_err("cannot degrade selection");
+        assert!(
+            matches!(
+                err,
+                SoiError::Protocol {
+                    kind: ProtoErrorKind::Internal,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        soi_util::failpoint::clear();
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::json::{self, Value};
 use soi_graph::NodeId;
+use soi_influence::BackendKind;
 use soi_util::runtime::StopReason;
 use soi_util::{ProtoErrorKind, SoiError};
 
@@ -80,6 +81,13 @@ pub enum Request {
         /// Opt-in graceful degradation (answer with a reduced sample
         /// count under deadline pressure rather than go partial).
         degrade: bool,
+        /// Spread-oracle backend (`"backend"` field; default cascade —
+        /// Monte-Carlo sampling; `"sketch"` answers from warm bottom-k
+        /// sketches, ignoring `samples`/`seed`).
+        backend: BackendKind,
+        /// Sketch size `k` override for the sketch backend (`None` =
+        /// the server's `--sketch-k` default).
+        sketch_k: Option<usize>,
     },
     /// `InfMax_TC`: greedy max-cover seed selection over spheres.
     InfmaxTc {
@@ -92,6 +100,11 @@ pub enum Request {
         /// Opt-in graceful degradation (serve a stale index rather than
         /// fail when a fresh build is impossible).
         degrade: bool,
+        /// Spread-oracle backend (default cascade — `InfMax_TC` max
+        /// cover; `"sketch"` runs SKIM-style greedy over the sketches).
+        backend: BackendKind,
+        /// Sketch size `k` override for the sketch backend.
+        sketch_k: Option<usize>,
     },
 }
 
@@ -180,6 +193,38 @@ fn opt_bool(obj: &Value, key: &str) -> Result<bool, SoiError> {
     }
 }
 
+fn opt_str(obj: &Value, key: &str) -> Result<Option<String>, SoiError> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+            proto(
+                ProtoErrorKind::BadField,
+                format!("field {key:?} must be a string"),
+            )
+        }),
+    }
+}
+
+/// Parses the optional `backend` / `sketch_k` pair shared by the compute
+/// requests that dispatch between spread-oracle backends.
+fn opt_backend(obj: &Value) -> Result<(BackendKind, Option<usize>), SoiError> {
+    let backend = match opt_str(obj, "backend")? {
+        None => BackendKind::default(),
+        Some(name) => BackendKind::parse(&name).ok_or_else(|| {
+            proto(
+                ProtoErrorKind::BadField,
+                format!("unknown backend {name:?} (cascade|sketch)"),
+            )
+        })?,
+    };
+    let sketch_k = match opt_u64(obj, "sketch_k")? {
+        None => None,
+        Some(0) => return Err(proto(ProtoErrorKind::BadField, "sketch_k must be >= 1")),
+        Some(k) => Some(k as usize),
+    };
+    Ok((backend, sketch_k))
+}
+
 fn req_nodes(obj: &Value, key: &str) -> Result<Vec<NodeId>, SoiError> {
     let arr = obj.get(key).and_then(Value::as_arr).ok_or_else(|| {
         proto(
@@ -248,6 +293,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
             if samples == 0 {
                 return Err(proto(ProtoErrorKind::BadField, "samples must be >= 1"));
             }
+            let (backend, sketch_k) = opt_backend(&doc)?;
             Request::SpreadEstimate {
                 graph: req_str(&doc, "graph")?,
                 seeds: req_nodes(&doc, "seeds")?,
@@ -255,6 +301,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
                 seed: opt_u64(&doc, "seed")?.unwrap_or(0),
                 deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
                 degrade: opt_bool(&doc, "degrade")?,
+                backend,
+                sketch_k,
             }
         }
         "infmax-tc" => {
@@ -262,11 +310,14 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
             if k == 0 {
                 return Err(proto(ProtoErrorKind::BadField, "k must be >= 1"));
             }
+            let (backend, sketch_k) = opt_backend(&doc)?;
             Request::InfmaxTc {
                 graph: req_str(&doc, "graph")?,
                 k,
                 deadline_ticks: opt_u64(&doc, "deadline_ticks")?,
                 degrade: opt_bool(&doc, "degrade")?,
+                backend,
+                sketch_k,
             }
         }
         other => {
@@ -404,6 +455,8 @@ mod tests {
                 seed: 9,
                 deadline_ticks: Some(4),
                 degrade: false,
+                backend: BackendKind::Cascade,
+                sketch_k: None,
             }
         );
         let e = parse_request(r#"{"v":1,"id":4,"type":"infmax-tc","graph":"g","k":3}"#)
@@ -432,6 +485,56 @@ mod tests {
         let k = kind_of(
             parse_request(r#"{"v":1,"id":7,"type":"infmax-tc","graph":"g","k":1,"degrade":1}"#)
                 .expect_err("non-boolean degrade"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+    }
+
+    #[test]
+    fn backend_field_selects_the_oracle() {
+        // Absent: cascade default on both dispatching requests.
+        let e = parse_request(
+            r#"{"v":1,"id":20,"type":"spread-estimate","graph":"g","seeds":[0],"samples":4}"#,
+        )
+        .expect("default");
+        assert!(matches!(
+            e.req,
+            Request::SpreadEstimate {
+                backend: BackendKind::Cascade,
+                sketch_k: None,
+                ..
+            }
+        ));
+        // Explicit sketch selection with a k override.
+        let e = parse_request(
+            r#"{"v":1,"id":21,"type":"infmax-tc","graph":"g","k":2,"backend":"sketch","sketch_k":32}"#,
+        )
+        .expect("sketch");
+        assert!(matches!(
+            e.req,
+            Request::InfmaxTc {
+                backend: BackendKind::Sketch,
+                sketch_k: Some(32),
+                ..
+            }
+        ));
+        // Unknown backend names and zero k are typed bad-field errors.
+        let k = kind_of(
+            parse_request(
+                r#"{"v":1,"id":22,"type":"spread-estimate","graph":"g","seeds":[0],"samples":4,"backend":"voodoo"}"#,
+            )
+            .expect_err("unknown backend"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+        let k = kind_of(
+            parse_request(
+                r#"{"v":1,"id":23,"type":"infmax-tc","graph":"g","k":2,"backend":"sketch","sketch_k":0}"#,
+            )
+            .expect_err("zero sketch_k"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":24,"type":"infmax-tc","graph":"g","k":2,"backend":7}"#)
+                .expect_err("non-string backend"),
         );
         assert_eq!(k, ProtoErrorKind::BadField);
     }
@@ -546,7 +649,10 @@ mod tests {
             panic!("not protocol: {skew}");
         };
         assert_eq!(*kind, ProtoErrorKind::ProtocolMismatch);
-        assert!(message.contains("version 2") && message.contains('1'), "{message}");
+        assert!(
+            message.contains("version 2") && message.contains('1'),
+            "{message}"
+        );
         // JSON object with no version at all: also skew.
         let skew = check_response_version(r#"{"id":1,"status":"ok"}"#).expect_err("no v");
         assert!(matches!(

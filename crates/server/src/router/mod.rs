@@ -30,6 +30,10 @@
 //!   drains open connections exactly like the single daemon; the
 //!   `rebalance` control re-homes one graph without touching in-flight
 //!   requests (they complete on the shard they already resolved to).
+//!   With `--overrides-file` the override table is persisted through
+//!   [`soi_util::ckpt`] (checksummed, atomic rename) after every
+//!   accepted rebalance and reloaded at startup, pinned to the shard
+//!   layout — a restarted router re-homes every graph identically.
 //! * **Aggregated stats** — `stats` answers the v2 payload with the
 //!   router's own registry merged with the summed counters of one live
 //!   replica per shard, plus a `shards` health array.
@@ -41,10 +45,13 @@ use crate::daemon::{self, read_line_capped, LineRead};
 use crate::json::{self, Value};
 use crate::protocol::{self, Request, DEFAULT_MAX_LINE};
 use shard::ShardMap;
+use soi_util::ckpt::{self, ByteReader, Checkpoint, KIND_ROUTER_OVERRIDES};
+use soi_util::hash::Mix64Hasher;
 use soi_util::{ProtoErrorKind, SoiError};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -68,6 +75,11 @@ pub struct RouterConfig {
     pub backoff_ticks: u64,
     /// Request-line length cap in bytes.
     pub max_line: usize,
+    /// When set, the rebalance-override table is persisted to this
+    /// checkpoint file after every accepted `rebalance` and reloaded at
+    /// startup (missing file = empty table; corrupt or layout-mismatched
+    /// file = typed startup error).
+    pub overrides_path: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -78,6 +90,7 @@ impl Default for RouterConfig {
             replica_retries: 2,
             backoff_ticks: 1,
             max_line: DEFAULT_MAX_LINE,
+            overrides_path: None,
         }
     }
 }
@@ -87,6 +100,96 @@ struct RouterState {
     map: ShardMap,
     replica_retries: u32,
     backoff_ticks: u64,
+    /// Persistence target for the override table, when configured:
+    /// `(path, layout fingerprint)`.
+    persist: Option<(PathBuf, u64)>,
+}
+
+/// Fingerprint of the shard layout (count and every replica address, in
+/// order). Pins a persisted override file to the fleet that wrote it:
+/// shard *indices* only mean something relative to a concrete layout.
+fn layout_fingerprint(shards: &[Vec<String>]) -> u64 {
+    let mut h = Mix64Hasher::new();
+    h.update_u64(shards.len() as u64);
+    for replicas in shards {
+        h.update_u64(replicas.len() as u64);
+        for addr in replicas {
+            h.update_u64(addr.len() as u64);
+            h.update(addr.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Serializes the override table: entry count, then per entry the
+/// graph-name length (u32), name bytes, and shard index (u32). BTreeMap
+/// iteration order makes the bytes canonical for a given table.
+fn encode_overrides(overrides: &BTreeMap<String, usize>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(overrides.len() as u64).to_le_bytes());
+    for (graph, &shard) in overrides {
+        out.extend_from_slice(&(graph.len() as u32).to_le_bytes());
+        out.extend_from_slice(graph.as_bytes());
+        out.extend_from_slice(&(shard as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an override payload written by [`encode_overrides`].
+fn decode_overrides(payload: &[u8]) -> Result<BTreeMap<String, usize>, SoiError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u64("override count")?;
+    let mut overrides = BTreeMap::new();
+    for _ in 0..count {
+        let name_len = r.u32("override name length")? as usize;
+        let name = std::str::from_utf8(r.take(name_len, "override name")?)
+            .map_err(|_| SoiError::invalid("override name is not UTF-8"))?
+            .to_string();
+        let shard = r.u32("override shard")? as usize;
+        overrides.insert(name, shard);
+    }
+    r.expect_end("override table")?;
+    Ok(overrides)
+}
+
+/// Writes the override table to `path` as a [`KIND_ROUTER_OVERRIDES`]
+/// checkpoint (atomic tmp-file + rename, trailing checksum).
+fn save_overrides(
+    path: &std::path::Path,
+    layout_fp: u64,
+    overrides: &BTreeMap<String, usize>,
+) -> Result<(), SoiError> {
+    soi_util::failpoint!("router.overrides.persist");
+    let payload = encode_overrides(overrides);
+    ckpt::write_checkpoint(
+        path,
+        &Checkpoint {
+            kind: KIND_ROUTER_OVERRIDES,
+            graph_fingerprint: layout_fp,
+            // The layout fingerprint already covers everything placement
+            // depends on; there is no separate run configuration.
+            config_fingerprint: layout_fp,
+            total_units: overrides.len() as u64,
+            done_units: overrides.len() as u64,
+            payload,
+        },
+    )
+}
+
+/// Loads a persisted override table. A missing file is an empty table
+/// (first boot); a corrupt or layout-mismatched file is a typed error —
+/// silently dropping overrides would re-home graphs behind the
+/// operator's back.
+fn load_overrides_file(
+    path: &std::path::Path,
+    layout_fp: u64,
+) -> Result<BTreeMap<String, usize>, SoiError> {
+    if !path.exists() {
+        return Ok(BTreeMap::new());
+    }
+    let loaded = ckpt::read_checkpoint(path, KIND_ROUTER_OVERRIDES)?;
+    loaded.validate(KIND_ROUTER_OVERRIDES, layout_fp, layout_fp)?;
+    decode_overrides(&loaded.payload)
 }
 
 /// `host:port` split for `TcpStream::connect` / `send_one`.
@@ -343,9 +446,28 @@ fn control_response(state: &RouterState, id: u64, req: &Request) -> String {
         Request::Rebalance { graph, shard } => match state.map.rebalance(graph, *shard) {
             Ok(()) => {
                 soi_obs::counter_add!("router.rebalances", 1);
+                // Persist best-effort: the in-memory override is already
+                // live, and failing the rebalance over a disk hiccup
+                // would leave the operator unsure which state won. The
+                // counter and event make the divergence visible.
+                if let Some((path, layout_fp)) = &state.persist {
+                    if let Err(err) =
+                        save_overrides(path, *layout_fp, &state.map.overrides_snapshot())
+                    {
+                        soi_obs::counter_add!("router.override_persist_errors", 1);
+                        soi_obs::event!(
+                            soi_obs::Level::Warn,
+                            "override persist to {} failed: {err}",
+                            path.display()
+                        );
+                    }
+                }
                 protocol::encode_ok(
                     id,
-                    &format!("\"rebalanced\":\"{}\",\"shard\":{shard}", json::escape(graph)),
+                    &format!(
+                        "\"rebalanced\":\"{}\",\"shard\":{shard}",
+                        json::escape(graph)
+                    ),
                     0,
                 )
             }
@@ -489,11 +611,27 @@ pub fn run_router<W: Write>(config: &RouterConfig, out: &mut W) -> Result<(), So
     soi_obs::counter_add!("router.requests_shed", 0);
     soi_obs::counter_add!("router.rebalances", 0);
     soi_obs::counter_add!("router.protocol_mismatches", 0);
+    soi_obs::counter_add!("router.override_persist_errors", 0);
     soi_obs::gauge("router.replicas_unhealthy").set(0.0);
+    let layout_fp = layout_fingerprint(&config.shards);
+    let map = ShardMap::new(config.shards.clone());
+    if let Some(path) = &config.overrides_path {
+        let overrides = load_overrides_file(path, layout_fp)?;
+        if !overrides.is_empty() {
+            soi_obs::event!(
+                soi_obs::Level::Info,
+                "restored {} rebalance override(s) from {}",
+                overrides.len(),
+                path.display()
+            );
+        }
+        map.load_overrides(overrides).map_err(SoiError::invalid)?;
+    }
     let state = Arc::new(RouterState {
-        map: ShardMap::new(config.shards.clone()),
+        map,
         replica_retries: config.replica_retries,
         backoff_ticks: config.backoff_ticks,
+        persist: config.overrides_path.clone().map(|path| (path, layout_fp)),
     });
     soi_obs::event!(
         soi_obs::Level::Info,
@@ -569,6 +707,55 @@ mod tests {
         }
         // The spliced fragment still parses when wrapped as an object.
         crate::json::parse(&format!("{{{cut}}}")).expect("spliced sections parse");
+    }
+
+    #[test]
+    fn overrides_round_trip_through_the_checkpoint_file() {
+        let dir = std::env::temp_dir().join(format!("soi-router-ovr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overrides.ckpt");
+        let layout = vec![
+            vec!["127.0.0.1:9000".to_string()],
+            vec!["127.0.0.1:9010".to_string(), "127.0.0.1:9011".to_string()],
+        ];
+        let fp = layout_fingerprint(&layout);
+        // Missing file reads back as an empty table (first boot).
+        assert!(load_overrides_file(&path, fp).unwrap().is_empty());
+        let mut table = BTreeMap::new();
+        table.insert("net".to_string(), 1usize);
+        table.insert("soc-epinions".to_string(), 0usize);
+        save_overrides(&path, fp, &table).unwrap();
+        assert_eq!(load_overrides_file(&path, fp).unwrap(), table);
+        // A different shard layout refuses the file outright.
+        let other = layout_fingerprint(&[vec!["127.0.0.1:9000".to_string()]]);
+        assert_ne!(fp, other);
+        let err = load_overrides_file(&path, other).unwrap_err();
+        assert!(matches!(err, SoiError::CkptMismatch { .. }), "{err:?}");
+        // Corruption is caught by the checkpoint checksum.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 12;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(load_overrides_file(&path, fp).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn override_decode_rejects_trailing_bytes() {
+        let mut table = BTreeMap::new();
+        table.insert("g".to_string(), 0usize);
+        let mut payload = encode_overrides(&table);
+        assert_eq!(decode_overrides(&payload).unwrap(), table);
+        payload.push(0);
+        assert!(decode_overrides(&payload).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn layout_fingerprint_separates_address_boundaries() {
+        // Same concatenated bytes, different replica split — must differ.
+        let a = layout_fingerprint(&[vec!["ab:1".to_string(), "c:2".to_string()]]);
+        let b = layout_fingerprint(&[vec!["ab:1c".to_string(), ":2".to_string()]]);
+        assert_ne!(a, b);
     }
 
     #[test]

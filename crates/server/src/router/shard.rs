@@ -149,6 +149,32 @@ impl ShardMap {
         Ok(())
     }
 
+    /// Snapshot of the rebalance-override table, for persistence.
+    pub fn overrides_snapshot(&self) -> BTreeMap<String, usize> {
+        self.overrides
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Installs a persisted override table wholesale (replacing any
+    /// current overrides). Errors without touching the table when any
+    /// entry names an out-of-range shard — a file written by a
+    /// differently sized fleet must not partially apply.
+    pub fn load_overrides(&self, overrides: BTreeMap<String, usize>) -> Result<(), String> {
+        if let Some((graph, &shard)) = overrides.iter().find(|&(_, &shard)| shard >= self.len()) {
+            return Err(format!(
+                "override for {graph:?} names shard {shard}, but the router holds {} shards",
+                self.len()
+            ));
+        }
+        *self
+            .overrides
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = overrides;
+        Ok(())
+    }
+
     /// The replica addresses of `shard` in preference order: healthy
     /// replicas first (stable by index), then unhealthy ones — a fully
     /// dark shard is still probed, so a respawned replica heals it.
@@ -257,7 +283,14 @@ mod tests {
     fn placement_is_deterministic_and_total() {
         let a = map(3, 1);
         let b = map(3, 1);
-        for name in ["net", "web", "soc-epinions", "g0", "g1", "a-very-long-graph-name"] {
+        for name in [
+            "net",
+            "web",
+            "soc-epinions",
+            "g0",
+            "g1",
+            "a-very-long-graph-name",
+        ] {
             let shard = a.shard_for(name);
             assert!(shard < 3);
             assert_eq!(shard, b.shard_for(name), "identical maps agree on {name}");

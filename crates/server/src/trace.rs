@@ -373,7 +373,10 @@ mod tests {
         // generations survive — that bound is the point.
         assert_eq!(old.lines().count(), 2, "{old}");
         assert_eq!(live.lines().count(), 1, "{live}");
-        assert!(old.contains("\"id\":2") && old.contains("\"id\":3"), "{old}");
+        assert!(
+            old.contains("\"id\":2") && old.contains("\"id\":3"),
+            "{old}"
+        );
         assert!(live.contains("\"id\":4"), "{live}");
         // …and both files respect the cap.
         assert!(live.len() as u64 <= line_len * 2 + 1, "{}", live.len());

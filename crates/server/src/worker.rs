@@ -379,6 +379,8 @@ mod tests {
                     seed: 1,
                     deadline_ticks: None,
                     degrade: false,
+                    backend: soi_influence::BackendKind::Cascade,
+                    sketch_k: None,
                 },
                 trace: false,
             },
@@ -399,6 +401,8 @@ mod tests {
                 seed: 1,
                 deadline_ticks: None,
                 degrade: false,
+                backend: soi_influence::BackendKind::Cascade,
+                sketch_k: None,
             },
             trace: true,
         };

@@ -52,6 +52,8 @@ fn request(i: u64) -> Envelope {
             seed: 9,
             deadline_ticks: None,
             degrade: false,
+            backend: soi_influence::BackendKind::Cascade,
+            sketch_k: None,
         },
     };
     Envelope {

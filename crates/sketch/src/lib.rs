@@ -1,0 +1,1087 @@
+//! # soi-sketch
+//!
+//! Bottom-k **combined reachability sketches** (Cohen et al., "Sketch-based
+//! Influence Maximization and Computation") — the workspace's second spread
+//! oracle, selectable alongside the cascade index.
+//!
+//! The cascade index stores every sampled world exactly (condensation +
+//! component matrix); memory grows with ℓ · world structure and becomes the
+//! binding constraint well before million-node graphs. This crate trades
+//! exactness for an `O(k · n)` summary over the **same ℓ sampled worlds**:
+//!
+//! 1. every (node, world) pair `(v, i)` gets a fixed uniform 64-bit rank
+//!    derived from `(seed, i, v)` — a pure function, no stored randomness;
+//! 2. per world, nodes are processed in increasing rank order with a pruned
+//!    reverse BFS, so each node `u` collects exactly the `k` smallest ranks
+//!    among the pairs `{(v, i) : v reachable from u in world i}` (fewer if
+//!    `u` reaches fewer pairs);
+//! 3. per-world bottom-k results are folded into one **combined** bottom-k
+//!    sketch per node across all worlds (bottom-k sketches are mergeable:
+//!    the k smallest of a union of bottom-k summaries are the k smallest of
+//!    the union of the underlying sets).
+//!
+//! From a node's combined sketch, the reachable-pair cardinality — and hence
+//! the expected spread `σ(u) = |X(u)| / ℓ` — follows from the classic
+//! bottom-k estimator: exact when the sketch never saturated, `(k−1)/τ`
+//! (with `τ` the k-th smallest rank mapped into `(0, 1]`) when it did.
+//! Seed-set estimates merge member sketches first (see
+//! [`ReachSketches::set_spread`]); greedy seed selection with residual
+//! estimates lives in [`select`].
+//!
+//! Everything is deterministic in the build seed: ranks and worlds are pure
+//! functions of `(seed, world, node)`, the parallel build partitions worlds
+//! into contiguous chunks whose merge is order-independent, and the stored
+//! sketch is canonically sorted — byte-stable across runs, thread counts,
+//! and replicas.
+
+pub mod select;
+
+use soi_graph::{DiGraph, NodeId, ProbGraph};
+use soi_sampling::world::world_rng;
+use soi_sampling::WorldSampler;
+use soi_util::ckpt;
+use soi_util::hash::Mix64Hasher;
+use soi_util::rng::derive_seed;
+use soi_util::runtime::{Deadline, Outcome};
+use soi_util::SoiError;
+use std::path::Path;
+
+pub use select::{select_seeds, SelectResult};
+
+/// Worlds per deadline check (and per checkpointable unit) in the budgeted
+/// build. Fixed independent of thread count so a partial prefix is
+/// deterministic across machines, mirroring `soi_index::BUILD_BLOCK`.
+pub const BUILD_BLOCK: usize = 16;
+
+/// Salt decoupling the per-pair rank stream from the world-sampling
+/// stream: both derive from the same master seed, but must never reuse a
+/// sub-seed.
+const RANK_SALT: u64 = 0xB077_0ACE_5EED_C0DE;
+
+/// Build-time options for [`ReachSketches`].
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Number of possible worlds ℓ to sample (shared semantics with the
+    /// cascade index: world `i` is `world_rng(seed, i)`).
+    pub num_worlds: usize,
+    /// Sketch size k: ranks retained per node. Larger k tightens the
+    /// cardinality estimate (relative error ~ `1/√(k−2)`) at linear memory
+    /// cost.
+    pub k: usize,
+    /// Master seed; shared with the cascade index so both backends see the
+    /// same sampled worlds.
+    pub seed: u64,
+    /// Worker threads for the build (0 = all available cores). Never
+    /// affects the result.
+    pub threads: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig {
+            num_worlds: 256,
+            k: 64,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// One sketch entry: the rank of the reachable pair `(node, world)`.
+///
+/// Derived lexicographic order `(rank, world, node)` is the canonical
+/// entry order everywhere — rank collisions (astronomically unlikely) tie
+/// deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Uniform 64-bit rank of the pair, a pure function of
+    /// `(seed, world, node)`.
+    pub rank: u64,
+    /// World index `i` of the pair.
+    pub world: u32,
+    /// Node `v` of the pair (the node *reached*).
+    pub node: NodeId,
+}
+
+/// The uniform rank of pair `(v, i)` under `seed`.
+#[inline]
+fn pair_rank(seed: u64, world: usize, node: NodeId) -> u64 {
+    derive_seed(derive_seed(seed ^ RANK_SALT, world as u64), u64::from(node))
+}
+
+/// Maps a `u64` rank onto `(0, 1]` for the cardinality estimator.
+#[inline]
+fn rank_unit(rank: u64) -> f64 {
+    const TWO64: f64 = 18_446_744_073_709_551_616.0;
+    (rank as f64 + 1.0) / TWO64
+}
+
+/// Per-node bottom-k combined reachability sketches over ℓ sampled worlds.
+///
+/// Storage is node-major fixed k-blocks: node `v`'s sketch is
+/// `entries[v·k .. v·k + sizes[v]]`, sorted ascending. `sizes[v] < k`
+/// means the sketch holds node `v`'s **entire** reachable-pair set (the
+/// estimate is exact); `sizes[v] == k` means it saturated and estimates
+/// apply.
+#[derive(Clone, Debug)]
+pub struct ReachSketches {
+    num_nodes: usize,
+    graph_fingerprint: u64,
+    config: SketchConfig,
+    entries: Vec<Entry>,
+    sizes: Vec<u32>,
+}
+
+/// Checkpoint/run options for [`ReachSketches::build_resumable`].
+pub struct BuildOpts<'a> {
+    /// Cooperative budget: one tick per sampled world, checked at block
+    /// boundaries.
+    pub deadline: &'a Deadline,
+    /// Checkpoint file to write between blocks (and resume from).
+    pub checkpoint: Option<&'a Path>,
+    /// Worlds between checkpoint writes (rounded up to block boundaries).
+    pub checkpoint_every: u64,
+    /// Resume from `checkpoint` when it exists (fresh start otherwise).
+    pub resume: bool,
+}
+
+impl ReachSketches {
+    /// Builds combined sketches over `config.num_worlds` sampled worlds.
+    /// Deterministic in `config.seed`; thread count never changes the
+    /// result.
+    ///
+    /// ```
+    /// use soi_graph::{gen, ProbGraph};
+    /// use soi_sketch::{ReachSketches, SketchConfig};
+    /// let pg = ProbGraph::fixed(gen::path(4), 1.0).unwrap();
+    /// let sk = ReachSketches::build(&pg, SketchConfig {
+    ///     num_worlds: 8, k: 64, seed: 1, ..SketchConfig::default()
+    /// });
+    /// // Deterministic path: node 0 reaches all 4 nodes in every world,
+    /// // and k = 64 > 8 · 4 pairs keeps the sketch exhaustive (exact).
+    /// assert!((sk.node_spread(0) - 4.0).abs() < 1e-9);
+    /// ```
+    pub fn build(pg: &ProbGraph, config: SketchConfig) -> Self {
+        Self::build_budgeted(pg, config, &Deadline::unlimited()).value()
+    }
+
+    /// Budgeted [`build`](Self::build): one tick per sampled world,
+    /// checked at [`BUILD_BLOCK`] boundaries. On expiry the partial
+    /// sketches cover a *prefix* of the world ids — identical to the
+    /// first worlds of an uninterrupted build, regardless of thread
+    /// count. At least one block is always built.
+    pub fn build_budgeted(
+        pg: &ProbGraph,
+        config: SketchConfig,
+        deadline: &Deadline,
+    ) -> Outcome<Self> {
+        match Self::build_with(pg, config, deadline, None, &mut |_, _| Ok(())) {
+            Ok(outcome) => outcome,
+            // The no-op block callback is infallible and no failpoint is
+            // planted on this path. xtask-allow: panic_policy
+            Err(e) => unreachable!("unbudgeted sketch build failed: {e}"),
+        }
+    }
+
+    /// Checkpointable [`build_budgeted`](Self::build_budgeted): persists
+    /// progress to `opts.checkpoint` every `opts.checkpoint_every` worlds
+    /// (block-aligned, atomic, checksummed — kind
+    /// [`soi_util::ckpt::KIND_SKETCH_BUILD`]) and, with `opts.resume`,
+    /// continues from the recorded world prefix. A resumed build is
+    /// byte-identical to an uninterrupted one.
+    pub fn build_resumable(
+        pg: &ProbGraph,
+        config: SketchConfig,
+        opts: &BuildOpts<'_>,
+    ) -> Result<Outcome<Self>, SoiError> {
+        let graph_fingerprint = pg.fingerprint();
+        let config_fingerprint = Self::config_fingerprint(&config);
+        let mut resume_state = None;
+        if opts.resume {
+            if let Some(path) = opts.checkpoint {
+                if path.exists() {
+                    let ck = ckpt::read_checkpoint(path, ckpt::KIND_SKETCH_BUILD)?;
+                    ck.validate(
+                        ckpt::KIND_SKETCH_BUILD,
+                        graph_fingerprint,
+                        config_fingerprint,
+                    )?;
+                    let builder = Builder::decode(&ck.payload, pg.num_nodes(), config.k)?;
+                    soi_obs::counter_add!("sketch.build_resumes", 1);
+                    soi_obs::event!(
+                        soi_obs::Level::Info,
+                        "sketch build resuming from world {}/{}",
+                        ck.done_units,
+                        ck.total_units
+                    );
+                    resume_state = Some((ck.done_units as usize, builder));
+                }
+            }
+        }
+        let every = opts.checkpoint_every.max(1);
+        let mut since_ckpt = 0u64;
+        Self::build_with(
+            pg,
+            config,
+            opts.deadline,
+            resume_state,
+            &mut |done, builder| {
+                soi_util::failpoint!("sketch.build.block");
+                since_ckpt += BUILD_BLOCK as u64;
+                if let Some(path) = opts.checkpoint {
+                    if since_ckpt >= every {
+                        since_ckpt = 0;
+                        ckpt::write_checkpoint(
+                            path,
+                            &ckpt::Checkpoint {
+                                kind: ckpt::KIND_SKETCH_BUILD,
+                                graph_fingerprint,
+                                config_fingerprint,
+                                total_units: config.num_worlds as u64,
+                                done_units: done as u64,
+                                payload: builder.encode(config.seed),
+                            },
+                        )?;
+                        soi_obs::counter_add!("sketch.checkpoints_written", 1);
+                    }
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// The shared block-synchronous build loop. `between(done, builder)`
+    /// runs after every block with the worlds-completed count; the
+    /// resumable entry point hangs failpoints and checkpoint writes on it.
+    fn build_with(
+        pg: &ProbGraph,
+        config: SketchConfig,
+        deadline: &Deadline,
+        resume: Option<(usize, Builder)>,
+        between: &mut dyn FnMut(usize, &Builder) -> Result<(), SoiError>,
+    ) -> Result<Outcome<Self>, SoiError> {
+        assert!(config.num_worlds > 0, "need at least one world");
+        assert!(config.k > 0, "sketch size k must be positive");
+        let _span = soi_obs::span("sketch.build");
+        let n = pg.num_nodes();
+        let ell = config.num_worlds;
+        let k = config.k;
+        let threads = soi_util::pool::effective_threads(config.threads, BUILD_BLOCK);
+
+        let (start, mut combined) = match resume {
+            Some((done, builder)) => (done.min(ell), builder),
+            None => (0, Builder::new(n, k)),
+        };
+        // Worker-local builders are reused across blocks (reset is a size
+        // fill, not a reallocation).
+        let mut locals: Vec<Builder> = (0..threads).map(|_| Builder::new(n, k)).collect();
+        let mut next = start;
+        while next < ell {
+            let block_len = BUILD_BLOCK.min(ell - next);
+            // The first block of this run proceeds unconditionally (its
+            // ticks still count) so a partial build is never empty.
+            let proceed = deadline.tick(block_len as u64);
+            if next > start && !proceed {
+                break;
+            }
+            let per_worker = block_len.div_ceil(threads);
+            let block_start = next;
+            soi_util::pool::for_each_indexed_with(
+                &mut locals,
+                threads,
+                || WorldScratch::new(n),
+                |scratch, t, local| {
+                    local.reset();
+                    let lo = block_start + (t * per_worker).min(block_len);
+                    let hi = block_start + ((t + 1) * per_worker).min(block_len);
+                    for i in lo..hi {
+                        accumulate_world(pg, &config, i, scratch, local);
+                    }
+                },
+            );
+            // Bottom-k merge is commutative and associative, so folding the
+            // worker-local sketches in slot order is chunking-independent.
+            for local in &locals {
+                combined.merge_from(local);
+            }
+            next += block_len;
+            between(next, &combined)?;
+        }
+
+        let done = next;
+        let sketches = combined.finish(ReachMeta {
+            graph_fingerprint: pg.fingerprint(),
+            config: SketchConfig {
+                // Record the ℓ actually built so a partial sketch's own
+                // config matches its true contents.
+                num_worlds: done,
+                ..config
+            },
+        });
+        sketches.record_build_metrics();
+        Ok(deadline.outcome(sketches, done as u64, ell as u64))
+    }
+
+    /// A 64-bit fingerprint of build configuration fields that change
+    /// sketch contents (`threads` excluded: builds are thread-count
+    /// invariant). Pins checkpoints to their run.
+    pub fn config_fingerprint(config: &SketchConfig) -> u64 {
+        let mut h = Mix64Hasher::new();
+        h.update_u64(config.num_worlds as u64);
+        h.update_u64(config.k as u64);
+        h.update_u64(config.seed);
+        h.finish()
+    }
+
+    /// A 64-bit cache key identifying the sketches [`build`](Self::build)
+    /// would produce for `(pg, config)`, computable without building.
+    /// `soi serve` keys its backend cache on this plus a backend tag.
+    pub fn cache_key(pg: &ProbGraph, config: &SketchConfig) -> u64 {
+        let mut h = Mix64Hasher::new();
+        h.update_u64(pg.fingerprint());
+        h.update_u64(Self::config_fingerprint(config));
+        h.finish()
+    }
+
+    /// A 64-bit fingerprint of the built sketch contents (dimensions,
+    /// config, every stored entry). Byte-identical builds agree.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Mix64Hasher::new();
+        h.update_u64(self.num_nodes as u64);
+        h.update_u64(self.graph_fingerprint);
+        h.update_u64(Self::config_fingerprint(&self.config));
+        for v in 0..self.num_nodes {
+            let s = self.sketch_of(v as NodeId);
+            h.update_u64(s.len() as u64);
+            for e in s {
+                h.update_u64(e.rank);
+                h.update_u64(u64::from(e.world) << 32 | u64::from(e.node));
+            }
+        }
+        h.finish()
+    }
+
+    /// Number of nodes of the sketched graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of sampled worlds ℓ the sketches cover.
+    pub fn num_worlds(&self) -> usize {
+        self.config.num_worlds
+    }
+
+    /// The build configuration (with `num_worlds` reflecting the worlds
+    /// actually built).
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Fingerprint of the graph the sketches were built over.
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.graph_fingerprint
+    }
+
+    /// Node `v`'s combined sketch: up to k entries, sorted ascending.
+    #[inline]
+    pub fn sketch_of(&self, v: NodeId) -> &[Entry] {
+        let base = v as usize * self.config.k;
+        &self.entries[base..base + self.sizes[v as usize] as usize]
+    }
+
+    /// Whether node `v`'s sketch saturated (holds estimates rather than
+    /// the full reachable-pair set).
+    #[inline]
+    pub fn is_saturated(&self, v: NodeId) -> bool {
+        self.sizes[v as usize] as usize == self.config.k
+    }
+
+    /// Estimated reachable-pair cardinality `|X(v)|` (exact when the
+    /// sketch never saturated).
+    fn pair_cardinality(&self, v: NodeId) -> f64 {
+        let s = self.sketch_of(v);
+        if s.len() < self.config.k {
+            s.len() as f64
+        } else {
+            (self.config.k - 1) as f64 / rank_unit(s[self.config.k - 1].rank)
+        }
+    }
+
+    /// Estimated expected spread `σ({v}) = |X(v)| / ℓ`.
+    pub fn node_spread(&self, v: NodeId) -> f64 {
+        soi_obs::counter_add!("sketch.estimates", 1);
+        self.pair_cardinality(v) / self.config.num_worlds as f64
+    }
+
+    /// Estimated expected spread of a seed set: member sketches are merged
+    /// (bottom-k of the deduplicated union — valid because each member is
+    /// a bottom-k or the full set) and the union cardinality estimated.
+    pub fn set_spread(&self, seeds: &[NodeId]) -> f64 {
+        soi_obs::counter_add!("sketch.estimates", 1);
+        let mut merged: Vec<Entry> = Vec::with_capacity(seeds.len() * self.config.k);
+        for &s in seeds {
+            merged.extend_from_slice(self.sketch_of(s));
+        }
+        merged.sort_unstable();
+        // A pair reachable from several seeds contributes identical
+        // entries (rank is a pure function of the pair); keep one.
+        merged.dedup();
+        let card = if merged.len() < self.config.k {
+            // Every member sketch was exhaustive (a saturated member would
+            // alone contribute k entries), so the union is exact.
+            merged.len() as f64
+        } else {
+            (self.config.k - 1) as f64 / rank_unit(merged[self.config.k - 1].rank)
+        };
+        card / self.config.num_worlds as f64
+    }
+
+    /// Approximate heap footprint in bytes — the `O(k · n)` the sketch
+    /// backend trades exactness for.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Entry>()
+            + self.sizes.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Total stored entries across all nodes.
+    pub fn total_entries(&self) -> usize {
+        self.sizes.iter().map(|&s| s as usize).sum()
+    }
+
+    /// Saves the sketches to `path` in the workspace checkpoint container
+    /// (atomic, checksummed, fingerprint-pinned).
+    pub fn save(&self, path: &Path) -> Result<(), SoiError> {
+        let builder = Builder::from_sketches(self);
+        ckpt::write_checkpoint(
+            path,
+            &ckpt::Checkpoint {
+                kind: ckpt::KIND_SKETCH_BUILD,
+                graph_fingerprint: self.graph_fingerprint,
+                config_fingerprint: Self::config_fingerprint(&self.config),
+                total_units: self.config.num_worlds as u64,
+                done_units: self.config.num_worlds as u64,
+                payload: builder.encode(self.config.seed),
+            },
+        )
+    }
+
+    /// Loads sketches saved by [`save`](Self::save). The caller validates
+    /// graph identity via [`graph_fingerprint`](Self::graph_fingerprint).
+    pub fn load(path: &Path) -> Result<ReachSketches, SoiError> {
+        let ck = ckpt::read_checkpoint(path, ckpt::KIND_SKETCH_BUILD)?;
+        let mut r = ckpt::ByteReader::new(&ck.payload);
+        let n = usize::try_from(r.u64("num nodes")?)
+            .map_err(|_| SoiError::Invalid("sketch node count exceeds address space".into()))?;
+        let k = usize::try_from(r.u64("sketch k")?)
+            .map_err(|_| SoiError::Invalid("sketch k exceeds address space".into()))?;
+        let seed = r.u64("seed")?;
+        let builder = Builder::decode(&ck.payload, n, k)?;
+        Ok(builder.finish(ReachMeta {
+            graph_fingerprint: ck.graph_fingerprint,
+            config: SketchConfig {
+                num_worlds: ck.done_units as usize,
+                k,
+                seed,
+                threads: 0,
+            },
+        }))
+    }
+
+    fn record_build_metrics(&self) {
+        soi_obs::counter_add!("sketch.builds", 1);
+        soi_obs::counter_add!("sketch.worlds_built", self.config.num_worlds);
+        soi_obs::counter_add!("sketch.entries_stored", self.total_entries());
+        soi_obs::gauge("sketch.memory_bytes").set(self.memory_bytes() as f64);
+        soi_obs::event!(
+            soi_obs::Level::Info,
+            "sketches built: {} worlds, k={}, {} entries, {} bytes",
+            self.config.num_worlds,
+            self.config.k,
+            self.total_entries(),
+            self.memory_bytes()
+        );
+    }
+}
+
+/// Metadata carried into [`Builder::finish`].
+struct ReachMeta {
+    graph_fingerprint: u64,
+    config: SketchConfig,
+}
+
+/// Mutable bottom-k accumulator: node-major k-blocks maintained as
+/// max-heaps so the current worst entry of a full block is O(1) to find
+/// and replace.
+struct Builder {
+    num_nodes: usize,
+    k: usize,
+    sizes: Vec<u32>,
+    heap: Vec<Entry>,
+}
+
+impl Builder {
+    fn new(num_nodes: usize, k: usize) -> Self {
+        Builder {
+            num_nodes,
+            k,
+            sizes: vec![0; num_nodes],
+            heap: vec![
+                Entry {
+                    rank: 0,
+                    world: 0,
+                    node: 0,
+                };
+                num_nodes * k
+            ],
+        }
+    }
+
+    /// Empties every block without releasing storage (worker reuse across
+    /// blocks).
+    fn reset(&mut self) {
+        self.sizes.fill(0);
+    }
+
+    /// Offers `e` to node `u`'s bottom-k block.
+    #[inline]
+    fn offer(&mut self, u: usize, e: Entry) {
+        let base = u * self.k;
+        let size = self.sizes[u] as usize;
+        if size < self.k {
+            self.heap[base + size] = e;
+            self.sizes[u] = size as u32 + 1;
+            // Sift up.
+            let mut i = size;
+            while i > 0 {
+                let p = (i - 1) / 2;
+                if self.heap[base + p] < self.heap[base + i] {
+                    self.heap.swap(base + p, base + i);
+                    i = p;
+                } else {
+                    break;
+                }
+            }
+        } else if e < self.heap[base] {
+            self.heap[base] = e;
+            self.sift_down(base);
+        }
+    }
+
+    /// Restores the max-heap property of a full block after replacing its
+    /// root.
+    #[inline]
+    fn sift_down(&mut self, base: usize) {
+        let mut i = 0usize;
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.k {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.k && self.heap[base + r] > self.heap[base + l] {
+                r
+            } else {
+                l
+            };
+            if self.heap[base + c] > self.heap[base + i] {
+                self.heap.swap(base + i, base + c);
+                i = c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Folds another builder's blocks into this one. The result is the
+    /// bottom-k of the union, independent of fold order.
+    fn merge_from(&mut self, other: &Builder) {
+        for u in 0..self.num_nodes {
+            let base = u * self.k;
+            for j in 0..other.sizes[u] as usize {
+                self.offer(u, other.heap[base + j]);
+            }
+        }
+    }
+
+    /// Canonical serialized state: `n`, `k`, `seed`, then per-node sorted
+    /// entry lists. Sorting makes the bytes a pure function of the entry
+    /// *sets*, so checkpoints agree across thread counts.
+    fn encode(&self, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.heap.len() * 16);
+        out.extend_from_slice(&(self.num_nodes as u64).to_le_bytes());
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&seed.to_le_bytes());
+        let mut block: Vec<Entry> = Vec::with_capacity(self.k);
+        for u in 0..self.num_nodes {
+            let base = u * self.k;
+            let size = self.sizes[u] as usize;
+            block.clear();
+            block.extend_from_slice(&self.heap[base..base + size]);
+            block.sort_unstable();
+            out.extend_from_slice(&(size as u32).to_le_bytes());
+            for e in &block {
+                out.extend_from_slice(&e.rank.to_le_bytes());
+                out.extend_from_slice(&e.world.to_le_bytes());
+                out.extend_from_slice(&e.node.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Encodes with a real seed slot (used by [`ReachSketches::save`]).
+    fn from_sketches(sk: &ReachSketches) -> Builder {
+        let mut b = Builder::new(sk.num_nodes, sk.config.k);
+        for v in 0..sk.num_nodes {
+            for &e in sk.sketch_of(v as NodeId) {
+                b.offer(v, e);
+            }
+        }
+        b
+    }
+
+    /// Inverse of [`encode`](Self::encode); `n`/`k` must match the
+    /// resuming run.
+    fn decode(payload: &[u8], num_nodes: usize, k: usize) -> Result<Builder, SoiError> {
+        let mut r = ckpt::ByteReader::new(payload);
+        let stored_n = r.u64("num nodes")?;
+        let stored_k = r.u64("sketch k")?;
+        let _seed = r.u64("seed")?;
+        if stored_n != num_nodes as u64 || stored_k != k as u64 {
+            return Err(SoiError::Invalid(format!(
+                "sketch state is {stored_n} nodes / k={stored_k}, run wants {num_nodes} / k={k}"
+            )));
+        }
+        let mut b = Builder::new(num_nodes, k);
+        for u in 0..num_nodes {
+            let size = r.u32("sketch size")? as usize;
+            if size > k {
+                return Err(SoiError::Invalid(format!(
+                    "node {u}: sketch size {size} exceeds k={k}"
+                )));
+            }
+            let base = u * k;
+            for j in 0..size {
+                let rank = r.u64("entry rank")?;
+                let world = r.u32("entry world")?;
+                let node = r.u32("entry node")?;
+                // A sorted-ascending run written back in *descending*
+                // order is a valid max-heap (every parent ≥ its children).
+                b.heap[base + (size - 1 - j)] = Entry { rank, world, node };
+            }
+            b.sizes[u] = size as u32;
+        }
+        r.expect_end("sketch state")?;
+        Ok(b)
+    }
+
+    /// Sorts every block ascending and freezes into [`ReachSketches`].
+    fn finish(mut self, meta: ReachMeta) -> ReachSketches {
+        for u in 0..self.num_nodes {
+            let base = u * self.k;
+            let size = self.sizes[u] as usize;
+            self.heap[base..base + size].sort_unstable();
+        }
+        ReachSketches {
+            num_nodes: self.num_nodes,
+            graph_fingerprint: meta.graph_fingerprint,
+            config: meta.config,
+            entries: self.heap,
+            sizes: self.sizes,
+        }
+    }
+}
+
+/// Reusable per-worker scratch for the per-world pruned reverse BFS.
+struct WorldScratch {
+    sampler: WorldSampler,
+    ranks: Vec<u64>,
+    order: Vec<NodeId>,
+    /// Per-world entry count of each node; a node with `k` entries is
+    /// complete for the world and prunes the search.
+    counts: Vec<u32>,
+    /// Generation-stamped visited marks (one generation per BFS).
+    visited: Vec<u32>,
+    generation: u32,
+    queue: Vec<NodeId>,
+}
+
+impl WorldScratch {
+    fn new(n: usize) -> Self {
+        WorldScratch {
+            sampler: WorldSampler::new(),
+            ranks: vec![0; n],
+            order: (0..n as NodeId).collect(),
+            counts: vec![0; n],
+            visited: vec![0; n],
+            generation: 0,
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// Folds world `i`'s exact per-world bottom-k contributions into `local`.
+///
+/// Nodes are processed in increasing rank order with a reverse BFS pruned
+/// at nodes that already hold k entries *for this world* — the classic
+/// bottom-k construction, exact because any pruned path certifies k
+/// smaller ranks already reached (or will reach, by induction over rank
+/// order) everything upstream.
+fn accumulate_world(
+    pg: &ProbGraph,
+    config: &SketchConfig,
+    i: usize,
+    scratch: &mut WorldScratch,
+    local: &mut Builder,
+) {
+    let n = pg.num_nodes();
+    let k = config.k as u32;
+    let mut rng = world_rng(config.seed, i);
+    let world: DiGraph = scratch.sampler.sample(pg, &mut rng);
+    let rev = world.reverse();
+
+    for v in 0..n {
+        scratch.ranks[v] = pair_rank(config.seed, i, v as NodeId);
+    }
+    scratch
+        .order
+        .sort_unstable_by_key(|&v| (scratch.ranks[v as usize], v));
+    scratch.counts.fill(0);
+
+    for idx in 0..n {
+        let v = scratch.order[idx];
+        if scratch.counts[v as usize] >= k {
+            continue;
+        }
+        let rank = scratch.ranks[v as usize];
+        if scratch.generation == u32::MAX {
+            scratch.visited.fill(0);
+            scratch.generation = 0;
+        }
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        scratch.queue.clear();
+        scratch.queue.push(v);
+        scratch.visited[v as usize] = generation;
+        while let Some(u) = scratch.queue.pop() {
+            scratch.counts[u as usize] += 1;
+            local.offer(
+                u as usize,
+                Entry {
+                    rank,
+                    world: i as u32,
+                    node: v,
+                },
+            );
+            for &w in rev.out_neighbors(u) {
+                if scratch.visited[w as usize] != generation && scratch.counts[w as usize] < k {
+                    scratch.visited[w as usize] = generation;
+                    scratch.queue.push(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_graph::{gen, Reachability};
+    use soi_util::rng::Xoshiro256pp;
+
+    fn test_graph(seed: u64) -> ProbGraph {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        ProbGraph::fixed(gen::gnm(60, 300, &mut rng), 0.3).unwrap()
+    }
+
+    fn config(worlds: usize, k: usize, seed: u64, threads: usize) -> SketchConfig {
+        SketchConfig {
+            num_worlds: worlds,
+            k,
+            seed,
+            threads,
+        }
+    }
+
+    /// Reference bottom-k over the exact per-world reachability sets.
+    fn naive_sketches(pg: &ProbGraph, cfg: &SketchConfig) -> Vec<Vec<Entry>> {
+        let n = pg.num_nodes();
+        let mut sampler = WorldSampler::new();
+        let mut reach = Reachability::new(n);
+        let mut all: Vec<Vec<Entry>> = vec![Vec::new(); n];
+        let mut out = Vec::new();
+        for i in 0..cfg.num_worlds {
+            let world = sampler.sample(pg, &mut world_rng(cfg.seed, i));
+            for u in 0..n as NodeId {
+                reach.reachable_from(&world, u, &mut out);
+                for &v in &out {
+                    all[u as usize].push(Entry {
+                        rank: pair_rank(cfg.seed, i, v),
+                        world: i as u32,
+                        node: v,
+                    });
+                }
+            }
+        }
+        for s in &mut all {
+            s.sort_unstable();
+            s.truncate(cfg.k);
+        }
+        all
+    }
+
+    #[test]
+    fn sketches_match_naive_bottom_k_exactly() {
+        let pg = test_graph(1);
+        let cfg = config(12, 8, 77, 1);
+        let sk = ReachSketches::build(&pg, cfg);
+        let naive = naive_sketches(&pg, &cfg);
+        for (v, expect) in naive.iter().enumerate() {
+            assert_eq!(sk.sketch_of(v as NodeId), &expect[..], "node {v}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let pg = test_graph(2);
+        let a = ReachSketches::build(&pg, config(24, 16, 5, 1));
+        let b = ReachSketches::build(&pg, config(24, 16, 5, 4));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for v in 0..pg.num_nodes() as NodeId {
+            assert_eq!(a.sketch_of(v), b.sketch_of(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn unsaturated_nodes_estimate_exactly() {
+        // Deterministic path 0→1→2→3: node 2 reaches {2,3} in every world,
+        // so with k ≥ 2·ℓ its sketch is exhaustive and σ exact.
+        let pg = ProbGraph::fixed(gen::path(4), 1.0).unwrap();
+        let sk = ReachSketches::build(&pg, config(6, 64, 3, 1));
+        assert!(!sk.is_saturated(2));
+        assert!((sk.node_spread(2) - 2.0).abs() < 1e-12);
+        assert!((sk.node_spread(3) - 1.0).abs() < 1e-12);
+        assert!((sk.node_spread(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_estimates_track_monte_carlo() {
+        let pg = test_graph(3);
+        let sk = ReachSketches::build(&pg, config(64, 64, 9, 2));
+        for v in (0..60).step_by(7) {
+            let mc = soi_sampling::estimate_spread(&pg, &[v as NodeId], 4000, 123);
+            let est = sk.node_spread(v as NodeId);
+            assert!(
+                (est - mc).abs() < 0.45 * mc.max(1.0),
+                "node {v}: sketch {est} vs mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_spread_is_subadditive_and_covers_members() {
+        let pg = test_graph(4);
+        let sk = ReachSketches::build(&pg, config(32, 32, 11, 1));
+        let seeds = [3 as NodeId, 17, 42];
+        let set = sk.set_spread(&seeds);
+        let best = seeds
+            .iter()
+            .map(|&s| sk.node_spread(s))
+            .fold(0.0f64, f64::max);
+        let sum: f64 = seeds.iter().map(|&s| sk.node_spread(s)).sum();
+        assert!(set >= best - 1e-9, "set {set} < best member {best}");
+        assert!(set <= sum + 1e-9, "set {set} > member sum {sum}");
+        // Merging a seed with itself changes nothing.
+        assert!((sk.set_spread(&[3, 3]) - sk.node_spread(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_build_yields_a_world_prefix() {
+        let pg = test_graph(8);
+        let cfg = config(40, 16, 13, 2);
+        let full = ReachSketches::build(&pg, cfg);
+
+        let complete = ReachSketches::build_budgeted(&pg, cfg, &Deadline::unlimited());
+        assert!(complete.is_complete());
+        assert_eq!(complete.value_ref().fingerprint(), full.fingerprint());
+
+        let partial = ReachSketches::build_budgeted(&pg, cfg, &Deadline::ticks(1));
+        assert!(!partial.is_complete());
+        let progress = partial.progress().unwrap();
+        assert_eq!(progress.done, BUILD_BLOCK as u64);
+        assert_eq!(progress.total, 40);
+        let partial = partial.value();
+        assert_eq!(partial.num_worlds(), BUILD_BLOCK);
+        // The prefix is exactly what a BUILD_BLOCK-world build produces.
+        let small = ReachSketches::build(
+            &pg,
+            SketchConfig {
+                num_worlds: BUILD_BLOCK,
+                ..cfg
+            },
+        );
+        assert_eq!(partial.fingerprint(), small.fingerprint());
+    }
+
+    #[test]
+    fn resumed_build_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("soi-sketch-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.ckpt");
+        let pg = test_graph(9);
+        let cfg = config(48, 12, 21, 2);
+        let full = ReachSketches::build(&pg, cfg);
+
+        // Interrupted run: one block, checkpoint written.
+        let interrupted = ReachSketches::build_resumable(
+            &pg,
+            cfg,
+            &BuildOpts {
+                deadline: &Deadline::ticks(1),
+                checkpoint: Some(&path),
+                checkpoint_every: 1,
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert!(!interrupted.is_complete());
+        assert!(path.exists());
+
+        // Resume with a different thread count: byte-identical result.
+        let resumed = ReachSketches::build_resumable(
+            &pg,
+            SketchConfig { threads: 4, ..cfg },
+            &BuildOpts {
+                deadline: &Deadline::unlimited(),
+                checkpoint: Some(&path),
+                checkpoint_every: 1,
+                resume: true,
+            },
+        )
+        .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.value_ref().fingerprint(), full.fingerprint());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_runs() {
+        let dir = std::env::temp_dir().join(format!("soi-sketch-pin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.ckpt");
+        let pg = test_graph(10);
+        let cfg = config(32, 8, 2, 1);
+        let _ = ReachSketches::build_resumable(
+            &pg,
+            cfg,
+            &BuildOpts {
+                deadline: &Deadline::ticks(1),
+                checkpoint: Some(&path),
+                checkpoint_every: 1,
+                resume: false,
+            },
+        )
+        .unwrap();
+        // Different k: the config fingerprint must reject the resume.
+        let err = ReachSketches::build_resumable(
+            &pg,
+            SketchConfig { k: 9, ..cfg },
+            &BuildOpts {
+                deadline: &Deadline::unlimited(),
+                checkpoint: Some(&path),
+                checkpoint_every: 1,
+                resume: true,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SoiError::CkptMismatch { .. }), "{err:?}");
+        // Different graph: rejected too.
+        let err = ReachSketches::build_resumable(
+            &test_graph(11),
+            cfg,
+            &BuildOpts {
+                deadline: &Deadline::unlimited(),
+                checkpoint: Some(&path),
+                checkpoint_every: 1,
+                resume: true,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SoiError::CkptMismatch { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("soi-sketch-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sketch.soisk");
+        let pg = test_graph(12);
+        let sk = ReachSketches::build(&pg, config(16, 8, 4, 1));
+        sk.save(&path).unwrap();
+        let loaded = ReachSketches::load(&path).unwrap();
+        assert_eq!(loaded.graph_fingerprint(), pg.fingerprint());
+        assert_eq!(loaded.fingerprint(), sk.fingerprint());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_failpoint_surfaces_as_typed_fault() {
+        let _g = soi_util::failpoint::test_guard();
+        soi_util::failpoint::install("sketch.build.block=error").unwrap();
+        let pg = test_graph(13);
+        let err = ReachSketches::build_resumable(
+            &pg,
+            config(16, 8, 1, 1),
+            &BuildOpts {
+                deadline: &Deadline::unlimited(),
+                checkpoint: None,
+                checkpoint_every: 1,
+                resume: false,
+            },
+        )
+        .unwrap_err();
+        soi_util::failpoint::clear();
+        assert!(matches!(err, SoiError::Fault { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cache_key_tracks_content_inputs_only() {
+        let pg = test_graph(1);
+        let cfg = config(8, 16, 5, 1);
+        let base = ReachSketches::cache_key(&pg, &cfg);
+        assert_eq!(
+            base,
+            ReachSketches::cache_key(&pg, &SketchConfig { threads: 4, ..cfg })
+        );
+        assert_ne!(
+            base,
+            ReachSketches::cache_key(&pg, &SketchConfig { k: 17, ..cfg })
+        );
+        assert_ne!(
+            base,
+            ReachSketches::cache_key(
+                &pg,
+                &SketchConfig {
+                    num_worlds: 9,
+                    ..cfg
+                }
+            )
+        );
+        assert_ne!(
+            base,
+            ReachSketches::cache_key(&pg, &SketchConfig { seed: 6, ..cfg })
+        );
+        assert_ne!(base, ReachSketches::cache_key(&test_graph(2), &cfg));
+    }
+
+    #[test]
+    fn ranks_are_deterministic_and_pairwise_distinct() {
+        assert_eq!(pair_rank(1, 2, 3), pair_rank(1, 2, 3));
+        let mut seen = std::collections::HashSet::new();
+        for world in 0..8 {
+            for node in 0..256u32 {
+                assert!(seen.insert(pair_rank(42, world, node)), "rank collision");
+            }
+        }
+    }
+}

@@ -8,7 +8,8 @@
 //! offset  size  field
 //! 0       7     magic  "SOICKPT"
 //! 7       1     format version (currently 1)
-//! 8       1     kind (1 = typical cascades, 2 = greedy seed selection)
+//! 8       1     kind (1 = typical cascades, 2 = greedy seed selection,
+//!                     3 = sketch build, 4 = router overrides)
 //! 9       8     graph fingerprint   (LE u64)
 //! 17      8     config fingerprint  (LE u64)
 //! 25      8     total units of work (LE u64)
@@ -38,6 +39,10 @@ pub const VERSION: u8 = 1;
 pub const KIND_TYPICAL_CASCADES: u8 = 1;
 /// Kind byte for greedy/CELF seed-selection checkpoints.
 pub const KIND_GREEDY: u8 = 2;
+/// Kind byte for bottom-k reachability sketch build checkpoints.
+pub const KIND_SKETCH_BUILD: u8 = 3;
+/// Kind byte for the router's persisted rebalance-override table.
+pub const KIND_ROUTER_OVERRIDES: u8 = 4;
 
 const HEADER_LEN: usize = 7 + 1 + 1 + 8 * 5;
 
@@ -45,7 +50,8 @@ const HEADER_LEN: usize = 7 + 1 + 1 + 8 * 5;
 /// the pipeline's own codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Checkpoint {
-    /// Pipeline kind ([`KIND_TYPICAL_CASCADES`] or [`KIND_GREEDY`]).
+    /// Pipeline kind ([`KIND_TYPICAL_CASCADES`], [`KIND_GREEDY`],
+    /// [`KIND_SKETCH_BUILD`], or [`KIND_ROUTER_OVERRIDES`]).
     pub kind: u8,
     /// Fingerprint of the graph the run operates on.
     pub graph_fingerprint: u64,

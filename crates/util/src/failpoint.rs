@@ -57,12 +57,22 @@ pub const SITES: &[&str] = &[
     // request regardless of its tick cost (checked by SlowLog, never
     // crashes), so tests can pin the log format on a fast request.
     "server.request.slow",
+    // Sketch-backend sites: `sketch.build.block` fires between world
+    // blocks in the resumable sketch build (crash-resume style);
+    // `server.sketch.build` fires on the engine's sketch-build path and
+    // is exercised by the serve-chaos matrix.
+    "sketch.build.block",
+    "server.sketch.build",
     // Router-side sites: exercised by the route-chaos fabric matrix
     // (crates/cli/tests/route_chaos.rs). `forward.write` fires on the
     // router→shard hop (failover path), `response.write` on the
     // router→client hop (client retry path).
     "router.forward.write",
     "router.response.write",
+    // Fires before the override table is persisted after a rebalance;
+    // the rebalance itself must still succeed (persistence is
+    // best-effort, surfaced via `router.override_persist_errors`).
+    "router.overrides.persist",
 ];
 
 /// What an armed failpoint does when it fires.

@@ -148,7 +148,9 @@ fn table_row_site(line: &str) -> Option<String> {
 /// Every site name planted in non-test code, with the plant sites where
 /// it appears (sorted by the BTreeMap walk, so the first site is the
 /// canonical anchor for findings).
-fn planted_sites(scanned: &BTreeMap<PathBuf, SourceFile>) -> BTreeMap<String, Vec<(PathBuf, usize)>> {
+fn planted_sites(
+    scanned: &BTreeMap<PathBuf, SourceFile>,
+) -> BTreeMap<String, Vec<(PathBuf, usize)>> {
     let mut planted: BTreeMap<String, Vec<(PathBuf, usize)>> = BTreeMap::new();
     for (path, file) in scanned {
         for (idx, line) in file.lines.iter().enumerate() {
