@@ -1,0 +1,78 @@
+//! Micro-benchmarks for the differential-correctness harness
+//! (`soi-verify`): the exact BDD spread oracle at its 25-edge budget,
+//! head-to-head with the 2^m world-enumeration brute force it replaces,
+//! and the naive reference engine's per-request answering cost.
+//!
+//! Entries land in `BENCH_summary.json` as `verify_*` rows:
+//!
+//! * `verify_oracle_25edges/*` — `exact_spread_bdd` at the oracle's
+//!   full edge budget, where brute force (2^25 worlds) is intractable;
+//! * `verify_oracle_vs_bruteforce_18edges/*` — both oracles on the same
+//!   18-edge graph (2^18 worlds keeps brute force measurable);
+//! * `verify_reference_engine/*` — one protocol request recomputed from
+//!   scratch by the reference arm of the fuzzer.
+
+use soi_bench::microbench::Bencher;
+use soi_graph::{gen, NodeId, ProbGraph};
+use soi_sampling::spread::exact_spread_bruteforce;
+use soi_util::rng::Xoshiro256pp;
+use soi_verify::{exact_spread_bdd, ReferenceEngine};
+use std::hint::black_box;
+
+fn graph(nodes: usize, edges: usize, graph_seed: u64) -> ProbGraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(graph_seed);
+    ProbGraph::fixed(gen::gnm(nodes, edges, &mut rng), 0.5).unwrap()
+}
+
+fn bench_oracle_at_budget() {
+    let pg = graph(12, 25, 3);
+    let many: Vec<NodeId> = vec![0, 3, 7];
+    let b = Bencher::group("verify_oracle_25edges").sample_size(3);
+    b.bench("bdd_1seed", || {
+        exact_spread_bdd(black_box(&pg), black_box(&[0])).unwrap()
+    });
+    b.bench("bdd_3seeds", || {
+        exact_spread_bdd(black_box(&pg), black_box(&many)).unwrap()
+    });
+}
+
+fn bench_oracle_vs_bruteforce() {
+    let pg = graph(9, 18, 4);
+    let b = Bencher::group("verify_oracle_vs_bruteforce_18edges").sample_size(5);
+    b.bench("bdd", || {
+        exact_spread_bdd(black_box(&pg), black_box(&[0, 4])).unwrap()
+    });
+    b.bench("bruteforce_2e18_worlds", || {
+        exact_spread_bruteforce(black_box(&pg), black_box(&[0, 4]))
+    });
+}
+
+fn bench_reference_engine() {
+    let pg = graph(32, 96, 5);
+    let mut engine = ReferenceEngine::new(
+        soi_server::EngineConfig {
+            num_worlds: 8,
+            seed: 42,
+            sketch_k: 8,
+            ..soi_server::EngineConfig::default()
+        },
+        384,
+    );
+    engine.add_graph("net", pg);
+    let spread = r#"{"v":1,"id":1,"type":"spread-estimate","graph":"net","seeds":[0,5],"samples":8,"seed":7}"#;
+    let tc = r#"{"v":1,"id":2,"type":"typical-cascade","graph":"net","source":3}"#;
+    let b = Bencher::group("verify_reference_engine").sample_size(20);
+    b.bench("spread_estimate", || {
+        engine.answer_line(black_box(spread.as_bytes()))
+    });
+    b.bench("typical_cascade", || {
+        engine.answer_line(black_box(tc.as_bytes()))
+    });
+}
+
+fn main() {
+    bench_oracle_at_budget();
+    bench_oracle_vs_bruteforce();
+    bench_reference_engine();
+    soi_bench::microbench::write_summary();
+}

@@ -50,10 +50,15 @@ commands:
              [--slow-query-log-max-bytes B] [--sketch-k K]
   route      REPLICAS [REPLICAS ...] [--port P] [--replica-retries N]
              [--backoff-ticks T] [--max-line BYTES] [--overrides-file FILE]
+             [--probe-interval-ms MS]
              (each REPLICAS is one shard: host:port[,host:port ...])
   query      [REQUEST ...] [--file FILE] --port P [--host H]
              [--concurrency N] [--mask-wall] [--retries N]
              [--backoff-ticks T] [--timeout-ms MS]
+  fuzz       [--seed S] [--streams N] [--tcp | --soi-bin PATH]
+             [--artifacts DIR] [--replay FILE] [--failpoints SPEC]
+             (differential protocol fuzzing: real engine vs naive
+             reference; exit 1 with a shrunk repro on divergence)
 
 global options (valid on every command):
   --threads N          worker threads for every parallel phase (default:
@@ -338,6 +343,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, Soi
         "serve" => cmd_serve(rest, &rt, out),
         "route" => cmd_route(rest, out),
         "query" => cmd_query(rest, out),
+        "fuzz" => cmd_fuzz(rest, out),
         other => Err(SoiError::usage(format!("unknown command {other:?}"))),
     }?;
     // The metrics report carries how much of the run's budgeted phase
@@ -956,6 +962,7 @@ fn cmd_route<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
         overrides_path: opts
             .get::<String>("overrides-file")?
             .map(std::path::PathBuf::from),
+        probe_interval_ms: opts.get("probe-interval-ms")?.unwrap_or(0),
     };
     soi_server::run_router(&config, out)?;
     Ok(RunStatus::Complete)
@@ -997,6 +1004,37 @@ fn cmd_query<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiErr
         return Ok(RunStatus::Partial {
             fraction: answered as f64 / requests.len() as f64,
         });
+    }
+    Ok(RunStatus::Complete)
+}
+
+fn cmd_fuzz<W: Write>(args: &[String], out: &mut W) -> Result<RunStatus, SoiError> {
+    let opts = Opts::parse(args, &["tcp"])?;
+    let mut config = soi_verify::FuzzConfig {
+        seed: opts.get("seed")?.unwrap_or(1),
+        streams: opts.get("streams")?.unwrap_or(8),
+        ..soi_verify::FuzzConfig::default()
+    };
+    if let Some(dir) = opts.get::<String>("artifacts")? {
+        config.artifacts = Some(PathBuf::from(dir));
+    }
+    config.failpoints = opts.get("failpoints")?;
+    if let Some(bin) = opts.get::<String>("soi-bin")? {
+        config.soi_bin = Some(PathBuf::from(bin));
+    } else if opts.has("tcp") {
+        // Fuzz this very binary over a real socket.
+        config.soi_bin = Some(std::env::current_exe().map_err(|e| SoiError::io("current exe", e))?);
+    }
+    let report = match opts.get::<String>("replay")? {
+        Some(path) => soi_verify::run_replay(std::path::Path::new(&path), &config, out)?,
+        None => soi_verify::run_fuzz(&config, out)?,
+    };
+    if report.divergences() > 0 {
+        return Err(SoiError::invalid(format!(
+            "{} of {} fuzz stream(s) diverged (repro instructions above)",
+            report.divergences(),
+            report.verdicts.len()
+        )));
     }
     Ok(RunStatus::Complete)
 }

@@ -527,6 +527,79 @@ fn router_restart_rehomes_from_persisted_overrides() {
 }
 
 #[test]
+fn background_probe_readopts_a_restarted_replica() {
+    let dir = fresh_dir("probe-readopt");
+    let graph = make_graph(&dir);
+    let reqs = write_batch(&dir, 9);
+
+    // Shard 0: a replica that dies before serving anything, plus a live
+    // sibling. The doomed replica is killed before any connection
+    // reaches it, so its port can be re-bound by the replacement.
+    let mut doomed = Proc::serve(&graph, &[], None);
+    let doomed_port = doomed.port.clone();
+    let doomed_addr = doomed.addr();
+    doomed.child.kill().expect("kill replica");
+    doomed.child.wait().expect("reap replica");
+
+    let sibling = Proc::serve(&graph, &[], None);
+    let router = Proc::route_with(
+        &[format!("{doomed_addr},{}", sibling.addr())],
+        &["--probe-interval-ms", "50"],
+    );
+    router.rebalance_net_to(0);
+
+    // Traffic flows through the sibling (internal failover, no
+    // client-visible error), and the probe marks the dead replica dark.
+    let got = stdout_str(&router.query_batch(&reqs, "0"));
+    assert_all_answered(&got, 9);
+    assert!(!got.contains("\"status\":\"error\""), "{got}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = router.stats();
+        if stats.contains(&format!("\"addr\":\"{doomed_addr}\",\"healthy\":false")) {
+            assert!(!stats.contains("\"router.probe_attempts\":0"), "{stats}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "probe never marked the dead replica dark: {stats}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Respawn the replica on the same port. The background probe must
+    // re-adopt it — marked healthy again, recovery counted — with no
+    // client traffic needed to discover the healing.
+    let replacement = Proc::serve(&graph, &["--port", &doomed_port], None);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = router.stats();
+        if stats.contains(&format!("\"addr\":\"{doomed_addr}\",\"healthy\":true"))
+            && !stats.contains("\"router.probe_recoveries\":0")
+        {
+            save_artifact("route-probe-readopt.stats.json", &stats);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "probe never re-adopted the restarted replica: {stats}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // The healed fabric serves the batch with zero client-visible
+    // errors — the re-adopted replica answers real traffic again.
+    let got = stdout_str(&router.query_batch(&reqs, "0"));
+    assert_all_answered(&got, 9);
+    assert!(!got.contains("\"status\":\"error\""), "{got}");
+
+    router.shutdown();
+    replacement.shutdown();
+    sibling.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn router_stats_aggregate_the_fabric() {
     let dir = fresh_dir("stats");
     let graph = make_graph(&dir);

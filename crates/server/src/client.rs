@@ -108,6 +108,33 @@ pub fn send_one(host: &str, port: u16, line: &str) -> Result<String, SoiError> {
     Ok(response.trim_end().to_string())
 }
 
+/// Sends a pre-composed multi-line byte stream over one connection,
+/// half-closes the write side, and collects every response line until
+/// the server closes the connection. The payload is raw bytes, not
+/// text: the differential fuzzer drives the real daemon with
+/// deliberately invalid UTF-8 and oversized lines through this path,
+/// which a `&str` API could not carry.
+pub fn send_stream(host: &str, port: u16, payload: &[u8]) -> Result<Vec<String>, SoiError> {
+    let stream = TcpStream::connect((host, port))
+        .map_err(|e| SoiError::io(format!("connect {host}:{port}"), e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| SoiError::io("clone stream", e))?;
+    writer
+        .write_all(payload)
+        .map_err(|e| SoiError::io("send stream", e))?;
+    writer.flush().map_err(|e| SoiError::io("send stream", e))?;
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| SoiError::io("half-close stream", e))?;
+    let reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        lines.push(line.map_err(|e| SoiError::io("read response", e))?);
+    }
+    Ok(lines)
+}
+
 /// The client-chosen `id` of a request line, when it parses far enough
 /// to carry one (synthesized error lines echo it back).
 fn request_id(line: &str) -> Option<u64> {

@@ -74,6 +74,10 @@ pub(crate) enum LineRead {
     Line(String),
     /// The line exceeded the cap; its remainder was discarded.
     Oversized,
+    /// The line was not valid UTF-8; it was discarded whole rather
+    /// than lossily decoded (replacement characters would let a
+    /// corrupted request masquerade as a different well-formed one).
+    NotUtf8,
     /// End of stream; `mid_line` when data arrived without a final
     /// newline (a client that died mid-request).
     Eof {
@@ -112,7 +116,10 @@ pub(crate) fn read_line_capped<R: BufRead>(r: &mut R, max_line: usize) -> io::Re
             while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
                 buf.pop();
             }
-            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            return Ok(match String::from_utf8(buf) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::NotUtf8,
+            });
         }
     }
 }
@@ -374,11 +381,17 @@ fn handle_conn(
                 }
                 return;
             }
-            LineRead::Oversized => {
-                let err = SoiError::protocol(
-                    ProtoErrorKind::OversizedLine,
-                    format!("request line exceeds {max_line} bytes"),
-                );
+            LineRead::Oversized | LineRead::NotUtf8 => {
+                let err = match read {
+                    LineRead::Oversized => SoiError::protocol(
+                        ProtoErrorKind::OversizedLine,
+                        format!("request line exceeds {max_line} bytes"),
+                    ),
+                    _ => SoiError::protocol(
+                        ProtoErrorKind::MalformedJson,
+                        "request line is not valid UTF-8",
+                    ),
+                };
                 let resp = protocol::encode_error(None, &err);
                 if writeln!(writer, "{resp}")
                     .and_then(|()| writer.flush())
@@ -502,11 +515,17 @@ pub fn run_stdio<R: BufRead, W: Write>(
                 }
                 return Ok(());
             }
-            LineRead::Oversized => {
-                let err = SoiError::protocol(
-                    ProtoErrorKind::OversizedLine,
-                    format!("request line exceeds {max_line} bytes"),
-                );
+            LineRead::Oversized | LineRead::NotUtf8 => {
+                let err = match read {
+                    LineRead::Oversized => SoiError::protocol(
+                        ProtoErrorKind::OversizedLine,
+                        format!("request line exceeds {max_line} bytes"),
+                    ),
+                    _ => SoiError::protocol(
+                        ProtoErrorKind::MalformedJson,
+                        "request line is not valid UTF-8",
+                    ),
+                };
                 writeln!(out, "{}", protocol::encode_error(None, &err))
                     .map_err(|e| SoiError::io("stdout", e))?;
                 continue;

@@ -253,7 +253,11 @@ fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Strin
         }
         *pos += 1;
         let value = parse_value(bytes, pos, depth + 1)?;
-        map.insert(key, value);
+        // Duplicate keys are ambiguous (last-wins vs first-wins differs
+        // across parsers) — reject rather than silently pick one.
+        if map.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate object key {key:?}"));
+        }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -339,6 +343,7 @@ mod tests {
             "{\"a\":\"\\q\"}",
             "nan",
             "1e999",
+            "{\"a\":1,\"a\":2}",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -47,7 +47,7 @@ pub mod stats;
 pub mod trace;
 pub mod worker;
 
-pub use client::{run_queries, send_one, BatchReport, QueryConfig};
+pub use client::{run_queries, send_one, send_stream, BatchReport, QueryConfig};
 pub use daemon::{run_stdio, run_tcp, ServeConfig, STATS_VERSION};
 pub use engine::{EngineConfig, ServerEngine};
 pub use protocol::{Envelope, Request, DEFAULT_MAX_LINE, PROTOCOL_VERSION};

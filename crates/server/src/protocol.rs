@@ -247,6 +247,52 @@ fn req_nodes(obj: &Value, key: &str) -> Result<Vec<NodeId>, SoiError> {
         .collect()
 }
 
+/// Envelope fields every request may carry.
+const COMMON_KEYS: [&str; 4] = ["v", "id", "type", "trace"];
+
+/// Rejects fields outside the request type's schema. A misspelled
+/// field silently ignored would make the request mean something other
+/// than the client intended (e.g. `dedline_ticks` running unbounded),
+/// so unknown keys are a typed `bad-field` naming the offender.
+fn check_known_fields(obj: &Value, type_name: &str) -> Result<(), SoiError> {
+    let extra: &[&str] = match type_name {
+        "health" | "stats" | "shutdown" => &[],
+        "rebalance" => &["graph", "shard"],
+        "typical-cascade" => &["graph", "source", "deadline_ticks", "degrade"],
+        "spread-estimate" => &[
+            "graph",
+            "seeds",
+            "samples",
+            "seed",
+            "deadline_ticks",
+            "degrade",
+            "backend",
+            "sketch_k",
+        ],
+        "infmax-tc" => &[
+            "graph",
+            "k",
+            "deadline_ticks",
+            "degrade",
+            "backend",
+            "sketch_k",
+        ],
+        // Unknown types get their own typed error in the dispatch below.
+        _ => return Ok(()),
+    };
+    if let Some(map) = obj.as_obj() {
+        for key in map.keys() {
+            if !COMMON_KEYS.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+                return Err(proto(
+                    ProtoErrorKind::BadField,
+                    format!("unknown field {key:?} for request type {type_name:?}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses one request line. Errors carry the [`ProtoErrorKind`] the
 /// response should report.
 pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
@@ -272,6 +318,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, SoiError> {
     let id = req_u64(&doc, "id")?;
     let type_name = req_str(&doc, "type")
         .map_err(|_| proto(ProtoErrorKind::UnknownType, "missing type field"))?;
+    check_known_fields(&doc, &type_name)?;
     let req = match type_name.as_str() {
         "health" => Request::Health,
         "stats" => Request::Stats,
@@ -577,6 +624,30 @@ mod tests {
             .expect_err("negative node"),
         );
         assert_eq!(k, ProtoErrorKind::BadField);
+    }
+
+    #[test]
+    fn unknown_fields_are_typed_bad_field_errors() {
+        // A misspelled optional field must not be silently ignored.
+        let err = parse_request(
+            r#"{"v":1,"id":1,"type":"typical-cascade","graph":"g","source":0,"dedline_ticks":4}"#,
+        )
+        .expect_err("misspelled field");
+        let SoiError::Protocol { kind, message } = &err else {
+            panic!("not protocol: {err}");
+        };
+        assert_eq!(*kind, ProtoErrorKind::BadField);
+        assert!(message.contains("dedline_ticks"), "{message}");
+        let k = kind_of(
+            parse_request(r#"{"v":1,"id":2,"type":"health","graph":"g"}"#)
+                .expect_err("controls take no fields"),
+        );
+        assert_eq!(k, ProtoErrorKind::BadField);
+        // Every schema field is still accepted.
+        parse_request(
+            r#"{"v":1,"id":3,"type":"spread-estimate","graph":"g","seeds":[0],"samples":4,"seed":1,"deadline_ticks":9,"degrade":true,"backend":"sketch","sketch_k":8,"trace":true}"#,
+        )
+        .expect("full schema");
     }
 
     #[test]

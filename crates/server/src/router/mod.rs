@@ -80,6 +80,12 @@ pub struct RouterConfig {
     /// startup (missing file = empty table; corrupt or layout-mismatched
     /// file = typed startup error).
     pub overrides_path: Option<PathBuf>,
+    /// Background liveness-probe period in milliseconds (0 = disabled).
+    /// When on, a probe thread sends a `health` request to every
+    /// replica each period, so a healed replica is marked healthy
+    /// *before* the next client request needs a failover — without it,
+    /// recovery is only discovered by spending a retry on the replica.
+    pub probe_interval_ms: u64,
 }
 
 impl Default for RouterConfig {
@@ -91,6 +97,34 @@ impl Default for RouterConfig {
             backoff_ticks: 1,
             max_line: DEFAULT_MAX_LINE,
             overrides_path: None,
+            probe_interval_ms: 0,
+        }
+    }
+}
+
+/// One background probe sweep: a `health` round-trip to every replica.
+/// A replica that answers a version-correct line is marked healthy (a
+/// previously-dark one counts as a recovery); one that does not is
+/// marked unhealthy, so probing also *detects* silent death instead of
+/// leaving it to the next client request.
+fn probe_sweep(state: &RouterState) {
+    for (shard_idx, replicas) in state.map.health_snapshot().iter().enumerate() {
+        for (replica_idx, replica) in replicas.iter().enumerate() {
+            soi_obs::counter_add!("router.probe_attempts", 1);
+            let alive = split_addr(&replica.addr)
+                .and_then(|(host, port)| {
+                    client::send_one(host, port, "{\"v\":1,\"id\":0,\"type\":\"health\"}").ok()
+                })
+                .is_some_and(|line| protocol::check_response_version(&line).is_ok());
+            if alive && !replica.healthy {
+                soi_obs::counter_add!("router.probe_recoveries", 1);
+                soi_obs::event!(
+                    soi_obs::Level::Info,
+                    "probe re-adopted replica {} of shard {shard_idx}",
+                    replica.addr
+                );
+            }
+            state.map.mark(shard_idx, replica_idx, alive);
         }
     }
 }
@@ -512,11 +546,17 @@ fn handle_conn(
         };
         let line = match read {
             LineRead::Eof { .. } => return,
-            LineRead::Oversized => {
-                let err = SoiError::protocol(
-                    ProtoErrorKind::OversizedLine,
-                    format!("request line exceeds {max_line} bytes"),
-                );
+            LineRead::Oversized | LineRead::NotUtf8 => {
+                let err = match read {
+                    LineRead::Oversized => SoiError::protocol(
+                        ProtoErrorKind::OversizedLine,
+                        format!("request line exceeds {max_line} bytes"),
+                    ),
+                    _ => SoiError::protocol(
+                        ProtoErrorKind::MalformedJson,
+                        "request line is not valid UTF-8",
+                    ),
+                };
                 let resp = protocol::encode_error(None, &err);
                 if writeln!(writer, "{resp}")
                     .and_then(|()| writer.flush())
@@ -612,6 +652,8 @@ pub fn run_router<W: Write>(config: &RouterConfig, out: &mut W) -> Result<(), So
     soi_obs::counter_add!("router.rebalances", 0);
     soi_obs::counter_add!("router.protocol_mismatches", 0);
     soi_obs::counter_add!("router.override_persist_errors", 0);
+    soi_obs::counter_add!("router.probe_attempts", 0);
+    soi_obs::counter_add!("router.probe_recoveries", 0);
     soi_obs::gauge("router.replicas_unhealthy").set(0.0);
     let layout_fp = layout_fingerprint(&config.shards);
     let map = ShardMap::new(config.shards.clone());
@@ -642,6 +684,27 @@ pub fn run_router<W: Write>(config: &RouterConfig, out: &mut W) -> Result<(), So
     out.flush().map_err(|e| SoiError::io("stdout", e))?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
+    let probe_thread = (config.probe_interval_ms > 0).then(|| {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let interval = Duration::from_millis(config.probe_interval_ms);
+        std::thread::spawn(move || {
+            // ordering: SeqCst pairs with the shutdown store; one load
+            // per probe period is not a hot path.
+            while !shutdown.load(Ordering::SeqCst) {
+                probe_sweep(&state);
+                // Sleep in small slices so shutdown is not delayed by
+                // up to a whole probe period.
+                let mut slept = Duration::ZERO;
+                // ordering: SeqCst pairs with the shutdown store, as above.
+                while slept < interval && !shutdown.load(Ordering::SeqCst) {
+                    let step = (interval - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+            }
+        })
+    });
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let mut conn_threads = Vec::new();
     for stream in listener.incoming() {
@@ -673,6 +736,9 @@ pub fn run_router<W: Write>(config: &RouterConfig, out: &mut W) -> Result<(), So
         let _ = stream.shutdown(Shutdown::Read);
     }
     for thread in conn_threads {
+        let _ = thread.join();
+    }
+    if let Some(thread) = probe_thread {
         let _ = thread.join();
     }
     soi_obs::event!(soi_obs::Level::Info, "router drained; shutting down");

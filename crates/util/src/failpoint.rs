@@ -73,6 +73,9 @@ pub const SITES: &[&str] = &[
     // the rebalance itself must still succeed (persistence is
     // best-effort, surfaced via `router.override_persist_errors`).
     "router.overrides.persist",
+    // Fires before a fuzz replay file is parsed, so the differential
+    // harness's own I/O error path stays typed and testable.
+    "verify.replay.read",
 ];
 
 /// What an armed failpoint does when it fires.

@@ -1,0 +1,581 @@
+//! The differential fuzzing driver: one stream, several arms, byte
+//! equality after masking.
+//!
+//! Each generated [`FuzzStream`] is replayed against up to three arms:
+//!
+//! * **reference** — [`ReferenceEngine`], direct recomputation;
+//! * **in-process** — the real [`soi_server::ServerEngine`] driven
+//!   through `daemon::run_stdio`, the same code path the daemon's
+//!   `--stdio` mode uses;
+//! * **tcp** — the real `soi` binary, spawned with `soi serve` and
+//!   driven over a real socket via [`soi_server::send_stream`].
+//!
+//! Every non-blank line produces exactly one response in every arm, so
+//! responses align positionally. Before comparison each response is
+//! **masked**: wall-clock fields are zeroed
+//! (`soi_obs::report::mask_wall_clock`) and any `"trace":[…]` span is
+//! stripped entirely (tick costs in the cache phase legitimately
+//! differ between a cold reference and a warm SUT, and queue-wait wall
+//! time differs between stdio and TCP). `stats` responses are compared
+//! on their envelope only — live counters are process-local by design.
+//! Everything else must match byte for byte.
+//!
+//! A divergence is shrunk by greedy line removal (the final `shutdown`
+//! is always kept, so the arms keep terminating), the shrunk stream is
+//! written as a replay file, and the exact
+//! `soi fuzz --seed N --replay FILE` invocation is printed.
+//!
+//! When a `SOI_FAILPOINTS` spec is armed the reference is skipped —
+//! failpoints make the SUT intentionally deviate from the naive spec —
+//! and the two real arms (in-process vs TCP binary) are diffed against
+//! each other instead: same engine, same faults, same bytes.
+
+use crate::reference::ReferenceEngine;
+use crate::stream::{FuzzStream, StreamConfig, GRAPH_NAME};
+use soi_server::protocol::{self, Request};
+use soi_server::{EngineConfig, ServerEngine};
+use soi_util::SoiError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One fuzzing campaign's configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzConfig {
+    /// Seed of the first stream; stream `j` uses `seed + j`.
+    pub seed: u64,
+    /// Number of streams to run (0 is treated as 1).
+    pub streams: usize,
+    /// Path to the real `soi` binary for the TCP arm (None = skip it).
+    pub soi_bin: Option<PathBuf>,
+    /// Directory for replay files and transcripts on divergence.
+    pub artifacts: Option<PathBuf>,
+    /// `SOI_FAILPOINTS` spec armed in the TCP arm (reference skipped).
+    pub failpoints: Option<String>,
+    /// Stream generation tuning.
+    pub stream: StreamConfig,
+    /// Test-only: perturb the in-process arm's spread answers to prove
+    /// the harness catches an estimator bug and shrinks its repro.
+    pub inject_bug: bool,
+}
+
+/// The verdict for one stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamVerdict {
+    /// The stream's generation seed.
+    pub seed: u64,
+    /// Request lines replayed.
+    pub requests: usize,
+    /// The first divergence found, if any.
+    pub divergence: Option<Divergence>,
+}
+
+/// A masked byte-level disagreement between two arms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// The two arms that disagreed.
+    pub arms: (&'static str, &'static str),
+    /// Index of the first differing response.
+    pub index: usize,
+    /// The first arm's masked response at that index.
+    pub left: String,
+    /// The second arm's masked response at that index.
+    pub right: String,
+    /// The shrunk request lines (still ending in `shutdown`).
+    pub shrunk_lines: Vec<Vec<u8>>,
+    /// Where the shrunk replay file was written, when artifacts are on.
+    pub replay_path: Option<PathBuf>,
+}
+
+/// The campaign summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzReport {
+    /// Per-stream verdicts, in seed order.
+    pub verdicts: Vec<StreamVerdict>,
+}
+
+impl FuzzReport {
+    /// Number of streams that diverged.
+    pub fn divergences(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.divergence.is_some())
+            .count()
+    }
+}
+
+/// Which engine answers a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arm {
+    Reference,
+    InProcess,
+    Tcp,
+}
+
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Reference => "reference",
+            Arm::InProcess => "in-process",
+            Arm::Tcp => "tcp-binary",
+        }
+    }
+}
+
+fn engine_config(stream: &FuzzStream) -> EngineConfig {
+    EngineConfig {
+        num_worlds: stream.config.worlds,
+        seed: stream.config.engine_seed,
+        sketch_k: stream.config.sketch_k,
+        ..EngineConfig::default()
+    }
+}
+
+/// Zeroes wall-clock fields and strips the `"trace":[…]` span — the
+/// only legitimately nondeterministic parts of a response line.
+pub fn mask_response(line: &str) -> String {
+    strip_trace(&soi_obs::report::mask_wall_clock(line))
+}
+
+/// Removes a `,"trace":[…]` span (bracket-depth scan; trace arrays
+/// contain no strings with brackets).
+fn strip_trace(line: &str) -> String {
+    let marker = ",\"trace\":[";
+    let Some(start) = line.find(marker) else {
+        return line.to_string();
+    };
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut i = start + marker.len() - 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return format!("{}{}", &line[..start], &line[i + 1..]);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// True (with the request id) when `raw` parses as a `stats` request:
+/// its response is compared on the envelope only.
+fn is_stats_line(raw: &[u8]) -> (bool, u64) {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        return (false, 0);
+    };
+    match protocol::parse_request(text) {
+        Ok(envelope) if envelope.req == Request::Stats => (true, envelope.id),
+        _ => (false, 0),
+    }
+}
+
+/// Runs one arm over the stream, returning its raw response lines.
+fn run_arm(stream: &FuzzStream, arm: Arm, config: &FuzzConfig) -> Result<Vec<String>, SoiError> {
+    match arm {
+        Arm::Reference => {
+            let mut engine = ReferenceEngine::new(engine_config(stream), stream.config.max_line);
+            engine.add_graph(GRAPH_NAME, stream.pg.clone());
+            let mut responses = Vec::new();
+            for line in &stream.lines {
+                let answer = engine.answer_line(line);
+                if let Some(resp) = answer.response {
+                    responses.push(resp);
+                }
+                if answer.stop {
+                    break;
+                }
+            }
+            Ok(responses)
+        }
+        Arm::InProcess => {
+            let mut engine = ServerEngine::new(engine_config(stream));
+            engine.add_graph(GRAPH_NAME, stream.pg.clone());
+            let payload = stream.payload();
+            let mut out = Vec::new();
+            soi_server::run_stdio(
+                &engine,
+                stream.config.max_line,
+                &mut payload.as_slice(),
+                &mut out,
+            )?;
+            let text = String::from_utf8(out)
+                .map_err(|_| SoiError::invalid("daemon emitted non-UTF-8 output"))?;
+            let mut responses: Vec<String> = text.lines().map(str::to_string).collect();
+            if config.inject_bug {
+                for resp in &mut responses {
+                    // An off-by-prepended-digit estimator bug, test-only.
+                    if let Some(at) = resp.find("\"spread\":") {
+                        resp.insert(at + "\"spread\":".len(), '1');
+                    }
+                }
+            }
+            Ok(responses)
+        }
+        Arm::Tcp => run_tcp_arm(stream, config),
+    }
+}
+
+/// Spawns the real binary, serves the stream's graph over TCP, drives
+/// the whole payload through one connection, and collects responses.
+fn run_tcp_arm(stream: &FuzzStream, config: &FuzzConfig) -> Result<Vec<String>, SoiError> {
+    let soi_bin = config
+        .soi_bin
+        .as_ref()
+        .ok_or_else(|| SoiError::invalid("TCP arm requested without a soi binary path"))?;
+    let dir = std::env::temp_dir().join(format!("soi-fuzz-{}-{}", std::process::id(), stream.seed));
+    std::fs::create_dir_all(&dir).map_err(|e| SoiError::io("fuzz temp dir", e))?;
+    let result = run_tcp_arm_in(stream, config, soi_bin, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_tcp_arm_in(
+    stream: &FuzzStream,
+    config: &FuzzConfig,
+    soi_bin: &Path,
+    dir: &Path,
+) -> Result<Vec<String>, SoiError> {
+    let tsv = dir.join("net.tsv");
+    let mut file = std::fs::File::create(&tsv).map_err(|e| SoiError::io("graph tsv", e))?;
+    soi_graph::io::write_prob_graph(&stream.pg, &mut file)
+        .map_err(|e| SoiError::io("write graph tsv", e))?;
+    drop(file);
+    let mut cmd = std::process::Command::new(soi_bin);
+    cmd.arg("serve")
+        .arg(format!("{GRAPH_NAME}={}", tsv.display()))
+        .args(["--worlds", &stream.config.worlds.to_string()])
+        .args(["--seed", &stream.config.engine_seed.to_string()])
+        .args(["--sketch-k", &stream.config.sketch_k.to_string()])
+        .args(["--max-line", &stream.config.max_line.to_string()])
+        .args(["--port", "0"])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    if let Some(spec) = &config.failpoints {
+        cmd.env(soi_util::failpoint::ENV_VAR, spec);
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| SoiError::io("spawn soi serve", e))?;
+    let mut announce = String::new();
+    {
+        use std::io::BufRead;
+        let stdout = child
+            .stdout
+            .as_mut()
+            .ok_or_else(|| SoiError::invalid("serve stdout not captured"))?;
+        std::io::BufReader::new(stdout)
+            .read_line(&mut announce)
+            .map_err(|e| SoiError::io("read announce", e))?;
+    }
+    let port: Option<u16> = announce
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok());
+    let responses = match port {
+        Some(port) => soi_server::send_stream("127.0.0.1", port, &stream.payload()),
+        None => Err(SoiError::invalid(format!(
+            "bad serve announce line: {announce:?}"
+        ))),
+    };
+    // The stream's final shutdown drains the daemon; kill covers
+    // hand-written replays without one.
+    let _ = child.kill();
+    let _ = child.wait();
+    responses
+}
+
+/// First masked difference between two arms' responses, if any.
+fn first_divergence(
+    lines: &[Vec<u8>],
+    left: &[String],
+    right: &[String],
+) -> Option<(usize, String, String)> {
+    let stats: Vec<(bool, u64)> = lines.iter().map(|l| is_stats_line(l)).collect();
+    for i in 0..left.len().max(right.len()) {
+        let (l, r) = (left.get(i), right.get(i));
+        let (Some(l), Some(r)) = (l, r) else {
+            return Some((
+                i,
+                l.cloned().unwrap_or_else(|| "<no response>".to_string()),
+                r.cloned().unwrap_or_else(|| "<no response>".to_string()),
+            ));
+        };
+        if let Some(&(true, id)) = stats.get(i) {
+            // Stats payloads hold live process-local counters; only the
+            // envelope and status must agree.
+            let prefix = format!("{{\"v\":1,\"id\":{id},\"status\":\"ok\",");
+            if l.starts_with(&prefix) && r.starts_with(&prefix) {
+                continue;
+            }
+        }
+        let (ml, mr) = (mask_response(l), mask_response(r));
+        if ml != mr {
+            return Some((i, ml, mr));
+        }
+    }
+    None
+}
+
+/// Runs a pair of arms over `stream` and reports their first
+/// divergence.
+fn diff_arms(
+    stream: &FuzzStream,
+    pair: (Arm, Arm),
+    config: &FuzzConfig,
+) -> Result<Option<(usize, String, String)>, SoiError> {
+    let left = run_arm(stream, pair.0, config)?;
+    let right = run_arm(stream, pair.1, config)?;
+    Ok(first_divergence(&stream.lines, &left, &right))
+}
+
+/// Greedy delta-debugging: repeatedly drop one line at a time (never
+/// the final `shutdown`), keeping any removal under which the arm pair
+/// still diverges, until no single removal preserves the divergence.
+fn shrink(
+    stream: &FuzzStream,
+    pair: (Arm, Arm),
+    config: &FuzzConfig,
+) -> Result<FuzzStream, SoiError> {
+    let mut shrunk = stream.clone();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i + 1 < shrunk.lines.len() {
+            let mut candidate = shrunk.clone();
+            candidate.lines.remove(i);
+            if diff_arms(&candidate, pair, config)?.is_some() {
+                soi_obs::counter_add!("verify.shrink_steps", 1);
+                shrunk = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return Ok(shrunk);
+        }
+    }
+}
+
+/// Replays one stream across every configured arm pair; on divergence,
+/// shrinks it and (when artifacts are on) writes the replay file and a
+/// transcript of both sides.
+pub fn run_stream(
+    stream: &FuzzStream,
+    config: &FuzzConfig,
+    out: &mut impl Write,
+) -> Result<StreamVerdict, SoiError> {
+    soi_obs::counter_add!("verify.streams_run", 1);
+    soi_obs::counter_add!("verify.requests_checked", stream.lines.len() as u64);
+    let mut pairs: Vec<(Arm, Arm)> = Vec::new();
+    if config.failpoints.is_none() {
+        pairs.push((Arm::Reference, Arm::InProcess));
+        if config.soi_bin.is_some() {
+            pairs.push((Arm::Reference, Arm::Tcp));
+        }
+    } else if config.soi_bin.is_some() {
+        pairs.push((Arm::InProcess, Arm::Tcp));
+    } else {
+        // Failpoints without a binary: nothing to diff against, but the
+        // in-process arm must still answer every line without panicking.
+        run_arm(stream, Arm::InProcess, config)?;
+    }
+    for pair in pairs {
+        let Some((index, left, right)) = diff_arms(stream, pair, config)? else {
+            continue;
+        };
+        soi_obs::counter_add!("verify.divergences", 1);
+        let shrunk = shrink(stream, pair, config)?;
+        let replay_path = if let Some(dir) = &config.artifacts {
+            std::fs::create_dir_all(dir).map_err(|e| SoiError::io("artifacts dir", e))?;
+            let path = dir.join(format!("divergence-seed-{}.replay", stream.seed));
+            std::fs::write(&path, shrunk.serialize())
+                .map_err(|e| SoiError::io("write replay", e))?;
+            let transcript = dir.join(format!("divergence-seed-{}.transcript", stream.seed));
+            let text = format!(
+                "arms: {} vs {}\nfirst divergence at response {index}\n{}: {left}\n{}: {right}\n",
+                pair.0.name(),
+                pair.1.name(),
+                pair.0.name(),
+                pair.1.name(),
+            );
+            std::fs::write(&transcript, text).map_err(|e| SoiError::io("write transcript", e))?;
+            Some(path)
+        } else {
+            None
+        };
+        writeln!(
+            out,
+            "divergence: {} vs {} at response {index} (stream seed {})",
+            pair.0.name(),
+            pair.1.name(),
+            stream.seed
+        )
+        .map_err(|e| SoiError::io("report", e))?;
+        writeln!(out, "  {}: {left}", pair.0.name()).map_err(|e| SoiError::io("report", e))?;
+        writeln!(out, "  {}: {right}", pair.1.name()).map_err(|e| SoiError::io("report", e))?;
+        if let Some(path) = &replay_path {
+            writeln!(
+                out,
+                "  reproduce with: soi fuzz --seed {} --replay {}",
+                stream.seed,
+                path.display()
+            )
+            .map_err(|e| SoiError::io("report", e))?;
+        }
+        return Ok(StreamVerdict {
+            seed: stream.seed,
+            requests: stream.lines.len(),
+            divergence: Some(Divergence {
+                arms: (pair.0.name(), pair.1.name()),
+                index,
+                left,
+                right,
+                shrunk_lines: shrunk.lines,
+                replay_path,
+            }),
+        });
+    }
+    Ok(StreamVerdict {
+        seed: stream.seed,
+        requests: stream.lines.len(),
+        divergence: None,
+    })
+}
+
+/// Arms the process-global failpoint registry for the in-process arm;
+/// the TCP arm receives the same spec via the child's environment.
+/// Only deterministic (always-firing) error specs keep the arms
+/// comparable — probabilistic specs draw from per-process streams.
+fn arm_failpoints(config: &FuzzConfig) -> Result<(), SoiError> {
+    if let Some(spec) = &config.failpoints {
+        soi_util::failpoint::install(spec).map_err(SoiError::invalid)?;
+    }
+    Ok(())
+}
+
+/// Runs the whole campaign: `streams` consecutive seeds starting at
+/// `seed`, each generated, replayed, and diffed.
+pub fn run_fuzz(config: &FuzzConfig, out: &mut impl Write) -> Result<FuzzReport, SoiError> {
+    arm_failpoints(config)?;
+    let mut verdicts = Vec::new();
+    for j in 0..config.streams.max(1) as u64 {
+        let seed = config.seed.wrapping_add(j);
+        let stream = FuzzStream::generate(seed, config.stream)?;
+        verdicts.push(run_stream(&stream, config, out)?);
+    }
+    let report = FuzzReport { verdicts };
+    writeln!(
+        out,
+        "fuzz: {} stream(s), {} divergence(s)",
+        report.verdicts.len(),
+        report.divergences()
+    )
+    .map_err(|e| SoiError::io("report", e))?;
+    Ok(report)
+}
+
+/// Replays a saved stream file across the configured arms.
+pub fn run_replay(
+    path: &Path,
+    config: &FuzzConfig,
+    out: &mut impl Write,
+) -> Result<FuzzReport, SoiError> {
+    arm_failpoints(config)?;
+    let text = std::fs::read_to_string(path).map_err(|e| SoiError::io("read replay", e))?;
+    let stream = FuzzStream::parse(&text)?;
+    let verdict = run_stream(&stream, config, out)?;
+    Ok(FuzzReport {
+        verdicts: vec![verdict],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config(streams: usize, seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            streams,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn reference_and_real_engine_agree_over_many_streams() {
+        let _g = soi_util::failpoint::test_guard();
+        let mut out = Vec::new();
+        let report = run_fuzz(&quiet_config(6, 100), &mut out).expect("fuzz");
+        assert_eq!(report.divergences(), 0, "{}", String::from_utf8_lossy(&out));
+        assert_eq!(report.verdicts.len(), 6);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let _g = soi_util::failpoint::test_guard();
+        let mut out_a = Vec::new();
+        let a = run_fuzz(&quiet_config(3, 500), &mut out_a).expect("fuzz");
+        let mut out_b = Vec::new();
+        let b = run_fuzz(&quiet_config(3, 500), &mut out_b).expect("fuzz");
+        assert_eq!(a, b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn injected_estimator_bug_is_caught_and_shrunk() {
+        let _g = soi_util::failpoint::test_guard();
+        // Scan seeds (deterministically) for a stream whose real arm
+        // answers at least one spread estimate.
+        let mut config = quiet_config(1, 0);
+        config.inject_bug = true;
+        let dir = std::env::temp_dir().join(format!("soi-fuzz-bug-{}", std::process::id()));
+        config.artifacts = Some(dir.clone());
+        let mut caught = None;
+        for seed in 0..32u64 {
+            config.seed = seed;
+            let mut out = Vec::new();
+            let report = run_fuzz(&config, &mut out).expect("fuzz");
+            if report.divergences() == 1 {
+                caught = Some((report, String::from_utf8(out).expect("utf8")));
+                break;
+            }
+        }
+        let (report, log) = caught.expect("some stream answers a spread estimate");
+        let divergence = report.verdicts[0].divergence.clone().expect("divergence");
+        // Shrunk to the minimal repro: one guilty request + shutdown.
+        assert_eq!(divergence.shrunk_lines.len(), 2, "{log}");
+        let guilty = std::str::from_utf8(&divergence.shrunk_lines[0]).expect("ascii");
+        assert!(guilty.contains("spread-estimate"), "{guilty}");
+        assert!(log.contains("reproduce with: soi fuzz --seed"), "{log}");
+        // The replay file round-trips and reproduces the divergence.
+        let replay = divergence.replay_path.expect("replay written");
+        let seed = report.verdicts[0].seed;
+        config.seed = seed;
+        let mut out = Vec::new();
+        let again = run_replay(&replay, &config, &mut out).expect("replay");
+        assert_eq!(again.divergences(), 1);
+        // Without the bug the same replay is clean.
+        config.inject_bug = false;
+        let mut out = Vec::new();
+        let clean = run_replay(&replay, &config, &mut out).expect("replay");
+        assert_eq!(clean.divergences(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn masking_strips_trace_and_wall_clock() {
+        let line = r#"{"v":1,"id":3,"status":"ok","spread":2.5,"trace":[{"name":"parse","ticks":10,"wall_ns":55}],"wall_ns":1234}"#;
+        let masked = mask_response(line);
+        assert!(!masked.contains("trace"), "{masked}");
+        assert!(!masked.contains("1234"), "{masked}");
+        assert!(masked.contains("\"spread\":2.5"), "{masked}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Estimator pinning against the exact BDD spread oracle.
+//!
+//! [`soi_verify::exact_spread_bdd`] computes `σ(S)` exactly on small
+//! graphs (≤ 25 edges), so every estimator in the workspace can be held
+//! to a *declared* tolerance instead of a hand-waved one: Monte-Carlo
+//! sampling and the cascade backend within a standard-error budget,
+//! bottom-k sketches within their world-sampling noise, RIS seed quality
+//! against the BDD-evaluated true optimum, and typical cascades exactly
+//! on deterministic graphs (where the sphere of influence *is* the
+//! reachability set). Every test is deterministic in its pinned seeds.
+
+use soi_graph::{gen, NodeId, ProbGraph};
+use soi_influence::{infmax_ris, BackendKind, SpreadBackend};
+use soi_sampling::estimate_spread;
+use soi_sketch::{ReachSketches, SketchConfig};
+use soi_util::rng::Xoshiro256pp;
+use soi_util::runtime::Deadline;
+use soi_verify::exact_spread_bdd;
+
+/// A pinned 8-node, 18-edge test graph — comfortably inside the oracle's
+/// 25-edge budget, dense enough that spreads are non-trivial.
+fn graph(p: f64) -> ProbGraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(41);
+    ProbGraph::fixed(gen::gnm(8, 18, &mut rng), p).expect("graph")
+}
+
+#[test]
+fn monte_carlo_estimate_is_within_declared_epsilon_of_bdd() {
+    // One cascade size lies in [1, n], so its standard deviation is at
+    // most n/2 and the mean of N samples has SE ≤ n / (2√N). We declare
+    // ε = 5·SE — a > 5σ event on a pinned seed would mean estimator bias,
+    // not noise.
+    let samples = 20_000usize;
+    for p in [0.3, 0.5, 0.8] {
+        let pg = graph(p);
+        let eps = 5.0 * pg.num_nodes() as f64 / (2.0 * (samples as f64).sqrt());
+        for seeds in [vec![0], vec![1, 4], vec![0, 3, 6]] {
+            let exact = exact_spread_bdd(&pg, &seeds).expect("oracle");
+            let mc = estimate_spread(&pg, &seeds, samples, 9);
+            assert!(
+                (mc - exact).abs() <= eps,
+                "p {p} seeds {seeds:?}: mc {mc} vs bdd {exact} (ε {eps})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sketch_set_spread_is_within_declared_epsilon_of_bdd() {
+    // With k > ℓ·n the bottom-k sketches are exhaustive, so set_spread is
+    // the *exact* mean spread over the ℓ sampled worlds; the only error
+    // left is world sampling, SE ≤ n / (2√ℓ). Declared ε = 5·SE.
+    let worlds = 1024usize;
+    let pg = graph(0.4);
+    let sk = ReachSketches::build(
+        &pg,
+        SketchConfig {
+            num_worlds: worlds,
+            k: worlds * pg.num_nodes() + 1,
+            seed: 7,
+            ..SketchConfig::default()
+        },
+    );
+    let eps = 5.0 * pg.num_nodes() as f64 / (2.0 * (worlds as f64).sqrt());
+    for seeds in [vec![0], vec![2, 5], vec![1, 3, 7]] {
+        let exact = exact_spread_bdd(&pg, &seeds).expect("oracle");
+        let est = sk.set_spread(&seeds);
+        assert!(
+            (est - exact).abs() <= eps,
+            "seeds {seeds:?}: sketch {est} vs bdd {exact} (ε {eps})"
+        );
+    }
+}
+
+#[test]
+fn both_spread_backends_answer_within_declared_epsilon_of_bdd() {
+    // The serving layer's backend dispatch, held to the same budgets as
+    // the estimators it wraps: MC noise for the cascade arm, world
+    // sampling for the (exhaustive-k) sketch arm.
+    let pg = graph(0.5);
+    let n = pg.num_nodes() as f64;
+    let samples = 20_000usize;
+    let worlds = 1024usize;
+    let index = soi_index::CascadeIndex::build(
+        &pg,
+        soi_index::IndexConfig {
+            num_worlds: worlds,
+            seed: 7,
+            ..soi_index::IndexConfig::default()
+        },
+    );
+    let sketches = ReachSketches::build(
+        &pg,
+        SketchConfig {
+            num_worlds: worlds,
+            k: worlds * pg.num_nodes() + 1,
+            seed: 7,
+            ..SketchConfig::default()
+        },
+    );
+    let backends = [
+        (
+            SpreadBackend::Cascade(std::sync::Arc::new(index)),
+            5.0 * n / (2.0 * (samples as f64).sqrt()),
+        ),
+        (
+            SpreadBackend::Sketch(std::sync::Arc::new(sketches)),
+            5.0 * n / (2.0 * (worlds as f64).sqrt()),
+        ),
+    ];
+    for (backend, eps) in &backends {
+        for seeds in [vec![0], vec![1, 6]] {
+            let exact = exact_spread_bdd(&pg, &seeds).expect("oracle");
+            let est = backend
+                .estimate_spread(&pg, &seeds, samples, 9, &Deadline::unlimited())
+                .value();
+            assert!(
+                (est - exact).abs() <= *eps,
+                "{} seeds {seeds:?}: {est} vs bdd {exact} (ε {eps})",
+                backend.kind().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ris_seeds_are_near_optimal_under_the_bdd_oracle() {
+    // Enumerate every size-2 seed set, score each *exactly* with the BDD
+    // oracle, and demand RIS lands within 5% of the true optimum — far
+    // inside its (1 − 1/e) guarantee, which dense RR sampling on a tiny
+    // graph should beat easily. Its own spread estimate must also agree
+    // with the oracle within coverage-sampling noise.
+    let pg = graph(0.4);
+    let n = pg.num_nodes() as NodeId;
+    let mut best = 0.0f64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            best = best.max(exact_spread_bdd(&pg, &[a, b]).expect("oracle"));
+        }
+    }
+    let num_rr = 30_000usize;
+    let result = infmax_ris(&pg, 2, num_rr, 9);
+    let achieved = exact_spread_bdd(&pg, &result.seeds).expect("oracle");
+    assert!(
+        achieved >= 0.95 * best,
+        "ris picked {:?} (σ {achieved}) vs optimum σ {best}",
+        result.seeds
+    );
+    // RIS estimates σ as n · coverage; coverage of R sets has
+    // SE ≤ √(1/(4R)), so the estimate's SE ≤ n / (2√R). Declared ε = 5·SE.
+    let eps = 5.0 * pg.num_nodes() as f64 / (2.0 * (num_rr as f64).sqrt());
+    let self_estimate = *result.spread_curve.last().expect("curve");
+    assert!(
+        (self_estimate - achieved).abs() <= eps,
+        "ris self-estimate {self_estimate} vs bdd {achieved} (ε {eps})"
+    );
+}
+
+#[test]
+fn typical_cascade_is_the_exact_reachability_sphere_when_deterministic() {
+    // With every probability 1 there is a single possible world, so the
+    // sphere of influence *is* the reachability set and σ(S) its size —
+    // the oracle pins the typical cascade with ε = 0.
+    let config = soi_core::TypicalCascadeConfig {
+        median_samples: 32,
+        cost_samples: 32,
+        ..soi_core::TypicalCascadeConfig::default()
+    };
+    for g in [gen::path(6), gen::star(6), gen::cycle(6)] {
+        let pg = ProbGraph::fixed(g, 1.0).expect("graph");
+        for source in [0 as NodeId, 1, 3] {
+            let tc = soi_core::typical_cascade(&pg, source, &config);
+            let sigma = exact_spread_bdd(&pg, &[source]).expect("oracle");
+            assert_eq!(tc.size() as f64, sigma, "source {source}");
+            assert_eq!(tc.expected_cost, 0.0, "deterministic sphere is stable");
+        }
+    }
+    let pg = graph(1.0);
+    for source in 0..pg.num_nodes() as NodeId {
+        let tc = soi_core::typical_cascade(&pg, source, &config);
+        let sigma = exact_spread_bdd(&pg, &[source]).expect("oracle");
+        assert_eq!(tc.size() as f64, sigma, "source {source}");
+    }
+}
+
+#[test]
+fn backend_kinds_round_trip() {
+    // Keeps this integration suite honest about the names it pins above.
+    assert_eq!(BackendKind::parse("cascade"), Some(BackendKind::Cascade));
+    assert_eq!(BackendKind::parse("sketch"), Some(BackendKind::Sketch));
+}
